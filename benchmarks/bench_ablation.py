@@ -1,0 +1,201 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* greedy largest-prefix vs. optimal (DP) decomposition — §4.1's greedy
+  is near-optimal in practice and much cheaper;
+* binary-search vs. linear prefix probing inside the greedy;
+* base-set flavor (all shortest paths / unique per pair / Corollary 4
+  expanded) — PC length vs. provisioned-set size trade-off;
+* restoration cost: RBPC's FEC rewrite vs. tearing down and
+  re-signaling an LSP, measured on the live MPLS simulator's ledger.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.base_paths import (
+    AllShortestPathsBase,
+    UniqueShortestPathsBase,
+    expanded_base_set,
+    provision_base_set,
+    unique_shortest_path_base,
+)
+from repro.core.decomposition import (
+    concatenation_shortest_path,
+    greedy_decompose,
+    min_pieces_decompose,
+)
+from repro.core.restoration import SourceRouterRbpc
+from repro.exceptions import NoPath
+from repro.graph.shortest_paths import shortest_path
+from repro.mpls.network import MplsNetwork
+from repro.topology.isp import generate_isp_topology
+
+
+@pytest.fixture(scope="module")
+def failure_instances(isp200, isp200_base, isp200_pairs):
+    """(backup path, failed link) for one failed link per sampled demand."""
+    instances = []
+    for s, t in isp200_pairs:
+        primary = isp200_base.path_for(s, t)
+        if primary.hops < 2:
+            continue
+        failed = list(primary.edges())[primary.hops // 2]
+        view = isp200.without(edges=[failed])
+        try:
+            backup = shortest_path(view, s, t)
+        except NoPath:
+            continue
+        instances.append(backup)
+    assert len(instances) >= 20
+    return instances
+
+
+def bench_greedy_decomposition(benchmark, isp200_base, failure_instances):
+    def run():
+        return [greedy_decompose(b, isp200_base) for b in failure_instances]
+
+    results = benchmark(run)
+    assert all(d.num_pieces >= 1 for d in results)
+
+
+def bench_optimal_decomposition(benchmark, isp200_base, failure_instances):
+    def run():
+        return [min_pieces_decompose(b, isp200_base) for b in failure_instances]
+
+    results = benchmark(run)
+    assert all(d.num_pieces >= 1 for d in results)
+
+
+def test_greedy_is_near_optimal(isp200_base, failure_instances):
+    """§4.1's greedy matches the optimum in the overwhelming majority."""
+    gaps = []
+    for backup in failure_instances:
+        greedy = greedy_decompose(backup, isp200_base)
+        optimal = min_pieces_decompose(backup, isp200_base)
+        gaps.append(greedy.num_pieces - optimal.num_pieces)
+    assert all(g >= 0 for g in gaps)
+    assert sum(1 for g in gaps if g == 0) / len(gaps) >= 0.9
+
+
+def bench_binary_prefix_probe(benchmark, failure_instances, isp200):
+    base = AllShortestPathsBase(isp200)
+    def run():
+        return [
+            greedy_decompose(b, base, prefix_probe="binary")
+            for b in failure_instances
+        ]
+
+    benchmark(run)
+
+
+def bench_linear_prefix_probe(benchmark, failure_instances, isp200):
+    base = AllShortestPathsBase(isp200)
+    def run():
+        return [
+            greedy_decompose(b, base, prefix_probe="linear")
+            for b in failure_instances
+        ]
+
+    benchmark(run)
+
+
+def test_probe_strategies_agree(failure_instances, isp200):
+    base = AllShortestPathsBase(isp200)
+    for backup in failure_instances:
+        binary = greedy_decompose(backup, base, prefix_probe="binary")
+        linear = greedy_decompose(backup, base, prefix_probe="linear")
+        assert binary.pieces == linear.pieces
+
+
+class TestBaseSetFlavors:
+    """PC length / base-set size trade-off across the three flavors."""
+
+    @pytest.fixture(scope="class")
+    def small_world(self):
+        graph = generate_isp_topology(n=60, seed=21)
+        nodes = sorted(graph.nodes, key=repr)
+        rng = random.Random(3)
+        demands = [tuple(rng.sample(nodes, 2)) for _ in range(25)]
+        return graph, demands
+
+    def _avg_pc(self, graph, demands, base, via_aux_graph=False):
+        lengths = []
+        route_base = UniqueShortestPathsBase(graph)
+        for s, t in demands:
+            primary = route_base.path_for(s, t)
+            if primary.hops < 1:
+                continue
+            failed = list(primary.edges())[0]
+            view = graph.without(edges=[failed])
+            try:
+                if via_aux_graph:
+                    d = concatenation_shortest_path(view, base, s, t)
+                else:
+                    backup = shortest_path(view, s, t)
+                    d = min_pieces_decompose(backup, base)
+            except NoPath:
+                continue
+            lengths.append(d.num_pieces)
+        return sum(lengths) / len(lengths)
+
+    def test_all_sp_base_needs_fewest_pieces(self, small_world):
+        graph, demands = small_world
+        all_sp = self._avg_pc(graph, demands, AllShortestPathsBase(graph))
+        unique = self._avg_pc(graph, demands, UniqueShortestPathsBase(graph))
+        assert all_sp <= unique + 1e-9
+
+    def test_expanded_base_beats_unique_via_aux_graph(self, small_world):
+        """Corollary 4: the expanded set needs no extra edges at all."""
+        graph, demands = small_world
+        unique = unique_shortest_path_base(graph, seed=1)
+        expanded = expanded_base_set(graph, seed=1)
+        assert len(expanded) > len(unique)
+        pc_unique = self._avg_pc(graph, demands, unique, via_aux_graph=True)
+        pc_expanded = self._avg_pc(graph, demands, expanded, via_aux_graph=True)
+        assert pc_expanded <= pc_unique + 1e-9
+
+    def bench_corollary4_expansion(self, benchmark, small_world):
+        graph, _ = small_world
+        expanded = benchmark(expanded_base_set, graph, 1)
+        n = graph.number_of_nodes()
+        m = graph.number_of_edges()
+        # Corollary 4's bound counts ordered-pair paths + edge extensions.
+        assert len(expanded) <= n * (n - 1) + 2 * m * (n - 1)
+
+
+def bench_rbpc_vs_resignaling(benchmark, tiny_suite):
+    """Messages and table writes: restore by concatenation vs. rebuild."""
+    isp = tiny_suite[0]
+    graph = isp.graph
+    base = UniqueShortestPathsBase(graph)
+    nodes = sorted(graph.nodes, key=repr)
+    demand = (nodes[0], nodes[-1])
+
+    def run():
+        net = MplsNetwork(graph)
+        registry = provision_base_set(net, base, pairs=[demand])
+        primary = base.path_for(*demand)
+        net.set_fec(demand[0], demand[1], [registry[primary]])
+        failed = list(primary.edges())[0]
+        net.fail_link(*failed)
+
+        before = net.ledger.snapshot()
+        scheme = SourceRouterRbpc(net, base, registry)
+        scheme.restore(*demand)
+        rbpc_messages = net.ledger.total_messages - before[0]
+
+        # The alternative: tear down the broken LSP, signal the backup.
+        backup = scheme.active_restorations()[0].decomposition.path
+        before_msgs = net.ledger.total_messages
+        net.teardown_lsp(registry[primary])
+        net.provision_lsp(backup)
+        rebuild_messages = net.ledger.total_messages - before_msgs
+        return rbpc_messages, rebuild_messages
+
+    rbpc_messages, rebuild_messages = benchmark(run)
+    # RBPC needs on-demand setup only for unprovisioned pieces; even so
+    # it must beat the full teardown + end-to-end re-signal.
+    assert rbpc_messages < rebuild_messages

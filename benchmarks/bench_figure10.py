@@ -1,0 +1,40 @@
+"""Benchmark + regeneration of Figure 10 (local RBPC stretch histograms).
+
+Times the full collection pipeline on the weighted ISP and asserts the
+figure's qualitative content: the vast majority of local restorations
+cost no more than ~1.2x the source-routed optimum, and end-route never
+does worse than edge-bypass on cost.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure10 import collect, render
+
+
+def bench_figure10_collect(benchmark, isp200):
+    samples = benchmark(collect, isp200, True, 30, 1)
+    edge_bypass = samples["edge-bypass"]
+    end_route = samples["end-route"]
+    assert edge_bypass.cost and end_route.cost
+
+    # Cost stretch can never be below 1 (the optimum is optimal).
+    assert min(edge_bypass.cost) >= 1.0 - 1e-9
+    assert min(end_route.cost) >= 1.0 - 1e-9
+
+    # Paper: "the length of the vast majority of the routes obtained by
+    # the local restoration is about as long as the shortest route".
+    def share_at_most(values, threshold):
+        return sum(1 for v in values if v <= threshold) / len(values)
+
+    assert share_at_most(edge_bypass.cost, 1.25) > 0.65
+    assert share_at_most(end_route.cost, 1.25) > 0.75
+    # End-route sees the whole surviving graph from R1; it is at least
+    # as good as edge-bypass on average.
+    avg = lambda xs: sum(xs) / len(xs)
+    assert avg(end_route.cost) <= avg(edge_bypass.cost) + 1e-9
+
+
+def bench_figure10_render(benchmark, isp200):
+    samples = collect(isp200, True, 10, 1)
+    report = benchmark(render, samples)
+    assert "cost stretch" in report and "hopcount stretch" in report

@@ -1,0 +1,103 @@
+"""Ablation: per-pair base LSPs vs. merged per-destination label trees.
+
+Section 2 motivates label merging as the standard remedy for ILM
+pressure; this bench quantifies how much it buys when the whole
+all-pairs base set is provisioned, and that RBPC restoration works
+identically over merged labels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_paths import UniqueShortestPathsBase, provision_base_set
+from repro.core.restoration import plan_restoration
+from repro.exceptions import NoRestorationPath
+from repro.mpls.merging import (
+    provision_all_trees,
+    provision_edge_lsps,
+    restoration_stack,
+    tree_ilm_entries,
+)
+from repro.mpls.network import MplsNetwork
+from repro.topology.isp import generate_isp_topology
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph = generate_isp_topology(n=60, seed=2)
+    base = UniqueShortestPathsBase(graph)
+    return graph, base
+
+
+def bench_provision_per_pair_lsps(benchmark, world):
+    graph, base = world
+
+    def run():
+        net = MplsNetwork(graph)
+        provision_base_set(net, base)
+        return net.total_ilm_size()
+
+    per_pair_entries = benchmark(run)
+    assert per_pair_entries > 0
+
+
+def bench_provision_merged_trees(benchmark, world):
+    graph, base = world
+
+    def run():
+        net = MplsNetwork(graph)
+        trees = provision_all_trees(net, base)
+        provision_edge_lsps(net)
+        return net.total_ilm_size()
+
+    merged_entries = benchmark(run)
+    assert merged_entries > 0
+
+
+def test_merging_saves_most_ilm_entries(world):
+    graph, base = world
+    n = graph.number_of_nodes()
+
+    net_pairs = MplsNetwork(graph)
+    provision_base_set(net_pairs, base)
+    per_pair = net_pairs.total_ilm_size()
+
+    net_merged = MplsNetwork(graph)
+    trees = provision_all_trees(net_merged, base)
+    provision_edge_lsps(net_merged)
+    merged = net_merged.total_ilm_size()
+
+    assert merged == tree_ilm_entries(trees) + 2 * graph.number_of_edges()
+    # Average path length > 2 means merging must save at least ~half.
+    assert merged < per_pair / 2
+    # Merged mode is Θ(n) per router, not Θ(n * avg_path_len).
+    assert net_merged.max_ilm_size() <= n + max(
+        graph.degree(u) for u in graph.nodes
+    )
+
+
+def test_restoration_over_merged_labels(world):
+    """Every single-link failure on a sample demand restores via trees."""
+    graph, base = world
+    net = MplsNetwork(graph)
+    trees = provision_all_trees(net, base)
+    edge_labels = provision_edge_lsps(net)
+    nodes = sorted(graph.nodes, key=repr)
+    restored = 0
+    for s, t in [(nodes[0], nodes[-1]), (nodes[3], nodes[-5])]:
+        primary = base.path_for(s, t)
+        for failed in primary.edges():
+            net.fail_link(*failed)
+            try:
+                plan = plan_restoration(net.operational_view, base, s, t)
+            except NoRestorationPath:
+                net.restore_link(*failed)
+                continue
+            stack = restoration_stack(trees, plan.pieces, s, edge_labels=edge_labels)
+            result = net.send_with_stack(s, stack, t)
+            assert result.delivered
+            assert result.walk == list(plan.path.nodes)
+            restored += 1
+            net.restore_link(*failed)
+    assert restored >= 5

@@ -1,0 +1,69 @@
+"""Benchmark the per-link FEC update planner (Section 4.1, Figure 7).
+
+"This process could be computed online but will be fastest if
+pre-computed and indexed by the specific link failure."  The two
+benchmarks quantify exactly that gap: cold per-link planning vs. the
+precomputed index lookup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import FailurePlanner
+
+
+@pytest.fixture(scope="module")
+def planner_inputs(isp200, isp200_base, isp200_pairs):
+    demands = isp200_pairs[:30]
+    links = sorted(
+        {
+            key
+            for s, t in demands
+            for key in isp200_base.path_for(s, t).edge_keys()
+        },
+        key=repr,
+    )
+    return demands, links
+
+
+def bench_online_planning(benchmark, isp200, isp200_base, planner_inputs):
+    """Cold computation of every link's update set (the online path)."""
+    demands, links = planner_inputs
+
+    def run():
+        planner = FailurePlanner(isp200, isp200_base, demands)
+        return sum(len(planner.updates_for_link(*link)) for link in links)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def bench_indexed_lookup(benchmark, isp200, isp200_base, planner_inputs):
+    """Lookup against a fully precomputed index (the paper's fast path)."""
+    demands, links = planner_inputs
+    planner = FailurePlanner(isp200, isp200_base, demands)
+    for link in links:
+        planner.updates_for_link(*link)  # warm the index
+
+    def run():
+        return sum(len(planner.updates_for_link(*link)) for link in links)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_precompute_equals_lazy(isp200, isp200_base, planner_inputs):
+    demands, links = planner_inputs
+    lazy = FailurePlanner(isp200, isp200_base, demands)
+    eager = FailurePlanner(isp200, isp200_base, demands, precompute=True)
+    for link in links[:10]:
+        lazy_updates = {
+            (u.source, u.destination): u.decomposition.path
+            for u in lazy.updates_for_link(*link)
+        }
+        eager_updates = {
+            (u.source, u.destination): u.decomposition.path
+            for u in eager.updates_for_link(*link)
+        }
+        assert lazy_updates == eager_updates

@@ -1,0 +1,44 @@
+"""Benchmark + regeneration of Table 1 (network statistics).
+
+Times the topology generators at the paper's ISP scale and at reduced
+power-law scale, and asserts the Table 1 calibration: node counts,
+link counts within a few percent, and average degrees in the published
+range.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import PAPER_TABLE1, collect, render
+from repro.topology.isp import generate_isp_topology
+from repro.topology.powerlaw import generate_as_graph, generate_internet_graph
+from repro.topology.stats import summarize
+
+
+def bench_generate_isp(benchmark):
+    graph = benchmark(generate_isp_topology, 200, 1)
+    stats = summarize(graph, "ISP")
+    paper_nodes, paper_links, paper_degree = PAPER_TABLE1["ISP"]
+    assert stats.nodes == paper_nodes
+    assert abs(stats.links - paper_links) / paper_links < 0.10
+    assert abs(stats.average_degree - paper_degree) < 0.6
+
+
+def bench_generate_as_graph(benchmark):
+    graph = benchmark(generate_as_graph, 2000, 1)
+    stats = summarize(graph, "AS")
+    _, _, paper_degree = PAPER_TABLE1["AS Graph"]
+    assert abs(stats.average_degree - paper_degree) < 0.3
+    assert stats.powerlaw_exponent is not None
+    assert stats.powerlaw_exponent < -1.0  # Faloutsos power law
+
+
+def bench_generate_internet_graph(benchmark):
+    graph = benchmark(generate_internet_graph, 4000, 1)
+    stats = summarize(graph, "Internet")
+    _, _, paper_degree = PAPER_TABLE1["Internet"]
+    assert abs(stats.average_degree - paper_degree) < 0.3
+
+
+def bench_table1_report(benchmark, tiny_suite):
+    report = benchmark(lambda: render(collect(tiny_suite)))
+    assert "ISP" in report and "AS Graph" in report

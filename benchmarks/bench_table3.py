@@ -1,0 +1,36 @@
+"""Benchmark + regeneration of Table 3 (edge-bypass hop counts).
+
+Times the full per-link bypass enumeration per network and asserts the
+paper's headline: two-hop bypasses dominate the ISP (~89%), and in
+every topology more than ~90% of links have a bypass of 2 or 3 hops.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table3 import bypass_distribution
+
+
+def bench_table3_isp_weighted(benchmark, isp200):
+    percents, bridge_pct = benchmark(bypass_distribution, isp200, True)
+    assert bridge_pct == 0.0, "the generated ISP must be bridge-free"
+    assert percents.get(2, 0) > 75.0, "2-hop bypasses must dominate (paper: 89%)"
+    assert percents.get(2, 0) + percents.get(3, 0) > 90.0
+
+
+def bench_table3_isp_unweighted(benchmark, tiny_suite):
+    isp_unweighted = tiny_suite[1]
+    percents, _ = benchmark(bypass_distribution, isp_unweighted.graph, False)
+    assert percents.get(2, 0) > 60.0
+
+
+def bench_table3_as_graph(benchmark, as500):
+    percents, _ = benchmark(bypass_distribution, as500, False)
+    # Paper: AS graph has 61% 2-hop, 31% 3-hop.
+    assert percents.get(2, 0) > 40.0
+    assert percents.get(2, 0) + percents.get(3, 0) > 80.0
+
+
+def bench_table3_internet(benchmark, tiny_suite):
+    internet = tiny_suite[2]
+    percents, _ = benchmark(bypass_distribution, internet.graph, False)
+    assert percents.get(2, 0) + percents.get(3, 0) > 75.0

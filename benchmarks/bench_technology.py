@@ -1,0 +1,62 @@
+"""The §1 technology trade-off, measured on real ISP restorations.
+
+For every sampled single-link failure, price restoring by
+concatenation vs. by circuit re-establishment under the MPLS, WDM and
+ATM cost profiles.  The paper's qualitative ordering must hold: the
+advantage is enormous in MPLS, still large in WDM (setup/teardown of
+lightpaths dwarfs the O-E-O junction cost), and modest in ATM ("the
+detailed trade-offs for ATM are less clear").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.restoration import plan_restoration
+from repro.core.technology import ATM, MPLS, PROFILES, WDM, concatenation_advantage
+from repro.exceptions import NoRestorationPath
+from repro.failures.models import FailureScenario
+
+
+@pytest.fixture(scope="module")
+def restorations(isp200, isp200_base, isp200_pairs):
+    plans = []
+    for s, t in isp200_pairs[:25]:
+        primary = isp200_base.path_for(s, t)
+        for failed in primary.edge_keys():
+            view = FailureScenario.link_set([failed]).apply(isp200)
+            try:
+                plan = plan_restoration(view, isp200_base, s, t)
+            except NoRestorationPath:
+                continue
+            if plan.num_pieces >= 2:
+                plans.append((primary, plan))
+    assert len(plans) > 30
+    return plans
+
+
+def bench_technology_comparison(benchmark, restorations):
+    def run():
+        return {
+            profile.name: [
+                concatenation_advantage(profile, plan, primary)
+                for primary, plan in restorations
+            ]
+            for profile in PROFILES
+        }
+
+    advantages = benchmark(run)
+    geometric_means = {}
+    for name, values in advantages.items():
+        finite = [v for v in values if v != float("inf")]
+        assert finite, name
+        product = 1.0
+        for v in finite:
+            product *= v ** (1.0 / len(finite))
+        geometric_means[name] = product
+
+    # Paper ordering: MPLS >> WDM >> ATM, all above break-even.
+    assert geometric_means["MPLS"] > geometric_means["WDM"] > geometric_means["ATM"]
+    assert geometric_means["ATM"] > 1.0
+    assert geometric_means["MPLS"] > 50
+    assert geometric_means["WDM"] > 10

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks regenerate the paper's tables and figures at a reduced but
+shape-preserving scale (see ``repro.experiments.networks``), so the
+whole harness completes in minutes on a laptop.  Run the full paper
+scale with ``python -m repro.experiments.runner --scale paper``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_paths import UniqueShortestPathsBase
+from repro.experiments.networks import suite
+from repro.failures.sampler import sample_pairs
+from repro.topology.isp import generate_isp_topology
+from repro.topology.powerlaw import generate_as_graph
+
+
+@pytest.fixture(scope="session")
+def tiny_suite():
+    """The four evaluation networks at CI scale."""
+    return suite(scale="tiny", seed=1)
+
+
+@pytest.fixture(scope="session")
+def isp200():
+    """The ISP at full published scale (200 routers)."""
+    return generate_isp_topology(n=200, seed=1)
+
+
+@pytest.fixture(scope="session")
+def isp200_base(isp200):
+    return UniqueShortestPathsBase(isp200)
+
+
+@pytest.fixture(scope="session")
+def isp200_pairs(isp200):
+    return sample_pairs(isp200, 40, seed=1)
+
+
+@pytest.fixture(scope="session")
+def as500():
+    """A 500-node AS-graph stand-in for micro-benchmarks."""
+    return generate_as_graph(n=500, seed=1)

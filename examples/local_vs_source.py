@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Scenario: how fast is the patch, and what does the speed cost?
+
+Compares the three restoration strategies of Sections 4-6 on a live
+MPLS domain, for one failure:
+
+* **edge-bypass local RBPC** — engages at detection time (no flooding
+  wait), route may be stretched;
+* **end-route local RBPC** — same speed, usually less stretch;
+* **source-router RBPC** — waits for the link-state flood to reach the
+  source, restores along a true shortest path.
+
+The timeline (milliseconds) comes from the flooding model; the routes
+are verified by actually forwarding packets through the ILM tables.
+
+Run:  python examples/local_vs_source.py
+"""
+
+from repro.core import (
+    LocalRbpc,
+    LocalStrategy,
+    SourceRouterRbpc,
+    UniqueShortestPathsBase,
+    hybrid_timeline,
+    provision_base_set,
+)
+from repro.mpls import MplsNetwork
+from repro.routing import FloodingModel
+from repro.topology import generate_isp_topology
+
+
+def walk_cost(graph, walk):
+    return sum(graph.weight(u, v) for u, v in zip(walk, walk[1:]))
+
+
+def main() -> None:
+    graph = generate_isp_topology(n=120, seed=3)
+    net = MplsNetwork(graph)
+    base = UniqueShortestPathsBase(graph)
+
+    # Pick a long demand so the failure happens far from the source.
+    nodes = sorted(graph.nodes, key=repr)
+    source, destination = None, None
+    best_hops = 0
+    for s in nodes[:30]:
+        for t in nodes[-30:]:
+            if s == t:
+                continue
+            p = base.path_for(s, t)
+            if p.hops > best_hops:
+                best_hops, source, destination = p.hops, s, t
+    primary = base.path_for(source, destination)
+    print(f"demand {source} -> {destination}, primary has {primary.hops} hops")
+
+    registry = provision_base_set(net, base, pairs=[(source, destination)])
+    lsp_id = registry[primary]
+    net.set_fec(source, destination, [lsp_id])
+
+    failed = list(primary.edges())[primary.hops - 1]  # far from the source
+    model = FloodingModel(detection_delay=0.010, per_hop_delay=0.005, spf_delay=0.050)
+    timeline = hybrid_timeline(graph, primary, failed, model=model)
+    print(
+        f"failing {failed}: local patch live at "
+        f"{timeline.local_time * 1000:.0f} ms, source re-route at "
+        f"{timeline.source_time * 1000:.0f} ms "
+        f"(interim window {timeline.interim_window * 1000:.0f} ms)\n"
+    )
+
+    net.fail_link(*failed)
+    local = LocalRbpc(net, base, registry)
+    source_scheme = SourceRouterRbpc(net, base, registry)
+
+    for strategy in (LocalStrategy.EDGE_BYPASS, LocalStrategy.END_ROUTE):
+        patch = local.patch(lsp_id, failed, strategy=strategy)
+        result = net.inject(source, destination)
+        assert result.delivered
+        print(
+            f"{strategy.value:<12} route ({len(result.walk) - 1} hops, "
+            f"cost {walk_cost(graph, result.walk):.0f}): "
+            f"{' -> '.join(str(n) for n in result.walk[:6])} ..."
+        )
+        local.revert(lsp_id)
+
+    action = source_scheme.restore(source, destination)
+    result = net.inject(source, destination)
+    assert result.delivered
+    print(
+        f"{'source RBPC':<12} route ({len(result.walk) - 1} hops, "
+        f"cost {walk_cost(graph, result.walk):.0f}): "
+        f"{action.decomposition.num_pieces} concatenated base LSPs"
+    )
+    print(
+        f"\ninterim cost stretch of the local patch: "
+        f"{timeline.interim_stretch(graph):.3f}x the eventual shortest path"
+    )
+
+
+if __name__ == "__main__":
+    main()

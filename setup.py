@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has setuptools but no ``wheel`` package, so
+PEP 517 editable installs fail with "invalid command 'bdist_wheel'".
+This shim enables the legacy ``pip install -e . --no-use-pep517`` path.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro — Restoration by Path Concatenation (RBPC).
+
+A from-scratch reproduction of *"Restoration by Path Concatenation:
+Fast Recovery of MPLS Paths"* (Afek, Bremler-Barr, Kaplan, Cohen,
+Merritt — PODC 2001): the shortest-path restoration theorems, the
+source-router and local RBPC schemes over a full MPLS simulator, and
+the paper's complete empirical evaluation.
+
+Quick tour (see the package docstrings for detail):
+
+>>> from repro.graph import Graph
+>>> from repro.core import AllShortestPathsBase, plan_restoration
+>>> g = Graph.from_edges([(1, 2), (2, 3), (3, 4), (1, 4), (2, 4)])
+>>> base = AllShortestPathsBase(g)
+>>> plan = plan_restoration(g.without(edges=[(1, 4)]), base, 1, 4)
+>>> plan.num_pieces
+2
+
+Subpackages
+-----------
+``repro.graph``
+    Graph substrate: structures, Dijkstra/BFS, APSP, connectivity.
+``repro.topology``
+    Generators for the paper's networks and its adversarial figures.
+``repro.mpls``
+    MPLS domain simulator: labels, ILM/FEC tables, forwarding engine.
+``repro.routing``
+    Link-state (OSPF-like) substrate with failure-flooding timing.
+``repro.failures``
+    Failure scenarios and the Section 5 sampling methodology.
+``repro.core``
+    The contribution: base sets, decompositions, restoration schemes,
+    executable theorems.
+``repro.experiments``
+    Regeneration of every table and figure in the paper.
+"""
+
+from . import exceptions
+from .exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "exceptions", "__version__"]

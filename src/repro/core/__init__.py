@@ -1,0 +1,124 @@
+"""The paper's contribution: base sets, decomposition, restoration schemes.
+
+* :mod:`repro.core.base_paths` — base-set representations (all-pairs
+  shortest paths, Theorem 3 unique sets, Corollary 4 expansion).
+* :mod:`repro.core.decomposition` — greedy / optimal / Dijkstra-over-
+  base-paths decomposition of restoration paths.
+* :mod:`repro.core.restoration` — source-router RBPC.
+* :mod:`repro.core.local_restoration` — end-route and edge-bypass
+  local RBPC.
+* :mod:`repro.core.hybrid` — local-then-source hybrid scheme.
+* :mod:`repro.core.planner` — per-link FEC update precomputation.
+* :mod:`repro.core.theory` — executable Theorems 1-3 / Corollary 4
+  machinery.
+"""
+
+from .base_paths import (
+    AllShortestPathsBase,
+    BaseSet,
+    ExplicitBaseSet,
+    UniqueShortestPathsBase,
+    expanded_base_set,
+    padded_graph,
+    provision_base_set,
+    unique_shortest_path_base,
+)
+from .decomposition import (
+    Decomposition,
+    concatenation_shortest_path,
+    greedy_decompose,
+    min_base_paths_decompose,
+    min_pieces_decompose,
+)
+from .hybrid import HybridTimeline, hybrid_timeline
+from .local_restoration import (
+    LocalPatch,
+    LocalRbpc,
+    LocalStrategy,
+    bypass_path,
+    edge_bypass_route,
+    end_route_route,
+    upstream_router,
+)
+from .planner import FailurePlanner, FecUpdate
+from .restoration import (
+    RestorationAction,
+    SourceRouterRbpc,
+    plan_restoration,
+)
+from .baselines import (
+    BaselineOutcome,
+    DisjointBackupScheme,
+    KShortestPathsScheme,
+    MaxFlowScheme,
+)
+from .technology import (
+    ATM,
+    MPLS,
+    PROFILES,
+    WDM,
+    TechnologyProfile,
+    concatenation_advantage,
+    concatenation_restoration_cost,
+    reestablishment_restoration_cost,
+)
+from .theory import (
+    eulerian_path,
+    gf2_dependent_subset,
+    proof_bypasses,
+    restoration_decomposition,
+    theorem1_bound,
+    theorem2_bound,
+    verify_theorem1,
+    verify_theorem2,
+)
+
+__all__ = [
+    "ATM",
+    "AllShortestPathsBase",
+    "BaseSet",
+    "BaselineOutcome",
+    "Decomposition",
+    "DisjointBackupScheme",
+    "ExplicitBaseSet",
+    "FailurePlanner",
+    "FecUpdate",
+    "HybridTimeline",
+    "KShortestPathsScheme",
+    "LocalPatch",
+    "LocalRbpc",
+    "LocalStrategy",
+    "MPLS",
+    "MaxFlowScheme",
+    "PROFILES",
+    "RestorationAction",
+    "SourceRouterRbpc",
+    "TechnologyProfile",
+    "UniqueShortestPathsBase",
+    "WDM",
+    "bypass_path",
+    "concatenation_advantage",
+    "concatenation_restoration_cost",
+    "concatenation_shortest_path",
+    "edge_bypass_route",
+    "end_route_route",
+    "eulerian_path",
+    "expanded_base_set",
+    "gf2_dependent_subset",
+    "greedy_decompose",
+    "hybrid_timeline",
+    "min_base_paths_decompose",
+    "min_pieces_decompose",
+    "padded_graph",
+    "plan_restoration",
+    "proof_bypasses",
+    "provision_base_set",
+    "reestablishment_restoration_cost",
+    "restoration_decomposition",
+    "theorem1_bound",
+    "theorem2_bound",
+    "unique_shortest_path_base",
+    "upstream_router",
+    "verify_theorem1",
+    "verify_theorem2",
+]

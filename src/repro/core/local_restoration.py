@@ -1,0 +1,279 @@
+"""Local RBPC (Sections 4.2, 6): the router next to the failure patches it.
+
+Two strategies, both acting only on R1 — the router immediately
+upstream of the failed link on the disrupted LSP:
+
+* **end-route** — R1 re-routes straight to the LSP's destination along
+  a concatenation of surviving base paths (Figure 8);
+* **edge-bypass** — R1 routes around the failed link to its far
+  endpoint and lets the packet *resume the original LSP* there
+  (Figure 9): the replacement ILM entry pushes the original LSP's
+  label at the far endpoint underneath the bypass labels.
+
+Pure route computations (used by the Table 3 / Figure 10 experiments
+on large graphs) are module-level functions; :class:`LocalRbpc` applies
+the strategies to a live MPLS network by rewriting R1's ILM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import NoRestorationPath, NoPath
+from ..graph.graph import Edge, Graph, Node, edge_key
+from ..graph.paths import Path
+from ..graph.shortest_paths import shortest_path
+from ..mpls.ilm import IlmEntry
+from ..mpls.network import MplsNetwork
+from .base_paths import BaseSet
+from .decomposition import Decomposition, min_pieces_decompose
+from .restoration import plan_restoration
+
+
+class LocalStrategy(enum.Enum):
+    """Which local patch R1 installs: re-route to the LSP's end, or
+    around the dead link and back onto the original LSP."""
+
+    END_ROUTE = "end-route"
+    EDGE_BYPASS = "edge-bypass"
+
+
+def upstream_router(path: Path, failed: Edge) -> Node:
+    """R1: the router from which *path* crosses the failed link.
+
+    Raises ``ValueError`` if the path does not use the link.
+    """
+    for u, v in path.edges():
+        if edge_key(u, v) == edge_key(*failed):
+            return u
+    raise ValueError(f"{path!r} does not traverse {failed!r}")
+
+
+def bypass_path(
+    graph: Graph,
+    u: Node,
+    v: Node,
+    weighted: bool = True,
+    extra_failures=None,
+) -> Path:
+    """Min-cost path from *u* to *v* avoiding the (failed) link *(u, v)*.
+
+    The quantity whose hop count Table 3 tabulates.  *extra_failures*
+    stacks additional failed links/nodes (multi-failure runs).  Raises
+    :class:`NoRestorationPath` when the link is a bridge.
+    """
+    failed_edges = [(u, v)]
+    failed_nodes = ()
+    if extra_failures is not None:
+        failed_edges.extend(extra_failures.links)
+        failed_nodes = tuple(extra_failures.routers)
+    view = graph.without(edges=failed_edges, nodes=failed_nodes)
+    try:
+        return shortest_path(view, u, v, weighted=weighted)
+    except NoPath as exc:
+        raise NoRestorationPath(f"link ({u!r}, {v!r}) is a bridge") from exc
+
+
+def end_route_route(
+    graph: Graph,
+    primary: Path,
+    failed: Edge,
+    weighted: bool = True,
+) -> Path:
+    """Full source→destination route under end-route local RBPC.
+
+    The packet follows the original path to R1, then R1's new shortest
+    path to the destination over the surviving graph.  This is the
+    route whose stretch (vs. the true min-cost restoration) Figure 10
+    histograms.
+    """
+    r1 = upstream_router(primary, failed)
+    prefix = primary.subpath_between(primary.source, r1)
+    view = graph.without(edges=[failed])
+    try:
+        patch = shortest_path(view, r1, primary.target, weighted=weighted)
+    except NoPath as exc:
+        raise NoRestorationPath(f"no surviving path {r1!r} -> {primary.target!r}") from exc
+    return prefix.concat(patch)
+
+
+def edge_bypass_route(
+    graph: Graph,
+    primary: Path,
+    failed: Edge,
+    weighted: bool = True,
+) -> Path:
+    """Full source→destination route under edge-bypass local RBPC.
+
+    Original path to R1, the min-cost bypass around the dead link, then
+    the original path onward from the link's far endpoint.
+    """
+    r1 = upstream_router(primary, failed)
+    far = failed[1] if failed[0] == r1 else failed[0]
+    prefix = primary.subpath_between(primary.source, r1)
+    suffix = primary.subpath_between(far, primary.target)
+    bypass = bypass_path(graph, r1, far, weighted=weighted)
+    return prefix.concat(bypass).concat(suffix)
+
+
+@dataclass
+class LocalPatch:
+    """Record of one applied local restoration (for revert)."""
+
+    lsp_id: int
+    router: Node
+    label: int
+    original_entry: IlmEntry
+    strategy: LocalStrategy
+    decomposition: Decomposition
+
+
+class LocalRbpc:
+    """Applies local RBPC to a live MPLS network by rewriting R1's ILM."""
+
+    def __init__(
+        self,
+        network: MplsNetwork,
+        base_set: BaseSet,
+        lsp_registry: Optional[dict[Path, int]] = None,
+        weighted: bool = True,
+    ) -> None:
+        self.network = network
+        self.base_set = base_set
+        self.lsp_registry = lsp_registry if lsp_registry is not None else {}
+        self.weighted = weighted
+        self._patches: dict[int, LocalPatch] = {}
+
+    def _chain_labels(self, decomposition: Decomposition) -> list[int]:
+        """Head labels for the pieces, bottom-of-stack first.
+
+        The *last* piece's label must sit deepest so the stack unwinds
+        piece by piece; missing LSPs are provisioned on demand.
+        """
+        labels: list[int] = []
+        for piece in reversed(decomposition.pieces):
+            lsp_id = self.lsp_registry.get(piece)
+            if lsp_id is None:
+                lsp_id = self.network.provision_lsp(piece).lsp_id
+                self.lsp_registry[piece] = lsp_id
+            labels.append(self.network.get_lsp(lsp_id).head_label)
+        return labels
+
+    def patch(
+        self,
+        lsp_id: int,
+        failed: Edge,
+        strategy: LocalStrategy = LocalStrategy.EDGE_BYPASS,
+    ) -> LocalPatch:
+        """Patch one disrupted LSP at the router adjacent to *failed*.
+
+        Replaces R1's ILM entry for the LSP so packets already in
+        flight are re-routed; the rest of the network is untouched.
+        """
+        lsp = self.network.get_lsp(lsp_id)
+        r1 = upstream_router(lsp.path, failed)
+        far = failed[1] if failed[0] == r1 else failed[0]
+        view = self.network.operational_view
+
+        if strategy is LocalStrategy.END_ROUTE:
+            decomposition = plan_restoration(
+                view, self.base_set, r1, lsp.tail, weighted=self.weighted
+            )
+            push = tuple(self._chain_labels(decomposition))
+        else:
+            try:
+                around = shortest_path(view, r1, far, weighted=self.weighted)
+            except NoPath as exc:
+                raise NoRestorationPath(
+                    f"no surviving bypass around {failed!r}"
+                ) from exc
+            decomposition = min_pieces_decompose(
+                around, self.base_set, allow_edges=True
+            )
+            resume_label = lsp.labels.get(far)
+            bypass_labels = self._chain_labels(decomposition)
+            if resume_label is None:
+                # PHP tail: the original LSP has no label at `far`; the
+                # packet simply arrives there unlabeled, which is the
+                # LSP's tail behaviour anyway.
+                push = tuple(bypass_labels)
+            else:
+                push = (resume_label, *bypass_labels)
+
+        incoming = lsp.labels[r1]
+        router = self.network.routers[r1]
+        original = router.ilm.lookup(incoming)
+        router.ilm.install(incoming, IlmEntry(push=push, next_hop=None, lsp_id=lsp_id))
+        self.network.ledger.record_ilm_update(detail=f"local patch lsp {lsp_id} at {r1!r}")
+        patch = LocalPatch(
+            lsp_id=lsp_id,
+            router=r1,
+            label=incoming,
+            original_entry=original,
+            strategy=strategy,
+            decomposition=decomposition,
+        )
+        self._patches[lsp_id] = patch
+        return patch
+
+    def patch_router_failure(self, lsp_id: int, failed_router: Node) -> LocalPatch:
+        """Patch an LSP whose *interior router* failed (Section 3's node case).
+
+        The router upstream of the failed one on the LSP acts as R1 and
+        end-routes to the LSP's destination over the surviving graph —
+        a node failure is the failure of all its incident edges, so
+        edge-bypass around a single link cannot apply.  Raises
+        ``ValueError`` if the router is not interior to the LSP and
+        :class:`NoRestorationPath` when the failure disconnects R1 from
+        the destination.
+        """
+        lsp = self.network.get_lsp(lsp_id)
+        interior = lsp.path.interior_nodes()
+        if failed_router not in interior:
+            raise ValueError(
+                f"{failed_router!r} is not an interior router of LSP {lsp_id}"
+            )
+        index = lsp.path.index(failed_router)
+        r1 = lsp.path.nodes[index - 1]
+        view = self.network.operational_view
+        decomposition = plan_restoration(
+            view, self.base_set, r1, lsp.tail, weighted=self.weighted
+        )
+        push = tuple(self._chain_labels(decomposition))
+        incoming = lsp.labels[r1]
+        router = self.network.routers[r1]
+        original = router.ilm.lookup(incoming)
+        router.ilm.install(incoming, IlmEntry(push=push, next_hop=None, lsp_id=lsp_id))
+        self.network.ledger.record_ilm_update(
+            detail=f"local router-failure patch lsp {lsp_id} at {r1!r}"
+        )
+        patch = LocalPatch(
+            lsp_id=lsp_id,
+            router=r1,
+            label=incoming,
+            original_entry=original,
+            strategy=LocalStrategy.END_ROUTE,
+            decomposition=decomposition,
+        )
+        self._patches[lsp_id] = patch
+        return patch
+
+    def revert(self, lsp_id: int) -> None:
+        """Undo the patch for an LSP (its link recovered)."""
+        patch = self._patches.pop(lsp_id, None)
+        if patch is None:
+            return
+        router = self.network.routers[patch.router]
+        router.ilm.install(patch.label, patch.original_entry)
+        self.network.ledger.record_ilm_update(detail=f"revert lsp {lsp_id}")
+
+    def revert_all(self) -> None:
+        """Undo every active patch (mass recovery)."""
+        for lsp_id in list(self._patches):
+            self.revert(lsp_id)
+
+    def active_patches(self) -> list[LocalPatch]:
+        """Currently installed local patches."""
+        return list(self._patches.values())

@@ -1,0 +1,125 @@
+"""Per-link FEC update precomputation (Section 4.1, Figure 7).
+
+"For each link in the network the router has a set of changes to its
+FEC table ... a new entry for each destination that used the failed
+link in the original routing.  When a link fails, the original FEC
+entries are updated by substituting these new entries."
+
+:class:`FailurePlanner` does that precomputation for a demand set:
+given a link, it returns — instantly, from an index — the list of
+(source, destination, decomposition) updates to apply.  The difference
+between looking this up and computing it online is the paper's "fastest
+if pre-computed and indexed by the specific link failure".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import NoRestorationPath
+from ..graph.graph import Edge, Graph, Node, edge_key
+from ..graph.paths import Path
+from .base_paths import BaseSet
+from .decomposition import Decomposition
+from .restoration import plan_restoration
+
+
+@dataclass(frozen=True)
+class FecUpdate:
+    """One precomputed FEC rewrite: which demand, which replacement pieces."""
+
+    source: Node
+    destination: Node
+    decomposition: Decomposition
+
+
+class FailurePlanner:
+    """Precomputed link-failure → FEC-update-set index for a demand set.
+
+    Parameters
+    ----------
+    graph:
+        The (pre-failure) topology.
+    base_set:
+        The provisioned base paths; primaries come from
+        ``base_set.path_for`` and replacement pieces must be members.
+    demands:
+        The (source, destination) pairs whose traffic matters.
+    weighted:
+        Cost model for the replacement shortest paths.
+    precompute:
+        With ``True`` every link's update set is computed eagerly at
+        construction (maximum-readiness mode); otherwise sets are
+        computed on first use and cached.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        base_set: BaseSet,
+        demands: list[tuple[Node, Node]],
+        weighted: bool = True,
+        precompute: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.base_set = base_set
+        self.weighted = weighted
+        self.demands = list(demands)
+        self._primaries: dict[tuple[Node, Node], Path] = {
+            (s, t): base_set.path_for(s, t) for s, t in self.demands
+        }
+        # link -> demands whose primary uses it
+        self._affected: dict[Edge, list[tuple[Node, Node]]] = {}
+        for pair, primary in self._primaries.items():
+            for key in primary.edge_keys():
+                self._affected.setdefault(key, []).append(pair)
+        self._cache: dict[Edge, list[FecUpdate]] = {}
+        if precompute:
+            for link in list(self._affected):
+                self.updates_for_link(*link)
+
+    def primary_path(self, source: Node, target: Node) -> Path:
+        """The demand's provisioned primary path."""
+        return self._primaries[(source, target)]
+
+    def affected_demands(self, u: Node, v: Node) -> list[tuple[Node, Node]]:
+        """Demands whose primary path crosses link *(u, v)*."""
+        return list(self._affected.get(edge_key(u, v), []))
+
+    def updates_for_link(self, u: Node, v: Node) -> list[FecUpdate]:
+        """The FEC update set for failure of link *(u, v)*.
+
+        Demands that the failure disconnects are silently omitted — no
+        FEC entry can help them (the fraction is reported by
+        :meth:`unrestorable_demands`).
+        """
+        key = edge_key(u, v)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        view = self.graph.without(edges=[key])
+        updates: list[FecUpdate] = []
+        for source, destination in self._affected.get(key, []):
+            try:
+                decomposition = plan_restoration(
+                    view, self.base_set, source, destination, weighted=self.weighted
+                )
+            except NoRestorationPath:
+                continue
+            updates.append(FecUpdate(source, destination, decomposition))
+        self._cache[key] = updates
+        return updates
+
+    def unrestorable_demands(self, u: Node, v: Node) -> list[tuple[Node, Node]]:
+        """Affected demands with no surviving path (the link was their bridge)."""
+        restored = {
+            (update.source, update.destination)
+            for update in self.updates_for_link(u, v)
+        }
+        return [
+            pair for pair in self.affected_demands(u, v) if pair not in restored
+        ]
+
+    def index_size(self) -> int:
+        """Total precomputed updates across all cached links."""
+        return sum(len(updates) for updates in self._cache.values())

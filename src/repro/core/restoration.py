@@ -1,0 +1,183 @@
+"""Source-router RBPC (Section 4): restoration as a FEC rewrite.
+
+When the source learns that a link on its path failed, it computes the
+new shortest path, covers it with surviving base LSPs, and rewrites one
+FEC entry to push the corresponding label stack.  Nothing else in the
+network changes: no ILM writes, no signaling, no loop risk (the
+concatenated pieces are paths of the surviving graph).
+
+:class:`SourceRouterRbpc` drives a live
+:class:`~repro.mpls.network.MplsNetwork`.  The pure-computation route
+planning (no MPLS objects, used by the large-graph experiments) lives
+in :func:`plan_restoration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import NoRestorationPath, NoPath
+from ..graph.graph import Node
+from ..graph.paths import Path
+from ..graph.shortest_paths import shortest_path
+from ..mpls.network import MplsNetwork
+from .base_paths import BaseSet, ExplicitBaseSet
+from .decomposition import (
+    Decomposition,
+    concatenation_shortest_path,
+    min_pieces_decompose,
+)
+
+
+def plan_restoration(
+    surviving_view,
+    base_set: BaseSet,
+    source: Node,
+    destination: Node,
+    weighted: bool = True,
+    allow_edges: bool = True,
+    strategy: str = "shortest-path",
+) -> Decomposition:
+    """Compute the restoration decomposition for one demand, no side effects.
+
+    With the default ``strategy="shortest-path"``, the new shortest
+    path is computed on *surviving_view* and covered with the fewest
+    pieces (every piece automatically survives — its edges are edges of
+    the surviving path).  With ``strategy="aux-graph"`` — §4.1's
+    fallback for sparse explicit base sets whose chosen shortest path
+    may not decompose at all — Dijkstra runs on the auxiliary graph
+    whose arcs are the *surviving base paths*, minimizing true cost
+    with piece count as tie-break.
+
+    Raises :class:`NoRestorationPath` when the endpoints are
+    disconnected (or, under ``aux-graph``, not connected by any
+    concatenation).
+    """
+    if strategy == "aux-graph":
+        if not isinstance(base_set, ExplicitBaseSet):
+            raise ValueError(
+                "the aux-graph strategy needs an enumerable ExplicitBaseSet"
+            )
+        try:
+            return concatenation_shortest_path(
+                surviving_view, base_set, source, destination, allow_edges=allow_edges
+            )
+        except NoPath as exc:
+            raise NoRestorationPath(
+                f"no concatenation of surviving base paths joins "
+                f"{source!r} and {destination!r}"
+            ) from exc
+    if strategy != "shortest-path":
+        raise ValueError(f"unknown strategy {strategy!r}")
+    try:
+        backup = shortest_path(surviving_view, source, destination, weighted=weighted)
+    except NoPath as exc:
+        raise NoRestorationPath(
+            f"{source!r} and {destination!r} are disconnected by the failures"
+        ) from exc
+    return min_pieces_decompose(backup, base_set, allow_edges=allow_edges)
+
+
+@dataclass
+class RestorationAction:
+    """Record of one applied source-router restoration."""
+
+    source: Node
+    destination: Node
+    decomposition: Decomposition
+    lsp_ids: tuple[int, ...]
+    provisioned_on_demand: int  # pieces that had no pre-provisioned LSP
+
+
+class SourceRouterRbpc:
+    """Drives source-router RBPC on a live MPLS network.
+
+    Parameters
+    ----------
+    network:
+        The MPLS domain (failures are read from its operational state).
+    base_set:
+        Which paths count as basic.
+    lsp_registry:
+        ``path -> lsp_id`` for the pre-provisioned base LSPs (as
+        returned by :func:`~repro.core.base_paths.provision_base_set`).
+        Pieces missing from the registry are provisioned on demand and
+        recorded — with a sub-path-closed provisioned set this never
+        happens, which is exactly the paper's point.
+    weighted:
+        Route on weights (OSPF) or hop count.
+    strategy:
+        ``"shortest-path"`` (default) or ``"aux-graph"`` — see
+        :func:`plan_restoration`.
+    """
+
+    def __init__(
+        self,
+        network: MplsNetwork,
+        base_set: BaseSet,
+        lsp_registry: Optional[dict[Path, int]] = None,
+        weighted: bool = True,
+        strategy: str = "shortest-path",
+    ) -> None:
+        self.network = network
+        self.base_set = base_set
+        self.lsp_registry = lsp_registry if lsp_registry is not None else {}
+        self.weighted = weighted
+        self.strategy = strategy
+        self._active: dict[tuple[Node, Node], RestorationAction] = {}
+
+    def _lsp_for_piece(self, piece: Path) -> tuple[int, bool]:
+        """``(lsp_id, was_provisioned_on_demand)`` for one piece."""
+        existing = self.lsp_registry.get(piece)
+        if existing is not None:
+            return existing, False
+        lsp = self.network.provision_lsp(piece)
+        self.lsp_registry[piece] = lsp.lsp_id
+        return lsp.lsp_id, True
+
+    def restore(self, source: Node, destination: Node) -> RestorationAction:
+        """Re-route the (source, destination) demand around current failures.
+
+        Computes the plan, resolves pieces to LSPs, and installs the
+        restoration FEC entry at *source*.  Raises
+        :class:`NoRestorationPath` when disconnected.
+        """
+        decomposition = plan_restoration(
+            self.network.operational_view,
+            self.base_set,
+            source,
+            destination,
+            weighted=self.weighted,
+            strategy=self.strategy,
+        )
+        lsp_ids: list[int] = []
+        on_demand = 0
+        for piece in decomposition.pieces:
+            lsp_id, provisioned = self._lsp_for_piece(piece)
+            lsp_ids.append(lsp_id)
+            on_demand += int(provisioned)
+        self.network.set_fec(source, destination, lsp_ids, restoration=True)
+        action = RestorationAction(
+            source=source,
+            destination=destination,
+            decomposition=decomposition,
+            lsp_ids=tuple(lsp_ids),
+            provisioned_on_demand=on_demand,
+        )
+        self._active[(source, destination)] = action
+        return action
+
+    def recover(self, source: Node, destination: Node) -> None:
+        """Revert the restoration for a demand (its failure healed)."""
+        self.network.revert_fec(source, destination)
+        self._active.pop((source, destination), None)
+
+    def recover_all(self) -> None:
+        """Revert every active restoration (mass recovery)."""
+        for source, destination in list(self._active):
+            self.recover(source, destination)
+
+    def active_restorations(self) -> list[RestorationAction]:
+        """Currently installed source restorations."""
+        return list(self._active.values())

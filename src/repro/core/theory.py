@@ -1,0 +1,225 @@
+"""Executable forms of the paper's theorems (Section 3).
+
+The theorems are not just citations here — each has a runnable
+counterpart used by the tests and the theory benchmarks:
+
+* :func:`theorem1_bound` / :func:`theorem2_bound` — the claimed limits.
+* :func:`verify_theorem1` / :func:`verify_theorem2` — given a graph, a
+  failure scenario and a demand, compute the new shortest path, run the
+  proof's greedy partition, and check the bound.
+* :func:`proof_bypasses` — the ``(w_{i-1}, v_i, b_i)`` sequence built
+  in the proof of Theorem 1; every bypass provably contains a failed
+  edge (asserted by tests, exactly as the proof argues).
+* :func:`gf2_dependent_subset` — the linear-algebra core of the proof:
+  any ``k + 1`` vectors over :math:`GF(2)^k` are dependent; returns a
+  non-empty subset with zero XOR.
+* :func:`eulerian_path` — the greedy Euler-path construction the proof
+  uses to reassemble ``p*`` from even-degree fragments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..exceptions import GraphError
+from ..graph.graph import Graph, Node
+from ..graph.paths import Path
+from ..graph.shortest_paths import is_shortest_path, shortest_path
+from ..failures.models import FailureScenario
+from .base_paths import AllShortestPathsBase
+from .decomposition import Decomposition, greedy_decompose
+
+
+def theorem1_bound(k: int) -> int:
+    """Max original shortest paths needed after *k* failures (unweighted)."""
+    return k + 1
+
+
+def theorem2_bound(k: int) -> tuple[int, int]:
+    """Weighted bound: ``(max base paths, max extra edges)`` after *k* failures."""
+    return k + 1, k
+
+
+def restoration_decomposition(
+    graph: Graph,
+    scenario: FailureScenario,
+    source: Node,
+    target: Node,
+    weighted: bool,
+    base_set: Optional[AllShortestPathsBase] = None,
+) -> tuple[Decomposition, Path]:
+    """New shortest path under *scenario*, greedily partitioned per the proofs.
+
+    Returns ``(decomposition, new_shortest_path)``.  Raises
+    :class:`~repro.exceptions.NoPath` when the scenario disconnects the
+    endpoints.
+    """
+    view = scenario.apply(graph)
+    new_sp = shortest_path(view, source, target, weighted=weighted)
+    if base_set is None:
+        base_set = AllShortestPathsBase(graph, include_all_edges=False)
+    decomposition = greedy_decompose(new_sp, base_set, allow_edges=True)
+    return decomposition, new_sp
+
+
+def verify_theorem1(
+    graph: Graph,
+    scenario: FailureScenario,
+    source: Node,
+    target: Node,
+) -> tuple[bool, Decomposition]:
+    """Check Theorem 1 on a concrete instance (graph must be unweighted).
+
+    Returns ``(bound_holds, decomposition)``.  In an unweighted graph
+    every edge is itself a shortest path, so all pieces count as base
+    paths and the check is simply ``pieces <= k + 1``.
+    """
+    if not graph.is_unweighted():
+        raise GraphError("Theorem 1 applies to unweighted graphs")
+    k = scenario.effective_k_edges(graph)
+    decomposition, _ = restoration_decomposition(
+        graph, scenario, source, target, weighted=False
+    )
+    return decomposition.num_pieces <= theorem1_bound(k), decomposition
+
+
+def verify_theorem2(
+    graph: Graph,
+    scenario: FailureScenario,
+    source: Node,
+    target: Node,
+) -> tuple[bool, Decomposition]:
+    """Check Theorem 2 on a concrete instance (weighted graphs).
+
+    Returns ``(bound_holds, decomposition)`` where the bound is at most
+    ``k + 1`` base paths interleaved with at most ``k`` bare edges.
+    """
+    k = scenario.effective_k_edges(graph)
+    decomposition, _ = restoration_decomposition(
+        graph, scenario, source, target, weighted=True
+    )
+    max_paths, max_edges = theorem2_bound(k)
+    holds = (
+        decomposition.num_base_paths <= max_paths
+        and decomposition.num_extra_edges <= max_edges
+    )
+    return holds, decomposition
+
+
+def proof_bypasses(
+    graph: Graph,
+    new_path: Path,
+    weighted: bool = False,
+) -> list[tuple[Node, Node, Path]]:
+    """The proof of Theorem 1's bypass sequence for *new_path*.
+
+    Walks the path exactly as the proof does: ``w_0 = s``; ``v_i`` is
+    the first vertex after ``w_{i-1}`` such that the sub-path
+    ``w_{i-1} .. v_i`` is *not* a shortest path of *graph*; ``b_i`` is
+    a true shortest path ``w_{i-1} -> v_i``; ``w_i`` precedes ``v_i``.
+    Returns the list of ``(w_{i-1}, v_i, b_i)`` triples (empty when the
+    whole path is already a shortest path).
+    """
+    triples: list[tuple[Node, Node, Path]] = []
+    anchor_index = 0
+    nodes = new_path.nodes
+    while anchor_index < len(nodes) - 1:
+        anchor = nodes[anchor_index]
+        v_index = None
+        for j in range(anchor_index + 1, len(nodes)):
+            sub = new_path.subpath(anchor_index, j)
+            if not is_shortest_path(graph, sub, weighted=weighted):
+                v_index = j
+                break
+        if v_index is None:
+            break  # remaining suffix is a shortest path
+        v = nodes[v_index]
+        bypass = shortest_path(graph, anchor, v, weighted=weighted)
+        triples.append((anchor, v, bypass))
+        anchor_index = v_index - 1  # w_i precedes v_i
+    return triples
+
+
+def gf2_dependent_subset(vectors: Sequence[frozenset]) -> list[int]:
+    """Indices of a non-empty subset of *vectors* whose XOR is empty.
+
+    Each vector is a set of coordinates (the failed edges a bypass
+    contains).  Works whenever the vectors are linearly dependent over
+    GF(2) — guaranteed when ``len(vectors) > |union of coordinates|``,
+    which is the proof's situation (k + 1 bypasses, k failed edges).
+    Raises ``ValueError`` if the given vectors are independent.
+
+    Gaussian elimination with subset tracking: ``basis[c]`` maps a
+    pivot coordinate to ``(vector, index-set)`` pairs already reduced.
+    """
+    basis: dict[object, tuple[frozenset, frozenset]] = {}
+    for i, vector in enumerate(vectors):
+        current = frozenset(vector)
+        combo = frozenset({i})
+        while current:
+            # Deterministic pivot choice for reproducibility.
+            pivot = min(current, key=repr)
+            if pivot not in basis:
+                basis[pivot] = (current, combo)
+                break
+            reducer, reducer_combo = basis[pivot]
+            current = current ^ reducer
+            combo = combo ^ reducer_combo
+        else:
+            if combo:
+                return sorted(combo)
+            # A zero input vector alone forms the subset.
+            return [i]
+    raise ValueError("vectors are linearly independent over GF(2)")
+
+
+def eulerian_path(
+    edges: Sequence[tuple[Node, Node]], source: Node, target: Node
+) -> list[Node]:
+    """Greedy Euler path from *source* to *target* over a multigraph.
+
+    *edges* may contain parallel edges (the proof's graph ``H`` does).
+    Exactly the degrees the proof guarantees are required: every vertex
+    even except *source* and *target* (or all even when
+    ``source == target``).  Returns the vertex sequence; raises
+    ``ValueError`` when no Euler path exists.
+    """
+    adjacency: dict[Node, list[list]] = {}
+    remaining: list[list] = []
+    for u, v in edges:
+        record = [u, v, False]  # third slot marks consumption
+        adjacency.setdefault(u, []).append(record)
+        adjacency.setdefault(v, []).append(record)
+        remaining.append(record)
+    for node in (source, target):
+        if node not in adjacency and edges:
+            raise ValueError(f"{node!r} touches no edge")
+    # Hierholzer's algorithm (the greedy construction, with splicing so
+    # it also succeeds when the greedy walk closes a cycle early).
+    stack = [source]
+    walk: list[Node] = []
+    cursors: dict[Node, int] = {}
+    while stack:
+        u = stack[-1]
+        found = None
+        lst = adjacency.get(u, [])
+        i = cursors.get(u, 0)
+        while i < len(lst):
+            if not lst[i][2]:
+                found = lst[i]
+                break
+            i += 1
+        cursors[u] = i
+        if found is None:
+            walk.append(stack.pop())
+        else:
+            found[2] = True
+            stack.append(found[1] if found[0] == u else found[0])
+    if any(not r[2] for r in remaining):
+        raise ValueError("graph is disconnected: no Euler path uses every edge")
+    walk.reverse()
+    if walk[0] != source or walk[-1] != target:
+        raise ValueError(
+            f"no Euler path from {source!r} to {target!r} (degree parity wrong)"
+        )
+    return walk

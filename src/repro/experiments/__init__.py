@@ -1,0 +1,41 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+* :mod:`repro.experiments.table1` — network statistics.
+* :mod:`repro.experiments.table2` — source-router RBPC under four
+  failure modes (ILM stretch, PC length, length stretch, redundancy).
+* :mod:`repro.experiments.table3` — edge-bypass hop-count distribution.
+* :mod:`repro.experiments.figure10` — local-RBPC stretch histograms.
+* :mod:`repro.experiments.theory_figures` — Figures 2-5 executed.
+* :mod:`repro.experiments.ablation` — design-choice comparison report.
+* :mod:`repro.experiments.runner` — everything, in paper order.
+* :mod:`repro.experiments.metrics` /
+  :mod:`repro.experiments.ilm_accounting` /
+  :mod:`repro.experiments.reporting` /
+  :mod:`repro.experiments.networks` — shared machinery.
+"""
+
+from .metrics import (
+    CaseResult,
+    TableTwoRow,
+    average_pc_length,
+    build_row,
+    ilm_stretch_factors,
+    length_stretch_factor,
+    pc_length_histogram,
+    redundancy_percent,
+)
+from .networks import ExperimentNetwork, scales, suite
+
+__all__ = [
+    "CaseResult",
+    "ExperimentNetwork",
+    "TableTwoRow",
+    "average_pc_length",
+    "build_row",
+    "ilm_stretch_factors",
+    "length_stretch_factor",
+    "pc_length_histogram",
+    "redundancy_percent",
+    "scales",
+    "suite",
+]

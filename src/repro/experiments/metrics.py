@@ -1,0 +1,212 @@
+"""Metric definitions for the paper's evaluation (Section 5).
+
+Table 2 reports, per (network, failure mode):
+
+* **ILM stretch factor** — "the size of the ILM table necessary to
+  provision the basic LSP's used in the experiment, as a percent of
+  the size that would be needed to explicitly pre-provision each
+  backup LSP".  Computed per router: the base-LSP entry count divided
+  by the entry count under naive backup pre-provisioning (primaries
+  plus one dedicated backup LSP per (demand, failure scenario));
+  Table 2 reports the minimum and the average over routers.
+* **average PC length** — mean over restorable cases of the *smallest*
+  number of basic LSPs covering the backup path.
+* **length stretch factor** — average backup-path hop count divided by
+  average primary-path hop count.
+* **redundancy** — percentage of backup paths whose cost equals the
+  original shortest path's (the failure cost nothing because an
+  equal-cost alternative existed).
+
+All of it is computed from a flat list of :class:`CaseResult` records
+produced by the experiment drivers, so the same machinery serves every
+topology and failure mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..failures.models import FailureScenario
+from ..graph.graph import Node
+from ..graph.paths import Path
+from ..graph.shortest_paths import costs_equal
+from ..core.decomposition import Decomposition
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Outcome of one (demand pair, failure scenario) experimental unit."""
+
+    source: Node
+    destination: Node
+    scenario: FailureScenario
+    primary: Path
+    primary_cost: float
+    backup: Optional[Path]  # None when the failure disconnects the pair
+    backup_cost: Optional[float]
+    decomposition: Optional[Decomposition]
+
+    @property
+    def restorable(self) -> bool:
+        """True when a backup path exists for this case."""
+        return self.backup is not None
+
+    @property
+    def pc_length(self) -> int:
+        """The paper's PC length: components in the minimal concatenation."""
+        if self.decomposition is None:
+            raise ValueError("case is not restorable")
+        return self.decomposition.num_pieces
+
+    @property
+    def zero_cost_penalty(self) -> bool:
+        """True when the backup path costs exactly what the primary did."""
+        return (
+            self.backup_cost is not None
+            and costs_equal(self.backup_cost, self.primary_cost)
+        )
+
+
+@dataclass(frozen=True)
+class TableTwoRow:
+    """One row of Table 2."""
+
+    network: str
+    mode: str
+    cases: int
+    restorable_cases: int
+    min_ilm_stretch: float  # percent
+    avg_ilm_stretch: float  # percent
+    avg_pc_length: float
+    length_stretch: float
+    redundancy: float  # percent
+    max_multiplicity: Optional[int] = None
+
+    def formatted(self) -> str:
+        """Fixed-width rendering of this row."""
+        suffix = f" ({self.max_multiplicity})" if self.max_multiplicity else ""
+        return (
+            f"{self.network:<18} {self.min_ilm_stretch:>7.1f}% {self.avg_ilm_stretch:>8.1f}% "
+            f"{self.avg_pc_length:>8.2f} {self.length_stretch:>7.2f} "
+            f"{self.redundancy:>7.1f}%{suffix}"
+        )
+
+
+def average_pc_length(results: Iterable[CaseResult]) -> float:
+    """Mean PC length over restorable cases (NaN if none)."""
+    values = [r.pc_length for r in results if r.restorable]
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def pc_length_histogram(results: Iterable[CaseResult]) -> dict[int, float]:
+    """Percent of restorable cases per PC length.
+
+    Supports the paper's §4 claim that "in practice two basic paths
+    suffice in the vast majority of cases": the mass at 2 (and below)
+    is the quantity to look at.
+    """
+    counts: dict[int, int] = {}
+    total = 0
+    for result in results:
+        if not result.restorable:
+            continue
+        total += 1
+        counts[result.pc_length] = counts.get(result.pc_length, 0) + 1
+    if total == 0:
+        return {}
+    return {pieces: 100.0 * n / total for pieces, n in sorted(counts.items())}
+
+
+def length_stretch_factor(results: list[CaseResult]) -> float:
+    """avg backup hop count / avg primary hop count (restorable cases)."""
+    restorable = [r for r in results if r.restorable]
+    if not restorable:
+        return float("nan")
+    avg_backup = sum(r.backup.hops for r in restorable) / len(restorable)
+    avg_primary = sum(r.primary.hops for r in restorable) / len(restorable)
+    if avg_primary == 0:
+        return float("nan")
+    return avg_backup / avg_primary
+
+
+def redundancy_percent(results: list[CaseResult]) -> float:
+    """Percent of restorable cases whose backup cost equals the primary cost."""
+    restorable = [r for r in results if r.restorable]
+    if not restorable:
+        return float("nan")
+    equal = sum(1 for r in restorable if r.zero_cost_penalty)
+    return 100.0 * equal / len(restorable)
+
+
+def _add_path_entries(counter: dict[Node, int], path: Path) -> None:
+    for node in path.nodes:
+        counter[node] = counter.get(node, 0) + 1
+
+
+def ilm_stretch_factors(results: list[CaseResult]) -> tuple[float, float]:
+    """``(min %, avg %)`` ILM stretch over routers touched by the experiment.
+
+    Numerator (RBPC): one ILM entry per router per *distinct* base LSP
+    used — the primaries plus every decomposition piece, deduplicated
+    (that is the whole point: pieces are shared across failures and
+    demands).  Denominator (naive): the primaries plus one dedicated
+    backup LSP per restorable (demand, scenario) case — no sharing, by
+    construction, since each backup LSP is bound to its trigger.
+    Routers the naive scheme never touches contribute nothing.
+    """
+    base_paths: set[Path] = set()
+    base_counter: dict[Node, int] = {}
+    naive_counter: dict[Node, int] = {}
+    primaries: set[Path] = set()
+
+    for result in results:
+        if result.primary not in primaries:
+            primaries.add(result.primary)
+            _add_path_entries(naive_counter, result.primary)
+        if not result.restorable:
+            continue
+        assert result.decomposition is not None and result.backup is not None
+        _add_path_entries(naive_counter, result.backup)
+        for piece in result.decomposition.pieces:
+            if piece not in base_paths:
+                base_paths.add(piece)
+                _add_path_entries(base_counter, piece)
+    # Primaries are base LSPs too (they are shortest paths).
+    for path in primaries:
+        if path not in base_paths:
+            base_paths.add(path)
+            _add_path_entries(base_counter, path)
+
+    ratios = []
+    for node, naive in naive_counter.items():
+        if naive <= 0:
+            continue
+        ratios.append(100.0 * base_counter.get(node, 0) / naive)
+    if not ratios:
+        return float("nan"), float("nan")
+    return min(ratios), sum(ratios) / len(ratios)
+
+
+def build_row(
+    network: str,
+    mode: str,
+    results: list[CaseResult],
+    max_multiplicity: Optional[int] = None,
+) -> TableTwoRow:
+    """Assemble the Table 2 row from raw case results."""
+    min_sf, avg_sf = ilm_stretch_factors(results)
+    return TableTwoRow(
+        network=network,
+        mode=mode,
+        cases=len(results),
+        restorable_cases=sum(1 for r in results if r.restorable),
+        min_ilm_stretch=min_sf,
+        avg_ilm_stretch=avg_sf,
+        avg_pc_length=average_pc_length(results),
+        length_stretch=length_stretch_factor(results),
+        redundancy=redundancy_percent(results),
+        max_multiplicity=max_multiplicity,
+    )

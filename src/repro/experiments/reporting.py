@@ -1,0 +1,80 @@
+"""Plain-text report formatting: fixed-width tables and ASCII histograms.
+
+The experiment drivers print in the same shape as the paper's tables
+and figures so a side-by-side comparison (recorded in EXPERIMENTS.md)
+is a visual diff, not an archaeology project.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render *rows* under *headers* with per-column alignment."""
+    columns = len(headers)
+    rendered = [[_cell(value) for value in row] for row in rows]
+    for row in rendered:
+        if len(row) != columns:
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in rendered)) if rendered else len(headers[c])
+        for c in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[c]) for c, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[c] for c in range(columns)))
+    for row in rendered:
+        lines.append("  ".join(row[c].rjust(widths[c]) for c in range(columns)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_histogram(
+    buckets: Sequence[tuple[str, float]],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """ASCII histogram: one ``label  percent  bar`` line per bucket."""
+    lines = [title] if title else []
+    top = max((value for _, value in buckets), default=0.0)
+    label_width = max((len(label) for label, _ in buckets), default=0)
+    for label, value in buckets:
+        bar = "#" * (round(width * value / top) if top > 0 else 0)
+        lines.append(f"{label.ljust(label_width)} {value:6.2f}%  {bar}")
+    return "\n".join(lines)
+
+
+def percent_histogram(
+    values: Sequence[float],
+    edges: Sequence[float],
+    overflow_label: str = ">= {last}",
+) -> list[tuple[str, float]]:
+    """Bucket *values* into ``[edges[i], edges[i+1])`` percent shares.
+
+    A final overflow bucket collects values at or above the last edge.
+    """
+    if len(edges) < 2:
+        raise ValueError("need at least two bucket edges")
+    total = len(values)
+    buckets: list[tuple[str, float]] = []
+    for lo, hi in zip(edges, edges[1:]):
+        count = sum(1 for v in values if lo <= v < hi)
+        share = 100.0 * count / total if total else 0.0
+        buckets.append((f"[{lo:.2f},{hi:.2f})", share))
+    last = edges[-1]
+    count = sum(1 for v in values if v >= last)
+    share = 100.0 * count / total if total else 0.0
+    buckets.append((overflow_label.format(last=f"{last:.2f}"), share))
+    return buckets

@@ -1,0 +1,49 @@
+"""Run the complete evaluation: every table and figure, in paper order.
+
+``python -m repro.experiments.runner [--scale small] [--out results.txt]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path as FilePath
+
+from . import figure10, table1, table2, table3, theory_figures
+from .networks import scales, suite
+
+
+def run_all(scale: str = "small", seed: int = 1, ilm: str = "per-pair") -> str:
+    """Run every table and figure in paper order; returns the report."""
+    sections = []
+    for name, runner in (
+        ("Table 1", lambda: table1.render(table1.collect(suite(scale=scale, seed=seed)))),
+        ("Table 2", lambda: table2.render(table2.run(scale=scale, seed=seed, ilm_accounting=ilm))),
+        ("Table 3", lambda: table3.render(table3.run(scale=scale, seed=seed))),
+        ("Figure 10", lambda: figure10.render(figure10.run(scale=scale, seed=seed))),
+        ("Figures 2-5", lambda: theory_figures.render(theory_figures.run())),
+    ):
+        start = time.perf_counter()
+        body = runner()
+        elapsed = time.perf_counter() - start
+        sections.append(f"==== {name} ({elapsed:.1f}s) ====\n{body}")
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> str:
+    """CLI entry point; prints and returns the report."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=scales(), default="small")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", type=str, default=None)
+    parser.add_argument("--ilm", choices=("per-pair", "per-link"), default="per-pair")
+    args = parser.parse_args(argv)
+    report = run_all(scale=args.scale, seed=args.seed, ilm=args.ilm)
+    print(report)
+    if args.out:
+        FilePath(args.out).write_text(report + "\n")
+    return report
+
+
+if __name__ == "__main__":
+    main()

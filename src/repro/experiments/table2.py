@@ -1,0 +1,256 @@
+"""Table 2 — source-router RBPC under 1/2 link and 1/2 router failures.
+
+For every network and failure mode, reproduces the paper's columns:
+min/avg ILM stretch factor, average PC length, length stretch factor,
+and redundancy (with the max shortest-path multiplicity annotation for
+the single-link rows).
+
+Run with ``python -m repro.experiments.table2 [--scale small]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from typing import Optional
+
+from ..core.base_paths import UniqueShortestPathsBase
+from ..core.decomposition import min_pieces_decompose
+from ..exceptions import NoPath
+from ..failures.sampler import FAILURE_MODES, FailureCase, cases_for_pair, sample_pairs
+from ..graph.graph import Graph
+from ..graph.shortest_paths import shortest_path
+from ..graph.spt import ShortestPathDag
+from .ilm_accounting import IlmAccountant, scenarios_from_cases
+from .metrics import CaseResult, TableTwoRow, build_row
+from .networks import ExperimentNetwork, scales, suite
+from .reporting import format_table
+
+#: Published Table 2, for EXPERIMENTS.md comparison:
+#: (network, mode) -> (min ILM %, avg ILM %, avg PC, length s.f., redundancy %)
+PAPER_TABLE2 = {
+    ("ISP, Weighted", "link"): (12.5, 25.6, 2.05, 1.15, 16.5),
+    ("ISP, Unweighted", "link"): (20.0, 32.3, 2.00, 1.14, 24.0),
+    ("Internet", "link"): (16.7, 22.8, 2.00, 1.08, 58.6),
+    ("AS Graph", "link"): (25.0, 32.7, 2.00, 1.19, 47.2),
+    ("ISP, Weighted", "two-links"): (2.3, 6.1, 2.38, 1.77, 8.45),
+    ("ISP, Unweighted", "two-links"): (3.6, 8.5, 2.20, 1.34, 10.0),
+    ("Internet", "two-links"): (3.0, 4.7, 2.06, 1.15, 21.0),
+    ("AS Graph", "two-links"): (7.1, 16.4, 2.09, 1.32, 13.0),
+    ("ISP, Weighted", "router"): (25.0, 43.7, 2.10, 1.38, 23.0),
+    ("ISP, Unweighted", "router"): (20.0, 36.8, 2.03, 1.18, 26.0),
+    ("Internet", "router"): (12.5, 21.1, 2.02, 1.08, 55.3),
+    ("AS Graph", "router"): (25.0, 38.5, 2.03, 1.26, 17.0),
+    ("ISP, Weighted", "two-routers"): (5.26, 11.1, 2.43, 1.57, 8.1),
+    ("ISP, Unweighted", "two-routers"): (6.67, 13.3, 2.21, 1.44, 9.1),
+    ("Internet", "two-routers"): (2.50, 4.1, 2.23, 1.17, 11.5),
+    ("AS Graph", "two-routers"): (8.33, 18.5, 2.17, 1.31, 12.8),
+}
+
+MODE_TITLES = {
+    "link": "After one link failure",
+    "two-links": "After two link failures",
+    "router": "After one router failure",
+    "two-routers": "After two router failures",
+}
+
+
+def run_case(
+    graph: Graph,
+    base: UniqueShortestPathsBase,
+    case: FailureCase,
+    weighted: bool,
+) -> CaseResult:
+    """Evaluate one (demand, scenario) unit: backup path + decomposition."""
+    view = case.scenario.apply(graph)
+    primary_cost = case.primary_path.cost(graph)
+    try:
+        backup = shortest_path(view, case.source, case.destination, weighted=weighted)
+    except NoPath:
+        return CaseResult(
+            source=case.source,
+            destination=case.destination,
+            scenario=case.scenario,
+            primary=case.primary_path,
+            primary_cost=primary_cost,
+            backup=None,
+            backup_cost=None,
+            decomposition=None,
+        )
+    decomposition = min_pieces_decompose(backup, base, allow_edges=True)
+    return CaseResult(
+        source=case.source,
+        destination=case.destination,
+        scenario=case.scenario,
+        primary=case.primary_path,
+        primary_cost=primary_cost,
+        backup=backup,
+        backup_cost=backup.cost(graph),
+        decomposition=decomposition,
+    )
+
+
+#: Demand universes above this node count use sampled sources only in
+#: the per-link ILM accounting (all-pairs universes stop being tractable).
+ALL_PAIRS_ILM_LIMIT = 400
+
+
+def evaluate_network(
+    network: ExperimentNetwork,
+    modes: tuple[str, ...] = FAILURE_MODES,
+    seed: int = 1,
+    with_multiplicity: bool = True,
+    ilm_accounting: str = "per-pair",
+    ilm_max_scenarios: int = 200,
+) -> dict[str, TableTwoRow]:
+    """All Table 2 rows for one network.
+
+    *ilm_accounting* selects how the ILM stretch columns are computed:
+
+    * ``"per-pair"`` (fast, default) — numerator and denominator scoped
+      to the sampled demands only;
+    * ``"per-link"`` (faithful to Section 4's pre-provisioning
+      description) — every sampled failure scenario is charged for
+      backing up *every* affected demand of the universe (all pairs on
+      ISP-sized graphs, all demands from the sampled sources on the
+      large ones); see :mod:`repro.experiments.ilm_accounting`.
+    """
+    if ilm_accounting not in ("per-pair", "per-link"):
+        raise ValueError(f"unknown ilm_accounting {ilm_accounting!r}")
+    graph = network.graph
+    base = UniqueShortestPathsBase(graph)
+    pairs = sample_pairs(graph, network.sample_pairs, seed=seed)
+    primaries = {pair: base.path_for(*pair) for pair in pairs}
+
+    max_multiplicity: Optional[int] = None
+    if with_multiplicity:
+        max_multiplicity = 0
+        for source, _ in pairs:
+            dag = ShortestPathDag.compute(graph, source)
+            for target in dag.dist:
+                if target != source:
+                    max_multiplicity = max(
+                        max_multiplicity, dag.count_paths_to(target)
+                    )
+
+    rows: dict[str, TableTwoRow] = {}
+    for mode in modes:
+        results: list[CaseResult] = []
+        cases: list[FailureCase] = []
+        for pair in pairs:
+            for case in cases_for_pair(pair, primaries[pair], mode):
+                cases.append(case)
+                results.append(run_case(graph, base, case, network.weighted))
+        row = build_row(
+            network.name,
+            mode,
+            results,
+            max_multiplicity=max_multiplicity if mode == "link" else None,
+        )
+        if ilm_accounting == "per-link":
+            if graph.number_of_nodes() <= ALL_PAIRS_ILM_LIMIT:
+                demand_sources = None  # all-pairs universe
+            else:
+                demand_sources = sorted({s for s, _ in pairs}, key=repr)
+            accountant = IlmAccountant(
+                graph, base, demand_sources=demand_sources, weighted=network.weighted
+            )
+            scenarios = scenarios_from_cases(cases)
+            if len(scenarios) > ilm_max_scenarios:
+                # Deterministic thinning: an evenly spaced subsample
+                # keeps the accounting tractable on the quadratic
+                # two-failure modes without biasing toward any demand.
+                step = len(scenarios) / ilm_max_scenarios
+                scenarios = [
+                    scenarios[int(i * step)] for i in range(ilm_max_scenarios)
+                ]
+            accountant.process_scenarios(scenarios)
+            min_sf, avg_sf = accountant.stretch_factors()
+            row = replace(row, min_ilm_stretch=min_sf, avg_ilm_stretch=avg_sf)
+        rows[mode] = row
+    return rows
+
+
+def render(all_rows: dict[str, list[TableTwoRow]]) -> str:
+    """Paper-layout rendering: one block per failure mode."""
+    blocks = []
+    headers = [
+        "Network",
+        "min ILM s.f.",
+        "avg ILM s.f.",
+        "avg PC len",
+        "Length s.f.",
+        "Redundancy",
+        "(max)",
+        "paper: PC/len/red",
+    ]
+    for mode, rows in all_rows.items():
+        table_rows = []
+        for row in rows:
+            paper = PAPER_TABLE2.get((row.network, mode))
+            paper_txt = (
+                f"{paper[2]:.2f}/{paper[3]:.2f}/{paper[4]:.1f}%" if paper else "-"
+            )
+            table_rows.append(
+                [
+                    row.network,
+                    f"{row.min_ilm_stretch:.1f}%",
+                    f"{row.avg_ilm_stretch:.1f}%",
+                    f"{row.avg_pc_length:.2f}",
+                    f"{row.length_stretch:.2f}",
+                    f"{row.redundancy:.1f}%",
+                    row.max_multiplicity if row.max_multiplicity is not None else "",
+                    paper_txt,
+                ]
+            )
+        blocks.append(
+            format_table(headers, table_rows, title=f"{MODE_TITLES[mode]}.")
+        )
+    return "\n\n".join(blocks)
+
+
+def run(
+    scale: str = "small",
+    seed: int = 1,
+    modes: tuple[str, ...] = FAILURE_MODES,
+    ilm_accounting: str = "per-pair",
+) -> dict[str, list[TableTwoRow]]:
+    """Full Table 2: mode -> rows across the four networks."""
+    networks = suite(scale=scale, seed=seed)
+    per_network = [
+        evaluate_network(n, modes=modes, seed=seed, ilm_accounting=ilm_accounting)
+        for n in networks
+    ]
+    return {
+        mode: [rows[mode] for rows in per_network] for mode in modes
+    }
+
+
+def main(argv: list[str] | None = None) -> str:
+    """CLI entry point; prints and returns the report."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=scales(), default="small")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--modes", nargs="+", choices=FAILURE_MODES, default=list(FAILURE_MODES)
+    )
+    parser.add_argument(
+        "--ilm", choices=("per-pair", "per-link"), default="per-pair",
+        help="ILM stretch accounting (per-link is the faithful Section 4 "
+             "comparison; slower)",
+    )
+    args = parser.parse_args(argv)
+    report = render(
+        run(
+            scale=args.scale,
+            seed=args.seed,
+            modes=tuple(args.modes),
+            ilm_accounting=args.ilm,
+        )
+    )
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

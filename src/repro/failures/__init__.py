@@ -1,0 +1,27 @@
+"""Failure models and the paper's sampling methodology."""
+
+from .models import FailureScenario
+from .sampler import (
+    FAILURE_MODES,
+    ISP_SAMPLE_PAIRS,
+    LARGE_GRAPH_SAMPLE_PAIRS,
+    FailureCase,
+    cases_for_pair,
+    link_failure_cases,
+    random_link_scenarios,
+    router_failure_cases,
+    sample_pairs,
+)
+
+__all__ = [
+    "FAILURE_MODES",
+    "FailureCase",
+    "FailureScenario",
+    "ISP_SAMPLE_PAIRS",
+    "LARGE_GRAPH_SAMPLE_PAIRS",
+    "cases_for_pair",
+    "link_failure_cases",
+    "random_link_scenarios",
+    "router_failure_cases",
+    "sample_pairs",
+]

@@ -1,0 +1,95 @@
+"""Failure scenarios: which links/routers are down, and what survives.
+
+A :class:`FailureScenario` is an immutable description of a fault set.
+Applying it to a graph yields the zero-copy surviving view on which all
+restoration computations run.  Helpers classify scenarios the way the
+paper's Table 2 groups them (one link / two links / one router / two
+routers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.graph import Edge, FilteredView, Graph, Node, edge_key
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """An immutable set of failed links and routers."""
+
+    links: frozenset[Edge] = field(default_factory=frozenset)
+    routers: frozenset[Node] = field(default_factory=frozenset)
+
+    @classmethod
+    def single_link(cls, u: Node, v: Node) -> "FailureScenario":
+        """Scenario failing exactly the link *(u, v)*."""
+        return cls(links=frozenset({edge_key(u, v)}))
+
+    @classmethod
+    def link_set(cls, edges) -> "FailureScenario":
+        """Scenario failing the given links."""
+        return cls(links=frozenset(edge_key(u, v) for u, v in edges))
+
+    @classmethod
+    def single_router(cls, router: Node) -> "FailureScenario":
+        """Scenario failing exactly one router."""
+        return cls(routers=frozenset({router}))
+
+    @classmethod
+    def router_set(cls, routers) -> "FailureScenario":
+        """Scenario failing the given routers."""
+        return cls(routers=frozenset(routers))
+
+    @property
+    def k_links(self) -> int:
+        """Number of failed links."""
+        return len(self.links)
+
+    @property
+    def k_routers(self) -> int:
+        """Number of failed routers."""
+        return len(self.routers)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing is failed."""
+        return not self.links and not self.routers
+
+    def apply(self, graph: Graph) -> FilteredView:
+        """The surviving topology under this scenario."""
+        return graph.without(edges=self.links, nodes=self.routers)
+
+    def effective_k_edges(self, graph: Graph) -> int:
+        """The *k* of Theorems 1-2: failed edges, with each failed router
+        counted as the failure of all its incident edges."""
+        k = len(self.links)
+        counted = set(self.links)
+        for router in self.routers:
+            if graph.has_node(router):
+                for neighbor in graph.neighbors(router):
+                    key = edge_key(router, neighbor)
+                    if key not in counted:
+                        counted.add(key)
+                        k += 1
+        return k
+
+    def disturbs(self, path) -> bool:
+        """True if the scenario breaks *path* (kills an edge or interior/endpoint router)."""
+        if any(node in self.routers for node in path.nodes):
+            return True
+        return any(key in self.links for key in path.edge_keys())
+
+    def merge(self, other: "FailureScenario") -> "FailureScenario":
+        """Union of this scenario's failures with another's."""
+        return FailureScenario(
+            links=self.links | other.links, routers=self.routers | other.routers
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.links:
+            parts.append(f"links={sorted(map(repr, self.links))}")
+        if self.routers:
+            parts.append(f"routers={sorted(map(repr, self.routers))}")
+        return f"FailureScenario({', '.join(parts) or 'empty'})"

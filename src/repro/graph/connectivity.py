@@ -1,0 +1,144 @@
+"""Connectivity analysis: components, bridges, articulation points.
+
+Restoration only makes sense where an alternative path *exists*: a failed
+bridge disconnects its endpoints and no scheme can restore across it.
+The topology generators also use these routines to guarantee that the
+synthetic ISP core is 2-edge-connected (real backbones are built that
+way, and Table 2's single-link-failure rows implicitly assume most
+failures are survivable).
+
+Bridges and articulation points are found with Tarjan's low-link DFS,
+implemented iteratively so Internet-scale graphs do not hit Python's
+recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .graph import Edge, Node, edge_key
+
+
+def connected_components(graph) -> list[set[Node]]:
+    """Connected components of an undirected graph (or view)."""
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for start in graph.nodes:
+        if start in seen:
+            continue
+        component = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in graph.neighbors(u):
+                if v not in component:
+                    component.add(v)
+                    stack.append(v)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def is_connected(graph) -> bool:
+    """True if the undirected graph has exactly one component (and >= 1 node)."""
+    components = connected_components(graph)
+    return len(components) == 1
+
+
+def largest_component(graph) -> set[Node]:
+    """The node set of the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return set()
+    return max(components, key=len)
+
+
+def _dfs_low_links(graph) -> tuple[dict[Node, int], dict[Node, int], dict[Node, Node], list[Node]]:
+    """Iterative DFS computing discovery index and low-link per node.
+
+    Returns ``(disc, low, parent, order)`` where *order* lists nodes in
+    discovery order (roots of DFS trees included).
+    """
+    disc: dict[Node, int] = {}
+    low: dict[Node, int] = {}
+    parent: dict[Node, Node] = {}
+    order: list[Node] = []
+    counter = 0
+    for root in graph.nodes:
+        if root in disc:
+            continue
+        # Stack holds (node, neighbor-iterator) frames.
+        disc[root] = low[root] = counter
+        counter += 1
+        order.append(root)
+        stack: list[tuple[Node, Iterator[Node]]] = [(root, graph.neighbors(root))]
+        while stack:
+            u, neighbors = stack[-1]
+            advanced = False
+            for v in neighbors:
+                if v not in disc:
+                    parent[v] = u
+                    disc[v] = low[v] = counter
+                    counter += 1
+                    order.append(v)
+                    stack.append((v, graph.neighbors(v)))
+                    advanced = True
+                    break
+                if v != parent.get(u):
+                    low[u] = min(low[u], disc[v])
+            if not advanced:
+                stack.pop()
+                if stack:
+                    p = stack[-1][0]
+                    low[p] = min(low[p], low[u])
+    return disc, low, parent, order
+
+
+def bridges(graph) -> set[Edge]:
+    """All bridge edges (canonical keys) of an undirected graph.
+
+    An edge is a bridge iff removing it disconnects its endpoints, i.e.
+    no restoration path can exist for a flow crossing it.
+
+    Note: parent edges are tracked by node, so the routine assumes a
+    simple graph — which :class:`~repro.graph.graph.Graph` guarantees.
+    """
+    disc, low, parent, _ = _dfs_low_links(graph)
+    result: set[Edge] = set()
+    for v, u in parent.items():
+        if low[v] > disc[u]:
+            result.add(edge_key(u, v))
+    return result
+
+
+def articulation_points(graph) -> set[Node]:
+    """All cut vertices of an undirected graph.
+
+    A router failure at an articulation point disconnects the network —
+    the situations in which Table 2's router-failure rows report no
+    restoration path.
+    """
+    disc, low, parent, _ = _dfs_low_links(graph)
+    children: dict[Node, int] = {}
+    points: set[Node] = set()
+    for v, u in parent.items():
+        children[u] = children.get(u, 0) + 1
+        # Non-root: articulation if some child's low-link cannot climb above u.
+        if u in parent and low[v] >= disc[u]:
+            points.add(u)
+    # Roots: articulation iff they have >= 2 DFS children.
+    roots = {u for u in disc if u not in parent}
+    for root in roots:
+        if children.get(root, 0) >= 2:
+            points.add(root)
+    return points
+
+
+def is_two_edge_connected(graph) -> bool:
+    """True if connected and bridgeless (every single link failure survivable)."""
+    return is_connected(graph) and not bridges(graph)
+
+
+def edge_disconnects(graph, u: Node, v: Node) -> bool:
+    """True if removing edge *(u, v)* disconnects its endpoints."""
+    return edge_key(u, v) in bridges(graph)

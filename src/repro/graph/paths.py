@@ -1,0 +1,236 @@
+"""Path objects and the concatenation algebra at the heart of RBPC.
+
+A :class:`Path` is an immutable sequence of nodes.  RBPC's entire
+contribution is about expressing one path as a *concatenation* of others,
+so paths support:
+
+* ``p + q`` — concatenation (``p`` must end where ``q`` starts),
+* ``p.prefix(i)`` / ``p.suffix(i)`` / ``p.subpath(i, j)``,
+* hop count vs. weighted cost against a graph,
+* validation against a graph (every hop must be a surviving edge),
+* all contiguous subpaths (the paper's base sets are sub-path closed).
+
+Paths are hashable and compare by their node sequences, so they can be
+used directly as dictionary keys (e.g. label assignments per base LSP).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..exceptions import InvalidPath
+from .graph import Edge, Node, edge_key
+
+
+class Path:
+    """An immutable walk through a graph, stored as its node sequence.
+
+    A path must contain at least one node.  A single-node path is the
+    *trivial path* (zero hops); the paper's decompositions never emit it
+    but intermediate algorithms do.
+
+    >>> p = Path([1, 2, 3])
+    >>> q = Path([3, 4])
+    >>> (p + q).nodes
+    (1, 2, 3, 4)
+    >>> p.hops
+    2
+    """
+
+    __slots__ = ("_nodes", "_hash")
+
+    def __init__(self, nodes: Iterable[Node]) -> None:
+        self._nodes = tuple(nodes)
+        if not self._nodes:
+            raise InvalidPath("a path must contain at least one node")
+        for a, b in zip(self._nodes, self._nodes[1:]):
+            if a == b:
+                raise InvalidPath(f"repeated consecutive node {a!r}")
+        self._hash = hash(self._nodes)
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        """The node sequence, source first."""
+        return self._nodes
+
+    @property
+    def source(self) -> Node:
+        """First node of the path."""
+        return self._nodes[0]
+
+    @property
+    def target(self) -> Node:
+        """Last node of the path."""
+        return self._nodes[-1]
+
+    @property
+    def hops(self) -> int:
+        """Number of edges on the path (0 for a trivial path)."""
+        return len(self._nodes) - 1
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for a single-node, zero-hop path."""
+        return len(self._nodes) == 1
+
+    def edges(self) -> Iterator[tuple[Node, Node]]:
+        """Iterate over the hops as directed ``(u, v)`` pairs."""
+        return zip(self._nodes, self._nodes[1:])
+
+    def edge_keys(self) -> Iterator[Edge]:
+        """Iterate over the hops as canonical undirected edge keys."""
+        for u, v in self.edges():
+            yield edge_key(u, v)
+
+    def is_simple(self) -> bool:
+        """True if no node repeats."""
+        return len(set(self._nodes)) == len(self._nodes)
+
+    # -- costs ---------------------------------------------------------------
+
+    def cost(self, graph) -> float:
+        """Total weight of the path in *graph*.
+
+        Raises if some hop is not an edge of *graph* — validating and
+        costing in one pass.
+        """
+        return sum(graph.weight(u, v) for u, v in self.edges())
+
+    def is_valid_in(self, graph) -> bool:
+        """True if every hop of the path is a (surviving) edge of *graph*."""
+        return all(graph.has_edge(u, v) for u, v in self.edges())
+
+    def uses_edge(self, u: Node, v: Node, directed: bool = False) -> bool:
+        """True if the path traverses edge *(u, v)* (either direction unless *directed*)."""
+        if directed:
+            return (u, v) in set(self.edges())
+        return edge_key(u, v) in set(self.edge_keys())
+
+    def uses_node(self, u: Node) -> bool:
+        """True if the path visits *u*."""
+        return u in self._nodes
+
+    def interior_nodes(self) -> tuple[Node, ...]:
+        """Nodes strictly between source and target."""
+        return self._nodes[1:-1]
+
+    # -- slicing and concatenation -------------------------------------------
+
+    def index(self, node: Node) -> int:
+        """Index of the first occurrence of *node*; raises ``ValueError``."""
+        return self._nodes.index(node)
+
+    def prefix(self, length: int) -> "Path":
+        """The first *length* hops as a path (``length`` may be 0)."""
+        if not 0 <= length <= self.hops:
+            raise IndexError(f"prefix length {length} out of range 0..{self.hops}")
+        return Path(self._nodes[: length + 1])
+
+    def suffix_from(self, index: int) -> "Path":
+        """The sub-path starting at node position *index* through the target."""
+        if not 0 <= index < len(self._nodes):
+            raise IndexError(f"index {index} out of range")
+        return Path(self._nodes[index:])
+
+    def subpath(self, i: int, j: int) -> "Path":
+        """The sub-path from node position *i* to node position *j* inclusive."""
+        if not (0 <= i <= j < len(self._nodes)):
+            raise IndexError(f"subpath bounds ({i}, {j}) out of range")
+        return Path(self._nodes[i : j + 1])
+
+    def subpath_between(self, u: Node, v: Node) -> "Path":
+        """The sub-path between the first occurrences of nodes *u* and *v*.
+
+        *u* must occur no later than *v* on the path.
+        """
+        i, j = self._nodes.index(u), self._nodes.index(v)
+        if i > j:
+            raise InvalidPath(f"{u!r} occurs after {v!r} on {self!r}")
+        return self.subpath(i, j)
+
+    def reversed(self) -> "Path":
+        """The same walk traversed target-to-source."""
+        return Path(reversed(self._nodes))
+
+    def concat(self, other: "Path") -> "Path":
+        """Concatenate: ``self`` must end where *other* starts.
+
+        This is the MPLS stack operation the paper builds on — the label
+        stack [label(self), label(other)] routes along ``self.concat(other)``.
+        """
+        if self.target != other.source:
+            raise InvalidPath(
+                f"cannot concatenate: {self!r} ends at {self.target!r} but "
+                f"{other!r} starts at {other.source!r}"
+            )
+        return Path(self._nodes + other._nodes[1:])
+
+    def __add__(self, other: "Path") -> "Path":
+        return self.concat(other)
+
+    def all_subpaths(self, min_hops: int = 1) -> Iterator["Path"]:
+        """Every contiguous sub-path with at least *min_hops* hops.
+
+        Used to make base sets sub-path closed (Section 4.1: the basic set
+        should contain "all subpaths of this shortest path").
+        """
+        n = len(self._nodes)
+        for i in range(n):
+            for j in range(i + min_hops, n):
+                yield Path(self._nodes[i : j + 1])
+
+    # -- dunder plumbing -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __getitem__(self, index):
+        return self._nodes[index]
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._nodes
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Path):
+            return self._nodes == other._nodes
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Path") -> bool:
+        # Deterministic ordering for stable experiment output.
+        return [repr(n) for n in self._nodes] < [repr(n) for n in other._nodes]
+
+    def __repr__(self) -> str:
+        inner = "->".join(repr(n) for n in self._nodes)
+        return f"Path({inner})"
+
+
+def concat_all(paths: Sequence[Path]) -> Path:
+    """Concatenate a non-empty sequence of paths end to end.
+
+    >>> concat_all([Path([1, 2]), Path([2, 3]), Path([3, 4])]).nodes
+    (1, 2, 3, 4)
+    """
+    if not paths:
+        raise InvalidPath("cannot concatenate an empty sequence of paths")
+    result = paths[0]
+    for piece in paths[1:]:
+        result = result.concat(piece)
+    return result
+
+
+def is_concatenation_of(whole: Path, pieces: Sequence[Path]) -> bool:
+    """True if *pieces*, concatenated in order, equal *whole* exactly."""
+    if not pieces:
+        return False
+    try:
+        return concat_all(pieces) == whole
+    except InvalidPath:
+        return False

@@ -1,0 +1,154 @@
+"""Shortest-path DAGs, path counting, and shortest-path enumeration.
+
+Two of the paper's measurements need more than "one shortest path":
+
+* **Redundancy** (Table 2) is "the percentage of backup paths that have
+  cost equal to the original shortest path", and the table also reports
+  the *maximum number of distinct shortest paths* between any two routers.
+  Counting shortest paths is done here on the shortest-path DAG.
+* The **greedy decomposition** needs to ask whether a given sub-path is
+  *some* shortest path, which the DAG answers without enumeration.
+
+The shortest-path DAG from a source ``s`` contains the edge ``(u, v)``
+iff ``dist(s, u) + w(u, v) == dist(s, v)``; every s→t shortest path is a
+DAG path and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..exceptions import NoPath
+from .graph import Node
+from .paths import Path
+from .shortest_paths import costs_equal, dijkstra
+
+
+class ShortestPathDag:
+    """The DAG of all shortest paths out of a single source.
+
+    >>> from repro.graph.graph import Graph
+    >>> g = Graph.from_edges([(1, 2), (2, 4), (1, 3), (3, 4)])
+    >>> dag = ShortestPathDag.compute(g, 1)
+    >>> dag.count_paths_to(4)
+    2
+    """
+
+    __slots__ = ("source", "dist", "_parents")
+
+    def __init__(self, source: Node, dist: dict[Node, float], parents: dict[Node, list[Node]]):
+        self.source = source
+        self.dist = dist
+        self._parents = parents
+
+    @classmethod
+    def compute(cls, graph, source: Node) -> "ShortestPathDag":
+        """Run Dijkstra from *source* and collect *all* tight predecessors."""
+        dist, _ = dijkstra(graph, source)
+        parents: dict[Node, list[Node]] = {v: [] for v in dist}
+        for v in dist:
+            if v == source:
+                continue
+            for u, w in graph.adjacency(v):
+                if u in dist and costs_equal(dist[u] + w, dist[v]):
+                    parents[v].append(u)
+        return cls(source, dist, parents)
+
+    def reaches(self, target: Node) -> bool:
+        """True if the DAG reaches *target* from its source."""
+        return target in self.dist
+
+    def parents(self, v: Node) -> list[Node]:
+        """Tight predecessors of *v* (empty for the source)."""
+        return self._parents.get(v, [])
+
+    def count_paths_to(self, target: Node, modulo: Optional[int] = None) -> int:
+        """Number of distinct shortest paths from the source to *target*.
+
+        Counts can be astronomically large on meshy graphs, hence the
+        optional *modulo*.  Raises :class:`~repro.exceptions.NoPath` if
+        the target is unreachable.
+        """
+        if target not in self.dist:
+            raise NoPath(f"{target!r} unreachable from {self.source!r}")
+        memo: dict[Node, int] = {self.source: 1}
+
+        order = sorted(self.dist, key=self.dist.__getitem__)
+        for v in order:
+            if v == self.source:
+                continue
+            total = sum(memo[u] for u in self._parents[v])
+            memo[v] = total % modulo if modulo else total
+        return memo[target]
+
+    def iter_paths_to(self, target: Node, limit: Optional[int] = None) -> Iterator[Path]:
+        """Yield distinct shortest paths source→target (up to *limit*)."""
+        if target not in self.dist:
+            raise NoPath(f"{target!r} unreachable from {self.source!r}")
+        emitted = 0
+        stack: list[tuple[Node, list[Node]]] = [(target, [target])]
+        while stack:
+            node, suffix = stack.pop()
+            if node == self.source:
+                yield Path(list(reversed(suffix)))
+                emitted += 1
+                if limit is not None and emitted >= limit:
+                    return
+                continue
+            for parent in self._parents[node]:
+                stack.append((parent, suffix + [parent]))
+
+    def contains_path(self, path: Path) -> bool:
+        """True if *path* starts at the source and is a shortest path."""
+        if path.source != self.source:
+            return False
+        if path.target not in self.dist:
+            return False
+        node = path.target
+        for prev in reversed(path.nodes[:-1]):
+            if prev not in self._parents.get(node, []):
+                return False
+            node = prev
+        return True
+
+    def first_path_to(self, target: Node) -> Path:
+        """One canonical shortest path (first tight predecessor at each hop)."""
+        if target not in self.dist:
+            raise NoPath(f"{target!r} unreachable from {self.source!r}")
+        nodes = [target]
+        node = target
+        while node != self.source:
+            node = self._parents[node][0]
+            nodes.append(node)
+        return Path(list(reversed(nodes)))
+
+
+def count_shortest_paths(graph, source: Node, target: Node) -> int:
+    """Convenience: number of distinct shortest source→target paths."""
+    return ShortestPathDag.compute(graph, source).count_paths_to(target)
+
+
+def all_shortest_paths(
+    graph, source: Node, target: Node, limit: Optional[int] = None
+) -> list[Path]:
+    """All distinct shortest source→target paths (up to *limit*)."""
+    dag = ShortestPathDag.compute(graph, source)
+    return list(dag.iter_paths_to(target, limit=limit))
+
+
+def max_shortest_path_multiplicity(graph, sources: Optional[list[Node]] = None) -> int:
+    """Max number of distinct shortest paths over (sampled) source pairs.
+
+    Table 2's "(max)" column annotation reports this per topology.  With
+    *sources* given, only DAGs from those sources are examined (sampling
+    for the huge graphs); otherwise all nodes are used.
+    """
+    best = 0
+    nodes = sources if sources is not None else list(graph.nodes)
+    for s in nodes:
+        dag = ShortestPathDag.compute(graph, s)
+        for t in dag.dist:
+            if t == s:
+                continue
+            best = max(best, dag.count_paths_to(t))
+    return best

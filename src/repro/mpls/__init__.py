@@ -1,0 +1,49 @@
+"""MPLS domain simulator: labels, ILM/FEC tables, LSPs, forwarding.
+
+* :mod:`repro.mpls.labels` — label spaces and allocation.
+* :mod:`repro.mpls.packet` — label-stacked packets with traces.
+* :mod:`repro.mpls.ilm` — incoming label maps (the switching tables).
+* :mod:`repro.mpls.fec` — FEC maps (the ingress tables).
+* :mod:`repro.mpls.lsp` — provisioned LSP records.
+* :mod:`repro.mpls.lsr` — label switching routers.
+* :mod:`repro.mpls.network` — the domain and forwarding engine.
+* :mod:`repro.mpls.signaling` — signaling cost ledger.
+"""
+
+from .fec import FecEntry, FecMap
+from .ilm import IlmEntry, IncomingLabelMap
+from .labels import (
+    IMPLICIT_NULL,
+    IPV4_EXPLICIT_NULL,
+    MAX_LABEL,
+    MIN_LABEL,
+    Label,
+    LabelAllocator,
+)
+from .lsp import Lsp
+from .lsr import LabelSwitchRouter
+from .network import ForwardingResult, ForwardingStatus, MplsNetwork
+from .packet import DEFAULT_TTL, Packet
+from .signaling import SignalingEvent, SignalingLedger
+
+__all__ = [
+    "DEFAULT_TTL",
+    "FecEntry",
+    "FecMap",
+    "ForwardingResult",
+    "ForwardingStatus",
+    "IMPLICIT_NULL",
+    "IPV4_EXPLICIT_NULL",
+    "IlmEntry",
+    "IncomingLabelMap",
+    "Label",
+    "LabelAllocator",
+    "LabelSwitchRouter",
+    "Lsp",
+    "MAX_LABEL",
+    "MIN_LABEL",
+    "MplsNetwork",
+    "Packet",
+    "SignalingEvent",
+    "SignalingLedger",
+]

@@ -1,0 +1,87 @@
+"""Forwarding Equivalence Class (FEC) map — the ingress routing table.
+
+Packets entering the MPLS cloud unlabeled are classified into a FEC
+(here: by destination router) and stamped with a label stack.  An entry
+therefore names a *sequence of LSPs*: the stack carries the head label
+of each, pushed in reverse so the first LSP's label ends on top —
+exactly the paper's Figure 6/7 mechanism, where source-router RBPC is
+nothing but swapping one FEC entry for another with a longer LSP list.
+
+The FEC map keeps the original entry around when a restoration entry is
+installed, so link recovery is the documented "reverse the change".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..graph.graph import Node
+
+
+@dataclass(frozen=True)
+class FecEntry:
+    """Ingress instruction for one destination: which LSPs to ride, in order.
+
+    ``lsp_ids[0]`` is traversed first.  ``restoration`` marks entries
+    installed by a restoration scheme (vs. the provisioned default).
+    """
+
+    destination: Node
+    lsp_ids: tuple[int, ...]
+    restoration: bool = False
+
+
+class FecMap:
+    """Per-router FEC table with save/restore for restoration overrides."""
+
+    __slots__ = ("_entries", "_saved")
+
+    def __init__(self) -> None:
+        self._entries: dict[Node, FecEntry] = {}
+        self._saved: dict[Node, FecEntry] = {}
+
+    def install(self, entry: FecEntry) -> None:
+        """Install the provisioned (default) entry for a destination."""
+        self._entries[entry.destination] = entry
+
+    def override(self, entry: FecEntry) -> None:
+        """Install a restoration entry, remembering the one it replaces.
+
+        The first override for a destination saves the provisioned
+        entry; later overrides (multi-failure updates) keep that
+        original save so a full recovery restores the pre-failure state.
+        """
+        destination = entry.destination
+        if destination in self._entries and destination not in self._saved:
+            self._saved[destination] = self._entries[destination]
+        self._entries[destination] = entry
+
+    def restore(self, destination: Node) -> None:
+        """Undo the override for *destination* (no-op if none active)."""
+        original = self._saved.pop(destination, None)
+        if original is not None:
+            self._entries[destination] = original
+
+    def restore_all(self) -> None:
+        """Revert every active override."""
+        for destination in list(self._saved):
+            self.restore(destination)
+
+    def lookup(self, destination: Node) -> Optional[FecEntry]:
+        """Entry for the key, or None."""
+        return self._entries.get(destination)
+
+    def overridden_destinations(self) -> list[Node]:
+        """Destinations with an active restoration override."""
+        return list(self._saved)
+
+    def size(self) -> int:
+        """Number of installed entries."""
+        return len(self._entries)
+
+    def __contains__(self, destination: Node) -> bool:
+        return destination in self._entries
+
+    def __iter__(self) -> Iterator[FecEntry]:
+        return iter(self._entries.values())

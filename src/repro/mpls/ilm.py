@@ -1,0 +1,104 @@
+"""Incoming Label Map (ILM) — the hardware switching table of an LSR.
+
+Each entry describes what happens to a packet arriving with a given top
+label.  Following RFC 3031's NHLFE semantics, one entry always pops the
+incoming label and then pushes zero or more outgoing labels:
+
+* *swap* is pop + push-one, forward to the next hop;
+* *pop and continue* is pop + push-none with no next hop — the packet's
+  next stack level is examined at this same router (the concatenation
+  point of two base LSPs in RBPC);
+* *penultimate-hop pop* is pop + push-none with a next hop;
+* local RBPC's restoration entries are pop + push-many (the paper's
+  "replace the incoming label with the sequence of labels").
+
+The table size (:meth:`IncomingLabelMap.size`) is the quantity behind
+the paper's ILM stretch factors: ILM memory is the expensive resource
+RBPC conserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..exceptions import LabelNotFound
+from ..graph.graph import Node
+from .labels import Label
+
+
+@dataclass(frozen=True)
+class IlmEntry:
+    """One ILM row: pop the incoming label, push *push*, go to *next_hop*.
+
+    ``next_hop is None`` means the packet stays at this router and its
+    next stack level is processed here (LSP egress / concatenation
+    point).  ``push`` is given bottom-first: ``push=(a, b)`` leaves
+    ``b`` on top.
+    """
+
+    push: tuple[Label, ...] = ()
+    next_hop: Optional[Node] = None
+    lsp_id: Optional[int] = None  # provenance, for debugging and teardown
+
+    @property
+    def is_swap(self) -> bool:
+        """True for a pop+push-one entry with a next hop."""
+        return len(self.push) == 1 and self.next_hop is not None
+
+    @property
+    def is_pop(self) -> bool:
+        """True for an entry that pushes nothing."""
+        return not self.push
+
+    def __repr__(self) -> str:
+        op = "pop" if self.is_pop else ("swap" if self.is_swap else "replace")
+        return f"IlmEntry({op} push={list(self.push)} next_hop={self.next_hop!r})"
+
+
+class IncomingLabelMap:
+    """The per-router ILM: a mapping ``incoming label -> IlmEntry``."""
+
+    __slots__ = ("_entries", "_high_water")
+
+    def __init__(self) -> None:
+        self._entries: dict[Label, IlmEntry] = {}
+        self._high_water = 0
+
+    def install(self, label: Label, entry: IlmEntry) -> None:
+        """Install or overwrite the entry for *label*."""
+        self._entries[label] = entry
+        self._high_water = max(self._high_water, len(self._entries))
+
+    def lookup(self, label: Label) -> IlmEntry:
+        """Entry for *label*; raises :class:`LabelNotFound` if absent."""
+        entry = self._entries.get(label)
+        if entry is None:
+            raise LabelNotFound(f"no ILM entry for label {label}")
+        return entry
+
+    def remove(self, label: Label) -> None:
+        """Delete the entry; raises LabelNotFound if absent."""
+        if label not in self._entries:
+            raise LabelNotFound(f"no ILM entry for label {label}")
+        del self._entries[label]
+
+    def __contains__(self, label: Label) -> bool:
+        return label in self._entries
+
+    def size(self) -> int:
+        """Current number of installed entries (ILM memory in use)."""
+        return len(self._entries)
+
+    @property
+    def high_water_mark(self) -> int:
+        """Largest size ever reached — what the hardware must be sized for."""
+        return self._high_water
+
+    def labels(self) -> Iterator[Label]:
+        """Iterate over installed incoming labels."""
+        return iter(self._entries)
+
+    def entries_for_lsp(self, lsp_id: int) -> list[Label]:
+        """Labels whose entries belong to LSP *lsp_id* (for teardown)."""
+        return [label for label, e in self._entries.items() if e.lsp_id == lsp_id]

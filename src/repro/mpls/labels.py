@@ -1,0 +1,93 @@
+"""MPLS label spaces and per-router label allocation.
+
+Labels are the scarce resource the paper keeps returning to: ILM tables
+live in fast, expensive memory, and the whole point of RBPC is to avoid
+pre-provisioning a backup-LSP label for every (path, failure)
+combination.  This module models a per-platform label space with the
+real MPLS constraints:
+
+* labels ``0-15`` are reserved (RFC 3032) — :data:`EXPLICIT_NULL` and
+  :data:`IMPLICIT_NULL` are modelled because penultimate-hop popping
+  (Section 6 of the paper) uses implicit null;
+* allocation is first-free with a free list, so label reuse after LSP
+  teardown behaves like a real LSR;
+* exhaustion raises :class:`~repro.exceptions.LabelSpaceExhausted`,
+  which the experiments use to find the breaking point of naive
+  per-failure backup pre-provisioning.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import LabelSpaceExhausted
+
+#: RFC 3032 reserved label values.
+IPV4_EXPLICIT_NULL = 0
+ROUTER_ALERT = 1
+IMPLICIT_NULL = 3
+
+#: First label available for ordinary allocation.
+MIN_LABEL = 16
+
+#: A 20-bit label field, as in the MPLS shim header.
+MAX_LABEL = (1 << 20) - 1
+
+Label = int
+
+
+class LabelAllocator:
+    """First-free label allocator over ``[MIN_LABEL, max_label]``.
+
+    >>> alloc = LabelAllocator(max_label=17)
+    >>> alloc.allocate()
+    16
+    >>> alloc.allocate()
+    17
+    >>> alloc.release(16)
+    >>> alloc.allocate()
+    16
+    """
+
+    __slots__ = ("_max_label", "_next", "_free", "_in_use")
+
+    def __init__(self, max_label: Label = MAX_LABEL) -> None:
+        if max_label < MIN_LABEL:
+            raise ValueError(f"max_label must be >= {MIN_LABEL}")
+        self._max_label = max_label
+        self._next = MIN_LABEL
+        self._free: list[Label] = []
+        self._in_use: set[Label] = set()
+
+    @property
+    def capacity(self) -> int:
+        """Total number of allocatable labels."""
+        return self._max_label - MIN_LABEL + 1
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently allocated labels."""
+        return len(self._in_use)
+
+    def allocate(self) -> Label:
+        """Return a fresh label; raises :class:`LabelSpaceExhausted` when full."""
+        if self._free:
+            label = self._free.pop()
+        elif self._next <= self._max_label:
+            label = self._next
+            self._next += 1
+        else:
+            raise LabelSpaceExhausted(
+                f"all {self.capacity} labels in use"
+            )
+        self._in_use.add(label)
+        return label
+
+    def release(self, label: Label) -> None:
+        """Return *label* to the pool; raises ``ValueError`` if not allocated."""
+        if label not in self._in_use:
+            raise ValueError(f"label {label} is not allocated")
+        self._in_use.remove(label)
+        self._free.append(label)
+
+    def is_allocated(self, label: Label) -> bool:
+        """True if *label* is currently allocated."""
+        return label in self._in_use

@@ -1,0 +1,66 @@
+"""Label Switched Path (LSP) records.
+
+An LSP is a provisioned unidirectional path together with the labels
+allocated for it at every router along the way (downstream label
+assignment: ``labels[v]`` is the label router ``v`` expects on arriving
+packets of this LSP).  The head router also holds a label so the
+ingress — or a concatenation point mid-stack — can inject packets into
+the LSP by pushing ``head_label``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.graph import Node
+from ..graph.paths import Path
+from .labels import Label
+
+
+@dataclass
+class Lsp:
+    """A provisioned LSP: identity, route, and per-router labels."""
+
+    lsp_id: int
+    path: Path
+    labels: dict[Node, Label] = field(default_factory=dict)
+    php: bool = False  # penultimate-hop popping in effect
+
+    @property
+    def head(self) -> Node:
+        """The LSP's ingress router."""
+        return self.path.source
+
+    @property
+    def tail(self) -> Node:
+        """The LSP's egress router."""
+        return self.path.target
+
+    @property
+    def head_label(self) -> Label:
+        """The label that injects a packet into this LSP at its head."""
+        return self.labels[self.path.source]
+
+    @property
+    def hops(self) -> int:
+        """Number of links the LSP traverses."""
+        return self.path.hops
+
+    def label_at(self, router: Node) -> Label:
+        """Label this LSP occupies at *router* (KeyError if not on path)."""
+        return self.labels[router]
+
+    def routers(self) -> tuple[Node, ...]:
+        """The LSP's routers, head first."""
+        return self.path.nodes
+
+    def uses_edge(self, u: Node, v: Node) -> bool:
+        """True if the LSP's route traverses link *(u, v)* in either direction."""
+        return self.path.uses_edge(u, v)
+
+    def uses_router(self, router: Node) -> bool:
+        """True if the LSP's route visits *router*."""
+        return self.path.uses_node(router)
+
+    def __repr__(self) -> str:
+        return f"<Lsp #{self.lsp_id} {self.head!r}->{self.tail!r} hops={self.hops}>"

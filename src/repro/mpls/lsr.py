@@ -1,0 +1,48 @@
+"""Label Switching Router (LSR): ILM + FEC map + label allocator.
+
+An LSR does exactly two things in this model, mirroring Section 2 of
+the paper: switch labeled packets via the ILM, and classify unlabeled
+packets entering the cloud via the FEC map.  The router itself is
+deliberately dumb — all provisioning intelligence lives in
+:class:`~repro.mpls.network.MplsNetwork` and the restoration schemes.
+"""
+
+from __future__ import annotations
+
+from ..graph.graph import Node
+from .fec import FecMap
+from .ilm import IncomingLabelMap
+from .labels import Label, LabelAllocator
+
+
+class LabelSwitchRouter:
+    """One router of the MPLS domain."""
+
+    __slots__ = ("name", "ilm", "fec", "allocator")
+
+    def __init__(self, name: Node, max_label: Label | None = None) -> None:
+        self.name = name
+        self.ilm = IncomingLabelMap()
+        self.fec = FecMap()
+        if max_label is None:
+            self.allocator = LabelAllocator()
+        else:
+            self.allocator = LabelAllocator(max_label=max_label)
+
+    def allocate_label(self) -> Label:
+        """Allocate a label from this router's (per-platform) label space."""
+        return self.allocator.allocate()
+
+    def release_label(self, label: Label) -> None:
+        """Return *label* to this router's pool."""
+        self.allocator.release(label)
+
+    def ilm_size(self) -> int:
+        """Current ILM occupancy — the paper's per-router table size."""
+        return self.ilm.size()
+
+    def __repr__(self) -> str:
+        return (
+            f"<LSR {self.name!r} ilm={self.ilm.size()} "
+            f"fec={self.fec.size()} labels={self.allocator.in_use}>"
+        )

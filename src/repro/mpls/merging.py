@@ -1,0 +1,183 @@
+"""Label merging: per-destination label trees (Section 2's optimization).
+
+"Various methods to reduce the number of labels necessary have been
+considered, e.g., merging LSP's, which means using the same label for
+all the packets with the same destination even if they arrive from
+different ports."
+
+With merged labels, a destination ``d`` owns ONE label per router:
+every router's ILM entry for that label swaps to ``d``'s label at the
+next hop toward ``d`` — the shortest-path tree into ``d``, encoded in
+labels.  Provisioning all-pairs base LSPs then costs ``n`` ILM entries
+per router (one per destination) instead of one per base path through
+it.
+
+Crucially, merging composes with RBPC: a decomposition piece ``a → b``
+is (for a sub-path-consistent base set such as
+:class:`~repro.core.base_paths.UniqueShortestPathsBase`) exactly the
+tree-into-``b`` path from ``a``, so pushing ``tree(b).label_at(a)``
+rides the piece, and a restoration stack is one merged label per
+piece.  :func:`restoration_stack` builds it;
+:func:`~repro.mpls.network.MplsNetwork.send_with_stack` forwards on it.
+The ILM savings are quantified in ``benchmarks/bench_merging.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..exceptions import LSPNotFound
+from ..graph.graph import Node
+from ..graph.paths import Path
+from .ilm import IlmEntry
+from .labels import Label
+from .network import MplsNetwork
+
+
+@dataclass
+class MergedTree:
+    """One destination's label tree: a label at every router that can reach it."""
+
+    destination: Node
+    labels: dict[Node, Label] = field(default_factory=dict)
+    next_hops: dict[Node, Node] = field(default_factory=dict)
+
+    def label_at(self, router: Node) -> Label:
+        """The label that, pushed at *router*, rides the tree to the destination."""
+        label = self.labels.get(router)
+        if label is None:
+            raise LSPNotFound(
+                f"router {router!r} has no merged label toward {self.destination!r}"
+            )
+        return label
+
+
+def provision_destination_tree(
+    network: MplsNetwork,
+    base,
+    destination: Node,
+) -> MergedTree:
+    """Provision the merged label tree into *destination*.
+
+    *base* must expose ``path_for(router, destination)`` returning the
+    canonical shortest path (its first hop is the router's next hop
+    toward the destination).  Each participating router allocates one
+    label; ILM entries swap it hop by hop and pop at the destination.
+    Signaling is accounted as one setup whose table writes equal the
+    tree size.
+    """
+    tree = MergedTree(destination=destination)
+    routers_in = [
+        u for u in network.graph.nodes
+        if u != destination and base.has_pair(u, destination)
+    ]
+    tree.labels[destination] = network.routers[destination].allocate_label()
+    for router in routers_in:
+        tree.labels[router] = network.routers[router].allocate_label()
+
+    network.routers[destination].ilm.install(
+        tree.labels[destination], IlmEntry(push=(), next_hop=None)
+    )
+    for router in routers_in:
+        next_hop = base.path_for(router, destination).nodes[1]
+        tree.next_hops[router] = next_hop
+        network.routers[router].ilm.install(
+            tree.labels[router],
+            IlmEntry(push=(tree.labels[next_hop],), next_hop=next_hop),
+        )
+    network.ledger.record_ilm_update(
+        count=len(tree.labels), detail=f"merged tree -> {destination!r}"
+    )
+    return tree
+
+
+def provision_all_trees(
+    network: MplsNetwork,
+    base,
+    destinations: Optional[Iterable[Node]] = None,
+) -> dict[Node, MergedTree]:
+    """Merged trees for every destination (or the given subset)."""
+    if destinations is None:
+        destinations = list(network.graph.nodes)
+    return {
+        d: provision_destination_tree(network, base, d) for d in destinations
+    }
+
+
+def provision_edge_lsps(network: MplsNetwork) -> dict[tuple[Node, Node], Label]:
+    """One-hop LSPs for every directed edge (Section 4.1's edge paths).
+
+    A merged tree can only express "ride the canonical shortest path";
+    decomposition pieces that are bare edges (admitted because every
+    single edge is a base path) need their own label.  With
+    penultimate-hop popping a one-hop LSP costs a single ILM entry at
+    its tail end's upstream router: pop and forward over the link.
+
+    Returns ``(u, v) -> label at u``.
+    """
+    labels: dict[tuple[Node, Node], Label] = {}
+    for u, v in network.graph.edges():
+        for a, b in ((u, v), (v, u)):
+            label = network.routers[a].allocate_label()
+            network.routers[a].ilm.install(label, IlmEntry(push=(), next_hop=b))
+            labels[(a, b)] = label
+    network.ledger.record_ilm_update(
+        count=len(labels), detail="edge LSPs (merged mode)"
+    )
+    return labels
+
+
+def restoration_stack(
+    trees: dict[Node, MergedTree],
+    pieces: Iterable[Path],
+    start: Node,
+    edge_labels: Optional[dict[tuple[Node, Node], Label]] = None,
+) -> list[Label]:
+    """The label stack (bottom first) riding *pieces* via merged labels.
+
+    Each tree-routable piece ``a → b`` contributes
+    ``trees[b].label_at(a)``; the first piece's label ends on top.  A
+    piece the tree would deviate from — a Section 4.1 bare-edge path,
+    or a float-tie sibling of the canonical route — is expanded into
+    per-hop edge LSP labels from *edge_labels* instead.  Raises
+    :class:`LSPNotFound` when a needed tree or edge label is missing.
+    """
+    pieces = list(pieces)
+    if pieces and pieces[0].source != start:
+        raise ValueError(f"pieces start at {pieces[0].source!r}, not {start!r}")
+    stack: list[Label] = []
+    for piece in reversed(pieces):
+        tree = trees.get(piece.target)
+        if tree is not None and _tree_rides_piece(tree, piece):
+            stack.append(tree.label_at(piece.source))
+            continue
+        # The tree would deviate from the piece (a bare-edge piece, or a
+        # float-tie sibling of the canonical path): ride the piece hop
+        # by hop on edge LSPs — always safe, since the piece survives.
+        if edge_labels is None:
+            raise LSPNotFound(
+                f"piece {piece!r} is not tree-routable and no edge LSPs "
+                f"are provisioned"
+            )
+        for u, v in reversed(list(piece.edges())):
+            label = edge_labels.get((u, v))
+            if label is None:
+                raise LSPNotFound(f"no edge LSP for hop ({u!r}, {v!r})")
+            stack.append(label)
+    return stack
+
+
+def _tree_rides_piece(tree: MergedTree, piece: Path) -> bool:
+    """True iff *tree*'s hop-by-hop route from the piece's source IS the piece."""
+    if piece.target != tree.destination:
+        return False
+    for i, node in enumerate(piece.nodes[:-1]):
+        if tree.next_hops.get(node) != piece.nodes[i + 1]:
+            return False
+    return True
+
+
+def tree_ilm_entries(trees: dict[Node, MergedTree]) -> int:
+    """Total ILM entries consumed by the merged trees."""
+    return sum(len(tree.labels) for tree in trees.values())

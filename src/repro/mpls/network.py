@@ -1,0 +1,445 @@
+"""The MPLS domain: provisioning, failures, and the forwarding engine.
+
+:class:`MplsNetwork` binds everything together:
+
+* a topology (:class:`~repro.graph.graph.Graph`) with a live operational
+  state (failed links/routers), exposed as a
+  :class:`~repro.graph.graph.FilteredView` for routing computations;
+* one :class:`~repro.mpls.lsr.LabelSwitchRouter` per node;
+* LSP provisioning/teardown with downstream label assignment and
+  signaling-cost accounting;
+* a forwarding engine that walks packets hop by hop through real ILM
+  lookups and label-stack operations — the tests verify restoration
+  schemes by actually *forwarding packets* and checking where they go.
+
+Forwarding never raises for data-plane outcomes (drops, loops, TTL):
+those come back in a :class:`ForwardingResult` with a status, because a
+dropped packet is an experimental observation, not a programming error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..exceptions import InvalidPath, LSPNotFound, SignalingError
+from ..graph.graph import Edge, FilteredView, Graph, Node, edge_key
+from ..graph.paths import Path
+from .fec import FecEntry
+from .ilm import IlmEntry
+from .labels import Label
+from .lsp import Lsp
+from .lsr import LabelSwitchRouter
+from .packet import DEFAULT_TTL, Packet
+from .signaling import SignalingLedger
+
+
+class ForwardingStatus(enum.Enum):
+    """Terminal state of a forwarded packet."""
+
+    DELIVERED = "delivered"
+    DROPPED_LINK_DOWN = "dropped: next hop link is down"
+    DROPPED_ROUTER_DOWN = "dropped: next hop router is down"
+    DROPPED_NO_ILM_ENTRY = "dropped: no ILM entry for top label"
+    DROPPED_NO_FEC_ENTRY = "dropped: no FEC entry for destination"
+    DROPPED_TTL_EXPIRED = "dropped: TTL expired"
+    DROPPED_LOOP = "dropped: forwarding loop detected"
+    DROPPED_STACK_OVERFLOW = "dropped: label stack exceeded hardware depth"
+
+
+@dataclass
+class ForwardingResult:
+    """Outcome of injecting one packet."""
+
+    status: ForwardingStatus
+    packet: Packet
+    drop_router: Optional[Node] = None
+
+    @property
+    def delivered(self) -> bool:
+        """True when the packet reached its destination."""
+        return self.status is ForwardingStatus.DELIVERED
+
+    @property
+    def walk(self) -> list[Node]:
+        """Routers visited, in order (concatenation stops collapsed)."""
+        return self.packet.routers_visited()
+
+    @property
+    def hops(self) -> int:
+        """Number of links the LSP traverses."""
+        return max(0, len(self.walk) - 1)
+
+    def __repr__(self) -> str:
+        return f"<ForwardingResult {self.status.name} walk={self.walk}>"
+
+
+class MplsNetwork:
+    """An MPLS domain over a topology graph.
+
+    *max_stack_depth* models the hardware limit real LSRs put on the
+    label stack (often 3-5 entries).  RBPC's stack depth equals its PC
+    length, so by Theorem 1 a depth budget of ``k + 1`` suffices for
+    ``k``-failure restoration — a packet that would exceed the budget
+    is dropped with ``DROPPED_STACK_OVERFLOW``, never silently
+    truncated.  ``None`` means unlimited.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        max_label: Optional[Label] = None,
+        max_stack_depth: Optional[int] = None,
+    ) -> None:
+        if max_stack_depth is not None and max_stack_depth < 1:
+            raise ValueError("max_stack_depth must be >= 1")
+        self.graph = graph
+        self.max_stack_depth = max_stack_depth
+        self.routers: dict[Node, LabelSwitchRouter] = {
+            u: LabelSwitchRouter(u, max_label=max_label) for u in graph.nodes
+        }
+        self.ledger = SignalingLedger()
+        self._lsps: dict[int, Lsp] = {}
+        self._lsps_by_pair: dict[tuple[Node, Node], list[int]] = {}
+        self._next_lsp_id = 1
+        self._failed_links: set[Edge] = set()
+        self._failed_routers: set[Node] = set()
+
+    # -- operational state ---------------------------------------------------
+
+    @property
+    def operational_view(self) -> FilteredView:
+        """The surviving topology (a zero-copy view of the base graph)."""
+        return self.graph.without(
+            edges=self._failed_links, nodes=self._failed_routers
+        )
+
+    @property
+    def failed_links(self) -> frozenset[Edge]:
+        """Currently failed links (canonical keys)."""
+        return frozenset(self._failed_links)
+
+    @property
+    def failed_routers(self) -> frozenset[Node]:
+        """Currently failed routers."""
+        return frozenset(self._failed_routers)
+
+    def fail_link(self, u: Node, v: Node) -> None:
+        """Take link *(u, v)* down (idempotent)."""
+        self._failed_links.add(edge_key(u, v))
+
+    def restore_link(self, u: Node, v: Node) -> None:
+        """Bring link *(u, v)* back up (idempotent)."""
+        self._failed_links.discard(edge_key(u, v))
+
+    def fail_router(self, router: Node) -> None:
+        """Take *router* down (idempotent)."""
+        self._failed_routers.add(router)
+
+    def restore_router(self, router: Node) -> None:
+        """Bring *router* back up (idempotent)."""
+        self._failed_routers.discard(router)
+
+    def link_is_up(self, u: Node, v: Node) -> bool:
+        """True if the link exists and neither it nor its ends failed."""
+        return (
+            edge_key(u, v) not in self._failed_links
+            and u not in self._failed_routers
+            and v not in self._failed_routers
+            and self.graph.has_edge(u, v)
+        )
+
+    # -- LSP provisioning ------------------------------------------------------
+
+    def provision_lsp(self, path: Path, php: bool = False) -> Lsp:
+        """Establish an LSP along *path* with downstream label assignment.
+
+        Labels are allocated at every router that must recognize the LSP
+        (all of them; with *php* the tail is skipped since the label is
+        popped one hop early), ILM entries installed, and the signaling
+        cost recorded.  Raises :class:`SignalingError` if the path
+        crosses a failed link/router — you cannot signal over a dead
+        wire — and :class:`InvalidPath` for trivial paths.
+        """
+        if path.hops < 1:
+            raise InvalidPath("cannot provision an LSP over a trivial path")
+        view = self.operational_view
+        if not path.is_valid_in(view):
+            raise SignalingError(f"path {path!r} crosses failed components")
+
+        lsp_id = self._next_lsp_id
+        self._next_lsp_id += 1
+        lsp = Lsp(lsp_id=lsp_id, path=path, php=php)
+
+        nodes = path.nodes
+        labeled_nodes = nodes[:-1] if php else nodes
+        for router_name in labeled_nodes:
+            lsp.labels[router_name] = self.routers[router_name].allocate_label()
+
+        for i, router_name in enumerate(nodes[:-1]):
+            router = self.routers[router_name]
+            incoming = lsp.labels[router_name]
+            next_hop = nodes[i + 1]
+            is_penultimate = i == len(nodes) - 2
+            if is_penultimate and php:
+                entry = IlmEntry(push=(), next_hop=next_hop, lsp_id=lsp_id)
+            else:
+                entry = IlmEntry(
+                    push=(lsp.labels[next_hop],), next_hop=next_hop, lsp_id=lsp_id
+                )
+            router.ilm.install(incoming, entry)
+        if not php:
+            tail = self.routers[nodes[-1]]
+            tail.ilm.install(lsp.labels[nodes[-1]], IlmEntry(push=(), next_hop=None, lsp_id=lsp_id))
+
+        self._lsps[lsp_id] = lsp
+        pair = (path.source, path.target)
+        self._lsps_by_pair.setdefault(pair, []).append(lsp_id)
+        self.ledger.record_lsp_setup(path.hops, detail=f"lsp {lsp_id}")
+        return lsp
+
+    def teardown_lsp(self, lsp_id: int) -> None:
+        """Remove an LSP: delete its ILM entries and release its labels."""
+        lsp = self.get_lsp(lsp_id)
+        for router_name, label in lsp.labels.items():
+            router = self.routers[router_name]
+            if label in router.ilm and router.ilm.lookup(label).lsp_id == lsp_id:
+                router.ilm.remove(label)
+            router.release_label(label)
+        del self._lsps[lsp_id]
+        pair = (lsp.head, lsp.tail)
+        self._lsps_by_pair[pair].remove(lsp_id)
+        if not self._lsps_by_pair[pair]:
+            del self._lsps_by_pair[pair]
+        self.ledger.record_lsp_teardown(lsp.hops, detail=f"lsp {lsp_id}")
+
+    def get_lsp(self, lsp_id: int) -> Lsp:
+        """The LSP with *lsp_id*; raises LSPNotFound."""
+        lsp = self._lsps.get(lsp_id)
+        if lsp is None:
+            raise LSPNotFound(f"no LSP with id {lsp_id}")
+        return lsp
+
+    def lsps(self) -> list[Lsp]:
+        """All provisioned LSPs."""
+        return list(self._lsps.values())
+
+    def lsps_between(self, source: Node, target: Node) -> list[Lsp]:
+        """Provisioned LSPs from *source* to *target*."""
+        return [self._lsps[i] for i in self._lsps_by_pair.get((source, target), [])]
+
+    def find_lsp(self, path: Path) -> Optional[Lsp]:
+        """The provisioned LSP riding exactly *path*, if any."""
+        for lsp in self.lsps_between(path.source, path.target):
+            if lsp.path == path:
+                return lsp
+        return None
+
+    # -- FEC management -----------------------------------------------------------
+
+    def set_fec(
+        self,
+        router: Node,
+        destination: Node,
+        lsp_ids: Sequence[int],
+        restoration: bool = False,
+    ) -> None:
+        """Point *router*'s FEC entry for *destination* at a chain of LSPs.
+
+        The chain must start at *router*, be contiguous (each LSP ends
+        where the next begins), and end at *destination*.  Restoration
+        entries are installed as overrides so recovery can revert them.
+        """
+        chain = [self.get_lsp(i) for i in lsp_ids]
+        if not chain:
+            raise InvalidPath("FEC entry needs at least one LSP")
+        if chain[0].head != router:
+            raise InvalidPath(f"first LSP starts at {chain[0].head!r}, not {router!r}")
+        for a, b in zip(chain, chain[1:]):
+            if a.tail != b.head:
+                raise InvalidPath(f"LSP chain broken: {a!r} then {b!r}")
+        if chain[-1].tail != destination:
+            raise InvalidPath(
+                f"last LSP ends at {chain[-1].tail!r}, not {destination!r}"
+            )
+        entry = FecEntry(
+            destination=destination, lsp_ids=tuple(lsp_ids), restoration=restoration
+        )
+        fec = self.routers[router].fec
+        if restoration:
+            fec.override(entry)
+        else:
+            fec.install(entry)
+        self.ledger.record_fec_update(detail=f"{router!r}->{destination!r}")
+
+    def revert_fec(self, router: Node, destination: Node) -> None:
+        """Revert a restoration FEC override (link recovered)."""
+        self.routers[router].fec.restore(destination)
+        self.ledger.record_fec_update(detail=f"revert {router!r}->{destination!r}")
+
+    # -- forwarding engine -----------------------------------------------------------
+
+    def inject(
+        self, source: Node, destination: Node, ttl: int = DEFAULT_TTL
+    ) -> ForwardingResult:
+        """Inject an unlabeled packet at *source* bound for *destination*."""
+        packet = Packet(destination=destination, ttl=ttl)
+        return self._run(packet, source, ingress_lookup=True)
+
+    def send_on_lsps(
+        self,
+        lsp_ids: Sequence[int],
+        destination: Optional[Node] = None,
+        ttl: int = DEFAULT_TTL,
+    ) -> ForwardingResult:
+        """Send a packet with an explicit LSP chain (bypassing the FEC map)."""
+        chain = [self.get_lsp(i) for i in lsp_ids]
+        if destination is None:
+            destination = chain[-1].tail
+        packet = Packet(destination=destination, ttl=ttl)
+        for lsp in reversed(chain):
+            packet.push(lsp.head_label)
+        return self._run(packet, chain[0].head, ingress_lookup=False)
+
+    def send_with_stack(
+        self,
+        start: Node,
+        labels: Sequence[Label],
+        destination: Node,
+        ttl: int = DEFAULT_TTL,
+    ) -> ForwardingResult:
+        """Send a packet with an explicit label stack (bottom first).
+
+        Bypasses both the FEC map and the LSP registry — used by
+        merged-label forwarding (:mod:`repro.mpls.merging`) and by
+        tests that hand-craft stacks.
+        """
+        packet = Packet(destination=destination, ttl=ttl)
+        for label in labels:
+            packet.push(label)
+        return self._run(packet, start, ingress_lookup=False)
+
+    def _run(self, packet: Packet, start: Node, ingress_lookup: bool) -> ForwardingResult:
+        router_name = start
+        if (
+            self.max_stack_depth is not None
+            and packet.stack_depth > self.max_stack_depth
+        ):
+            packet.record(router_name)
+            return ForwardingResult(
+                ForwardingStatus.DROPPED_STACK_OVERFLOW,
+                packet,
+                drop_router=router_name,
+            )
+        seen_states: set[tuple[Node, tuple[Label, ...]]] = set()
+        while True:
+            packet.record(router_name)
+            state = (router_name, tuple(packet.label_stack))
+            if state in seen_states:
+                return ForwardingResult(
+                    ForwardingStatus.DROPPED_LOOP, packet, drop_router=router_name
+                )
+            seen_states.add(state)
+
+            if not packet.label_stack:
+                if router_name == packet.destination:
+                    return ForwardingResult(ForwardingStatus.DELIVERED, packet)
+                # Unlabeled at a transit router: classify via the FEC map
+                # (packets without a label are routed by FEC, Section 2).
+                entry = self.routers[router_name].fec.lookup(packet.destination)
+                if entry is None or not ingress_lookup:
+                    return ForwardingResult(
+                        ForwardingStatus.DROPPED_NO_FEC_ENTRY,
+                        packet,
+                        drop_router=router_name,
+                    )
+                try:
+                    chain = [self.get_lsp(i) for i in entry.lsp_ids]
+                except LSPNotFound:
+                    return ForwardingResult(
+                        ForwardingStatus.DROPPED_NO_FEC_ENTRY,
+                        packet,
+                        drop_router=router_name,
+                    )
+                for lsp in reversed(chain):
+                    packet.push(lsp.head_label)
+                if (
+                    self.max_stack_depth is not None
+                    and packet.stack_depth > self.max_stack_depth
+                ):
+                    return ForwardingResult(
+                        ForwardingStatus.DROPPED_STACK_OVERFLOW,
+                        packet,
+                        drop_router=router_name,
+                    )
+                continue
+
+            label = packet.top_label
+            assert label is not None
+            ilm = self.routers[router_name].ilm
+            if label not in ilm:
+                return ForwardingResult(
+                    ForwardingStatus.DROPPED_NO_ILM_ENTRY,
+                    packet,
+                    drop_router=router_name,
+                )
+            ilm_entry = ilm.lookup(label)
+            packet.pop()
+            for pushed in ilm_entry.push:
+                packet.push(pushed)
+            if (
+                self.max_stack_depth is not None
+                and packet.stack_depth > self.max_stack_depth
+            ):
+                return ForwardingResult(
+                    ForwardingStatus.DROPPED_STACK_OVERFLOW,
+                    packet,
+                    drop_router=router_name,
+                )
+
+            if ilm_entry.next_hop is None:
+                continue  # concatenation point / egress pop: stay here
+
+            next_hop = ilm_entry.next_hop
+            if next_hop in self._failed_routers:
+                return ForwardingResult(
+                    ForwardingStatus.DROPPED_ROUTER_DOWN,
+                    packet,
+                    drop_router=router_name,
+                )
+            if not self.link_is_up(router_name, next_hop):
+                return ForwardingResult(
+                    ForwardingStatus.DROPPED_LINK_DOWN,
+                    packet,
+                    drop_router=router_name,
+                )
+            packet.ttl -= 1
+            if packet.ttl <= 0:
+                return ForwardingResult(
+                    ForwardingStatus.DROPPED_TTL_EXPIRED,
+                    packet,
+                    drop_router=router_name,
+                )
+            router_name = next_hop
+
+    # -- measurement --------------------------------------------------------------
+
+    def ilm_sizes(self) -> dict[Node, int]:
+        """Per-router ILM occupancy — raw material of the ILM stretch factor."""
+        return {name: r.ilm.size() for name, r in self.routers.items()}
+
+    def total_ilm_size(self) -> int:
+        """Sum of ILM occupancy across all routers."""
+        return sum(self.ilm_sizes().values())
+
+    def max_ilm_size(self) -> int:
+        """Largest per-router ILM occupancy."""
+        sizes = self.ilm_sizes()
+        return max(sizes.values()) if sizes else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<MplsNetwork n={self.graph.number_of_nodes()} "
+            f"lsps={len(self._lsps)} failed_links={len(self._failed_links)}>"
+        )

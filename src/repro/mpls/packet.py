@@ -1,0 +1,77 @@
+"""Label-stacked packets and their forwarding traces.
+
+A :class:`Packet` carries the MPLS label stack (top of stack = end of
+the list, matching shim-header order "last pushed is examined first")
+plus the IP-level destination used by FEC lookup at the ingress, a TTL,
+and a trace of every (router, stack) step — the trace is what the tests
+assert loop-freedom and path-correctness on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.graph import Node
+from .labels import Label
+
+#: Default TTL, as in the MPLS shim header's 8-bit TTL field.
+DEFAULT_TTL = 255
+
+
+@dataclass
+class Packet:
+    """A packet traversing the MPLS domain.
+
+    ``label_stack[-1]`` is the top of the stack.  ``trace`` records each
+    processing step as ``(router, stack-at-arrival)`` tuples.
+    """
+
+    destination: Node
+    label_stack: list[Label] = field(default_factory=list)
+    ttl: int = DEFAULT_TTL
+    payload: object = None
+    trace: list[tuple[Node, tuple[Label, ...]]] = field(default_factory=list)
+
+    @property
+    def top_label(self) -> Label | None:
+        """The label examined next, or ``None`` for an unlabeled packet."""
+        return self.label_stack[-1] if self.label_stack else None
+
+    @property
+    def stack_depth(self) -> int:
+        """Current number of labels on the stack."""
+        return len(self.label_stack)
+
+    def push(self, label: Label) -> None:
+        """Push *label* onto the stack."""
+        self.label_stack.append(label)
+
+    def pop(self) -> Label:
+        """Pop and return the top label."""
+        if not self.label_stack:
+            raise IndexError("pop from empty label stack")
+        return self.label_stack.pop()
+
+    def record(self, router: Node) -> None:
+        """Record a processing step at *router* with the current stack."""
+        self.trace.append((router, tuple(self.label_stack)))
+
+    def routers_visited(self) -> list[Node]:
+        """Routers in visit order, consecutive duplicates collapsed.
+
+        A router appears multiple consecutive times in the raw trace
+        when it pops one label and processes the next (path
+        concatenation point); for path comparison we want the walk.
+        """
+        walk: list[Node] = []
+        for router, _ in self.trace:
+            if not walk or walk[-1] != router:
+                walk.append(router)
+        return walk
+
+    @property
+    def max_stack_depth(self) -> int:
+        """Deepest label stack observed anywhere along the trace."""
+        depths = [len(stack) for _, stack in self.trace]
+        depths.append(len(self.label_stack))
+        return max(depths)

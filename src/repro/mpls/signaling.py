@@ -1,0 +1,92 @@
+"""Signaling cost accounting — the overhead RBPC exists to avoid.
+
+The paper's motivation is that establishing/tearing down an LSP is "a
+costly process in terms of signaling and in terms of overhead placed on
+the routers": label distribution messages travel the whole path, ILM
+entries are written at every hop, and loop prevention adds rounds.
+RBPC's claim is that restoration needs *zero* of this — only a FEC (or
+one ILM) update at one router.
+
+This module keeps a ledger of those costs so experiments can put
+numbers on the comparison: every LSP setup/teardown and every table
+write is recorded, and the ablation benchmarks compare "restore by
+concatenation" against "tear down and re-establish" in messages and
+table-touches.
+
+The cost model (per RFC 3036-style downstream-on-demand LDP over a path
+with ``h`` hops): setup = ``2h`` messages (a label request downstream
+and a label mapping upstream per hop) plus ``h + 1`` ILM writes;
+teardown = ``h`` label-withdraw messages plus ``h + 1`` ILM deletes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class SignalingEvent:
+    """One ledger record."""
+
+    kind: str  # "lsp_setup" | "lsp_teardown" | "fec_update" | "ilm_update"
+    messages: int
+    table_writes: int
+    detail: str = ""
+
+
+@dataclass
+class SignalingLedger:
+    """Accumulates signaling events and exposes totals."""
+
+    events: list[SignalingEvent] = field(default_factory=list)
+
+    def record_lsp_setup(self, hops: int, detail: str = "") -> None:
+        """Ledger an LSP establishment over *hops* links."""
+        self.events.append(
+            SignalingEvent("lsp_setup", messages=2 * hops, table_writes=hops + 1, detail=detail)
+        )
+
+    def record_lsp_teardown(self, hops: int, detail: str = "") -> None:
+        """Ledger an LSP teardown over *hops* links."""
+        self.events.append(
+            SignalingEvent("lsp_teardown", messages=hops, table_writes=hops + 1, detail=detail)
+        )
+
+    def record_fec_update(self, count: int = 1, detail: str = "") -> None:
+        """A purely local FEC rewrite: no messages at all."""
+        self.events.append(
+            SignalingEvent("fec_update", messages=0, table_writes=count, detail=detail)
+        )
+
+    def record_ilm_update(self, count: int = 1, detail: str = "") -> None:
+        """A purely local ILM rewrite (local RBPC): no messages."""
+        self.events.append(
+            SignalingEvent("ilm_update", messages=0, table_writes=count, detail=detail)
+        )
+
+    @property
+    def total_messages(self) -> int:
+        """Sum of signaling messages across all events."""
+        return sum(e.messages for e in self.events)
+
+    @property
+    def total_table_writes(self) -> int:
+        """Sum of table writes across all events."""
+        return sum(e.table_writes for e in self.events)
+
+    def by_kind(self, kind: str) -> Iterator[SignalingEvent]:
+        """Iterate over events of one kind."""
+        return (e for e in self.events if e.kind == kind)
+
+    def count(self, kind: str) -> int:
+        """Number of events of one kind."""
+        return sum(1 for _ in self.by_kind(kind))
+
+    def snapshot(self) -> tuple[int, int]:
+        """``(total_messages, total_table_writes)`` — diffable checkpoint."""
+        return self.total_messages, self.total_table_writes
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()

@@ -1,0 +1,34 @@
+"""Link-state routing substrate (the OSPF stand-in).
+
+* :mod:`repro.routing.lsdb` — per-router link-state databases.
+* :mod:`repro.routing.spf` — SPF computation and route queries.
+* :mod:`repro.routing.flooding` — failure-notification timing model.
+* :mod:`repro.routing.events` — topology-change event types.
+"""
+
+from .events import LinkDown, LinkUp, RouterDown, RouterUp
+from .flooding import (
+    FloodingModel,
+    action_time,
+    flood_times,
+    local_restoration_time,
+    source_restoration_time,
+)
+from .lsdb import LinkStateAd, LinkStateDatabase
+from .spf import SpfRouter, spf_tree
+
+__all__ = [
+    "FloodingModel",
+    "LinkDown",
+    "LinkStateAd",
+    "LinkStateDatabase",
+    "LinkUp",
+    "RouterDown",
+    "RouterUp",
+    "SpfRouter",
+    "action_time",
+    "flood_times",
+    "local_restoration_time",
+    "source_restoration_time",
+    "spf_tree",
+]

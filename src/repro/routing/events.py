@@ -1,0 +1,51 @@
+"""Topology-change events consumed by the routing and restoration layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.graph import Edge, Node, edge_key
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """Link *(u, v)* failed at time *time* (both directions)."""
+
+    u: Node
+    v: Node
+    time: float = 0.0
+
+    @property
+    def edge(self) -> Edge:
+        """The link as a canonical edge key."""
+        return edge_key(self.u, self.v)
+
+
+@dataclass(frozen=True)
+class LinkUp:
+    """Link *(u, v)* recovered at time *time*."""
+
+    u: Node
+    v: Node
+    time: float = 0.0
+
+    @property
+    def edge(self) -> Edge:
+        """The link as a canonical edge key."""
+        return edge_key(self.u, self.v)
+
+
+@dataclass(frozen=True)
+class RouterDown:
+    """Router failed at time *time* (all incident links go down)."""
+
+    router: Node
+    time: float = 0.0
+
+
+@dataclass(frozen=True)
+class RouterUp:
+    """Router recovered at time *time*."""
+
+    router: Node
+    time: float = 0.0

@@ -1,0 +1,96 @@
+"""LSA flooding simulation: when does each router learn of a failure?
+
+Local RBPC's selling point is *immediacy* — the adjacent router patches
+the LSP "as soon as the failure is detected, without waiting for the
+link-state protocol to propagate failure information to the path
+source" (Section 4.2).  Quantifying that advantage requires a flooding
+model:
+
+* the two endpoints of a failed link detect it after
+  ``detection_delay`` (loss-of-light / hello timeout);
+* each router that learns of the failure re-floods to all neighbors
+  over surviving links, each hop adding ``per_hop_delay`` (propagation
+  + processing);
+* a router acts on the failure after an additional ``spf_delay``
+  (SPF computation / FEC update time).
+
+:func:`flood_times` computes the learn-time of every router, which the
+hybrid scheme (:mod:`repro.core.hybrid`) uses to decide, per moment,
+whether a packet is routed by the local patch or the source re-route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.graph import Node
+from ..graph.heap import AddressableHeap
+
+
+@dataclass(frozen=True)
+class FloodingModel:
+    """Timing parameters of failure detection and LSA propagation (seconds)."""
+
+    detection_delay: float = 0.01
+    per_hop_delay: float = 0.005
+    spf_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if min(self.detection_delay, self.per_hop_delay, self.spf_delay) < 0:
+            raise ValueError("flooding delays must be non-negative")
+
+
+def flood_times(
+    surviving_graph,
+    origins: list[Node],
+    model: FloodingModel = FloodingModel(),
+) -> dict[Node, float]:
+    """Time at which each router *learns* of the failure.
+
+    *origins* are the detecting routers (the failed link's endpoints, or
+    a failed router's neighbors); flooding spreads over
+    *surviving_graph*.  Unreached routers (partitioned away) are absent
+    from the result — they never learn.
+    """
+    times: dict[Node, float] = {}
+    heap: AddressableHeap[Node] = AddressableHeap()
+    for origin in origins:
+        if surviving_graph.has_node(origin):
+            heap.push_or_decrease(origin, model.detection_delay)
+    while heap:
+        router, t = heap.pop()
+        times[router] = t  # type: ignore[assignment]
+        for neighbor in surviving_graph.neighbors(router):
+            if neighbor not in times:
+                heap.push_or_decrease(neighbor, t + model.per_hop_delay)  # type: ignore[operator]
+    return times
+
+
+def action_time(learn_time: float, model: FloodingModel = FloodingModel()) -> float:
+    """Time at which a router that learned at *learn_time* has re-routed."""
+    return learn_time + model.spf_delay
+
+
+def source_restoration_time(
+    surviving_graph,
+    failed_endpoints: list[Node],
+    source: Node,
+    model: FloodingModel = FloodingModel(),
+) -> float:
+    """When source-router RBPC takes effect for a path from *source*.
+
+    ``float('inf')`` if the source never learns (partitioned).
+    """
+    times = flood_times(surviving_graph, failed_endpoints, model)
+    if source not in times:
+        return float("inf")
+    return action_time(times[source], model)
+
+
+def local_restoration_time(model: FloodingModel = FloodingModel()) -> float:
+    """When local RBPC takes effect: detection plus the local table write.
+
+    The adjacent router needs no flood and no SPF — only the ILM entry
+    swap, which we charge at one ``per_hop_delay`` of processing.
+    """
+    return model.detection_delay + model.per_hop_delay

@@ -1,0 +1,88 @@
+"""Per-router link-state database (LSDB).
+
+Each router keeps its own copy of the topology, learned from link-state
+advertisements.  In steady state all LSDBs agree with the real
+topology; after a failure, a router's LSDB lags until the flood reaches
+it (:mod:`repro.routing.flooding`) — the exact window in which local
+RBPC acts while source-router RBPC cannot yet.
+
+The LSDB is sequence-numbered per link, like OSPF LSAs: a stale
+re-ordered advertisement never overwrites fresher state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.graph import Edge, Graph, Node, edge_key
+
+
+@dataclass(frozen=True)
+class LinkStateAd:
+    """One advertisement: the state of one link, with a sequence number."""
+
+    u: Node
+    v: Node
+    weight: float
+    up: bool
+    sequence: int
+
+    @property
+    def edge(self) -> Edge:
+        """The link as a canonical edge key."""
+        return edge_key(self.u, self.v)
+
+
+class LinkStateDatabase:
+    """A router's view of every link in the area."""
+
+    __slots__ = ("_links",)
+
+    def __init__(self) -> None:
+        # edge -> (weight, up, sequence)
+        self._links: dict[Edge, tuple[float, bool, int]] = {}
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "LinkStateDatabase":
+        """Bootstrap a database that matches *graph* exactly (sequence 0)."""
+        db = cls()
+        for u, v, w in graph.weighted_edges():
+            db._links[edge_key(u, v)] = (w, True, 0)
+        return db
+
+    def apply(self, ad: LinkStateAd) -> bool:
+        """Apply an advertisement; returns True if the database changed.
+
+        Stale advertisements (sequence not newer than what is stored)
+        are ignored, as OSPF does.
+        """
+        current = self._links.get(ad.edge)
+        if current is not None and ad.sequence <= current[2]:
+            return False
+        self._links[ad.edge] = (ad.weight, ad.up, ad.sequence)
+        return True
+
+    def link_state(self, u: Node, v: Node) -> tuple[float, bool, int]:
+        """``(weight, up, sequence)`` for the link; KeyError if unknown."""
+        return self._links[edge_key(u, v)]
+
+    def is_up(self, u: Node, v: Node) -> bool:
+        """True if the database believes the link is up."""
+        entry = self._links.get(edge_key(u, v))
+        return entry is not None and entry[1]
+
+    def known_links(self) -> list[Edge]:
+        """Every link the database has state for."""
+        return list(self._links)
+
+    def to_graph(self) -> Graph:
+        """Materialize the *believed-up* topology as a graph for SPF."""
+        graph = Graph()
+        for (u, v), (w, up, _) in self._links.items():
+            if up:
+                graph.add_edge(u, v, weight=w)
+        return graph
+
+    def down_links(self) -> set[Edge]:
+        """Links the database believes are down."""
+        return {edge for edge, (_, up, _) in self._links.items() if not up}

@@ -1,0 +1,11 @@
+"""Discrete-event simulation of the hybrid restoration control plane.
+
+* :mod:`repro.sim.event_queue` — deterministic DES core.
+* :mod:`repro.sim.orchestrator` — link failures, detection, LSA
+  flooding, local patches and source re-routes on a shared clock.
+"""
+
+from .event_queue import EventQueue
+from .orchestrator import Demand, RestorationSimulation, TimelineEntry
+
+__all__ = ["Demand", "EventQueue", "RestorationSimulation", "TimelineEntry"]

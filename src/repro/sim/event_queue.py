@@ -1,0 +1,69 @@
+"""Minimal discrete-event simulation core.
+
+A time-ordered queue of callbacks with FIFO tie-breaking at equal
+timestamps.  Deliberately tiny: the interesting logic lives in
+:mod:`repro.sim.orchestrator`; this module only guarantees
+deterministic ordering, which the restoration-timing assertions in the
+tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class EventQueue:
+    """Time-ordered callback queue with deterministic tie-breaking."""
+
+    __slots__ = ("_heap", "_counter", "_now")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (last dispatched event's time)."""
+        return self._now
+
+    def schedule(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule *action* at absolute *time* (must not be in the past)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now {self._now}")
+        heapq.heappush(self._heap, (time, next(self._counter), action))
+
+    def schedule_in(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule *action* after *delay* seconds from now."""
+        self.schedule(self._now + delay, action)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def run_until(self, time: float) -> int:
+        """Dispatch every event with timestamp <= *time*; returns the count.
+
+        Advances ``now`` to *time* even if the queue drains earlier.
+        """
+        dispatched = 0
+        while self._heap and self._heap[0][0] <= time:
+            event_time, _, action = heapq.heappop(self._heap)
+            self._now = event_time
+            action()
+            dispatched += 1
+        self._now = max(self._now, time)
+        return dispatched
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Dispatch until the queue is empty (bounded against livelock)."""
+        dispatched = 0
+        while self._heap:
+            if dispatched >= max_events:
+                raise RuntimeError(f"exceeded {max_events} events — livelock?")
+            event_time, _, action = heapq.heappop(self._heap)
+            self._now = event_time
+            action()
+            dispatched += 1
+        return dispatched

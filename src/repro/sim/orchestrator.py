@@ -1,0 +1,235 @@
+"""Event-driven restoration orchestration: the hybrid scheme, live.
+
+:class:`RestorationSimulation` runs the full control-plane story of
+Section 4.2's hybrid scheme on a discrete-event clock:
+
+1. a link fails at time *t* (data plane: packets crossing it drop);
+2. at ``t + detection_delay`` the two adjacent routers detect it —
+   each immediately applies **local RBPC** to every disrupted LSP it
+   is upstream of, and originates a link-state advertisement;
+3. the LSA floods hop by hop (``per_hop_delay`` each), every router
+   updating its own LSDB (stale sequence numbers are ignored, so
+   crossing floods are safe);
+4. ``spf_delay`` after a demand's *source* learns of the failure, it
+   applies **source-router RBPC**, swapping the interim local patch
+   for a true shortest-path restoration;
+5. link recovery reverses everything in the same pattern.
+
+At any simulated instant, :meth:`inject` sends a real packet through
+the MPLS tables as they exist *right then* — the tests assert the
+exact delivery timeline (black hole → stretched local route →
+shortest restored route → primary again).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.base_paths import BaseSet
+from ..core.local_restoration import LocalRbpc, LocalStrategy, upstream_router
+from ..core.restoration import SourceRouterRbpc
+from ..exceptions import NoRestorationPath
+from ..graph.graph import Edge, Node, edge_key
+from ..graph.paths import Path
+from ..mpls.network import ForwardingResult, MplsNetwork
+from ..routing.flooding import FloodingModel
+from ..routing.lsdb import LinkStateAd, LinkStateDatabase
+from ..routing.spf import SpfRouter
+from .event_queue import EventQueue
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One control-plane action, for post-hoc inspection."""
+
+    time: float
+    actor: Node
+    action: str
+    detail: str = ""
+
+
+@dataclass
+class Demand:
+    """A managed demand: its LSP and restoration state."""
+
+    source: Node
+    destination: Node
+    primary: Path
+    lsp_id: int
+    locally_patched: bool = False
+    source_restored: bool = False
+
+
+class RestorationSimulation:
+    """Hybrid local+source RBPC over a simulated control plane."""
+
+    def __init__(
+        self,
+        network: MplsNetwork,
+        base: BaseSet,
+        lsp_registry: dict[Path, int],
+        model: FloodingModel = FloodingModel(),
+        local_strategy: LocalStrategy = LocalStrategy.EDGE_BYPASS,
+        weighted: bool = True,
+    ) -> None:
+        self.network = network
+        self.base = base
+        self.model = model
+        self.local_strategy = local_strategy
+        self.queue = EventQueue()
+        self.local = LocalRbpc(network, base, lsp_registry, weighted=weighted)
+        self.source_scheme = SourceRouterRbpc(network, base, lsp_registry, weighted=weighted)
+        self.timeline: list[TimelineEntry] = []
+        self.demands: dict[tuple[Node, Node], Demand] = {}
+        # Per-router routing processes over private LSDB copies.
+        self.routers: dict[Node, SpfRouter] = {
+            u: SpfRouter(u, LinkStateDatabase.from_graph(network.graph))
+            for u in network.graph.nodes
+        }
+        self._sequence = 0
+
+    # -- demand management -----------------------------------------------------
+
+    def add_demand(self, source: Node, destination: Node) -> Demand:
+        """Register a demand riding its pre-provisioned primary LSP."""
+        primary = self.base.path_for(source, destination)
+        lsp = self.network.find_lsp(primary)
+        if lsp is None:
+            lsp = self.network.get_lsp(
+                self.source_scheme.lsp_registry[primary]
+            ) if primary in self.source_scheme.lsp_registry else None
+        if lsp is None:
+            lsp = self.network.provision_lsp(primary)
+            self.source_scheme.lsp_registry[primary] = lsp.lsp_id
+        self.network.set_fec(source, destination, [lsp.lsp_id])
+        demand = Demand(source, destination, primary, lsp.lsp_id)
+        self.demands[(source, destination)] = demand
+        return demand
+
+    # -- event scheduling ----------------------------------------------------------
+
+    def schedule_link_failure(self, time: float, u: Node, v: Node) -> None:
+        """Schedule link *(u, v)* to fail at *time*."""
+        self.queue.schedule(time, lambda: self._link_failed(u, v))
+
+    def schedule_link_recovery(self, time: float, u: Node, v: Node) -> None:
+        """Schedule link *(u, v)* to heal at *time*."""
+        self.queue.schedule(time, lambda: self._link_recovered(u, v))
+
+    def run_until(self, time: float) -> None:
+        """Dispatch all events up to *time*."""
+        self.queue.run_until(time)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.queue.now
+
+    # -- data plane probe -------------------------------------------------------------
+
+    def inject(self, source: Node, destination: Node) -> ForwardingResult:
+        """Forward one packet through the tables as they stand *now*."""
+        return self.network.inject(source, destination)
+
+    # -- internals: failure handling ---------------------------------------------------
+
+    def _log(self, actor: Node, action: str, detail: str = "") -> None:
+        self.timeline.append(
+            TimelineEntry(self.queue.now, actor, action, detail)
+        )
+
+    def _link_failed(self, u: Node, v: Node) -> None:
+        self.network.fail_link(u, v)
+        self._log("-", "link-down", f"{(u, v)}")
+        self.queue.schedule_in(
+            self.model.detection_delay, lambda: self._detected(u, v, up=False)
+        )
+
+    def _link_recovered(self, u: Node, v: Node) -> None:
+        self.network.restore_link(u, v)
+        self._log("-", "link-up", f"{(u, v)}")
+        self.queue.schedule_in(
+            self.model.detection_delay, lambda: self._detected(u, v, up=True)
+        )
+
+    def _detected(self, u: Node, v: Node, up: bool) -> None:
+        self._sequence += 1
+        ad = LinkStateAd(
+            u, v, self.network.graph.weight(u, v), up=up, sequence=self._sequence
+        )
+        for detector in (u, v):
+            self._log(detector, "detected", f"{(u, v)} {'up' if up else 'down'}")
+            if not up:
+                self._apply_local_patches(detector, edge_key(u, v))
+            else:
+                self._revert_local_patches(detector, edge_key(u, v))
+            self._receive_ad(detector, ad)
+
+    def _apply_local_patches(self, router: Node, failed: Edge) -> None:
+        for demand in self.demands.values():
+            if demand.locally_patched or demand.source_restored:
+                continue
+            if not demand.primary.uses_edge(*failed):
+                continue
+            # Only the upstream-adjacent router owns the patch.
+            try:
+                if upstream_router(demand.primary, failed) != router:
+                    continue
+                self.local.patch(demand.lsp_id, failed, strategy=self.local_strategy)
+            except NoRestorationPath:
+                self._log(router, "local-patch-failed", f"lsp {demand.lsp_id}")
+                continue
+            demand.locally_patched = True
+            self._log(router, "local-patch", f"lsp {demand.lsp_id} around {failed}")
+
+    def _revert_local_patches(self, router: Node, healed: Edge) -> None:
+        for demand in self.demands.values():
+            if demand.locally_patched and demand.primary.uses_edge(*healed):
+                self.local.revert(demand.lsp_id)
+                demand.locally_patched = False
+                self._log(router, "local-revert", f"lsp {demand.lsp_id}")
+
+    def _receive_ad(self, router: Node, ad: LinkStateAd) -> None:
+        changed = self.routers[router].receive(ad)
+        if not changed:
+            return  # stale or duplicate: do not re-flood
+        # Re-flood to all neighbors over surviving links.
+        for neighbor in self.network.operational_view.neighbors(router):
+            self.queue.schedule_in(
+                self.model.per_hop_delay,
+                lambda n=neighbor, a=ad: self._receive_ad(n, a),
+            )
+        # Sources react spf_delay after learning.
+        affected = [
+            d for d in self.demands.values()
+            if d.source == router and d.primary.uses_edge(ad.u, ad.v)
+        ]
+        if affected:
+            self.queue.schedule_in(
+                self.model.spf_delay,
+                lambda ads=ad, ds=tuple(affected): self._source_reacts(router, ads, ds),
+            )
+
+    def _source_reacts(self, router: Node, ad: LinkStateAd, demands) -> None:
+        for demand in demands:
+            if ad.up:
+                if demand.source_restored:
+                    self.source_scheme.recover(demand.source, demand.destination)
+                    demand.source_restored = False
+                    self._log(router, "source-recover", f"-> {demand.destination!r}")
+                continue
+            try:
+                action = self.source_scheme.restore(demand.source, demand.destination)
+            except NoRestorationPath:
+                self._log(router, "source-restore-failed", f"-> {demand.destination!r}")
+                continue
+            demand.source_restored = True
+            self._log(
+                router,
+                "source-restore",
+                f"-> {demand.destination!r} via {action.decomposition.num_pieces} pieces",
+            )
+            # The local patch is superseded; retire it.
+            if demand.locally_patched:
+                self.local.revert(demand.lsp_id)
+                demand.locally_patched = False

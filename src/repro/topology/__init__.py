@@ -1,0 +1,53 @@
+"""Topology generators, loaders, and statistics.
+
+* :mod:`repro.topology.classic` — paper-figure constructions and
+  standard parametric families.
+* :mod:`repro.topology.isp` — synthetic ISP backbone (Table 1 row 1).
+* :mod:`repro.topology.powerlaw` — AS-graph / Internet stand-ins
+  (Table 1 rows 2-3).
+* :mod:`repro.topology.loader` — plain-text persistence.
+* :mod:`repro.topology.stats` — Table 1 statistics.
+"""
+
+from .classic import (
+    comb_graph,
+    complete_graph,
+    cycle_graph,
+    directed_counterexample,
+    four_cycle,
+    grid_graph,
+    path_graph,
+    two_level_star,
+    weighted_comb_graph,
+)
+from .isp import generate_isp_pair, generate_isp_topology
+from .loader import load_edgelist, save_edgelist
+from .powerlaw import (
+    generate_as_graph,
+    generate_internet_graph,
+    preferential_attachment,
+)
+from .stats import TopologyStats, degree_histogram, estimate_powerlaw_exponent, summarize
+
+__all__ = [
+    "TopologyStats",
+    "comb_graph",
+    "complete_graph",
+    "cycle_graph",
+    "degree_histogram",
+    "directed_counterexample",
+    "estimate_powerlaw_exponent",
+    "four_cycle",
+    "generate_as_graph",
+    "generate_internet_graph",
+    "generate_isp_pair",
+    "generate_isp_topology",
+    "grid_graph",
+    "load_edgelist",
+    "path_graph",
+    "preferential_attachment",
+    "save_edgelist",
+    "summarize",
+    "two_level_star",
+    "weighted_comb_graph",
+]

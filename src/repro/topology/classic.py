@@ -1,0 +1,233 @@
+"""Classic and adversarial topologies, including the paper's figures.
+
+These small parametric families are used throughout the tests and the
+theory benchmarks:
+
+* :func:`comb_graph` — Figure 2: tightness of Theorem 1 (after ``k``
+  failures the unique surviving path needs exactly ``k + 1`` original
+  shortest paths).
+* :func:`weighted_comb_graph` — Figure 3: tightness of Theorem 2 (the
+  restoration path is an interleaving of ``k + 1`` base paths and ``k``
+  non-base edges).
+* :func:`two_level_star` — Figure 4: the router-failure pathology where
+  one node failure forces :math:`\\Theta(n)` concatenations.
+* :func:`directed_counterexample` — Figure 5: Theorem 1 fails on
+  directed graphs; a single edge failure forces ``(n-2)/3`` pieces.
+* :func:`four_cycle` — the Section 3 remark: with one base path per
+  pair, some single failure needs three components.
+* plus ordinary :func:`path_graph`, :func:`cycle_graph`,
+  :func:`grid_graph`, :func:`complete_graph` building blocks.
+
+The figures in the PODC paper are drawings; where a drawing leaves
+freedom, the constructions below are chosen so the *stated* extremal
+property provably holds (each docstring spells out the argument).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import TopologyError
+from ..graph.graph import DiGraph, Edge, Graph, Node
+
+
+def path_graph(n: int, weight: float = 1.0) -> Graph:
+    """Simple path ``0 - 1 - ... - (n-1)``."""
+    if n < 1:
+        raise TopologyError("path_graph needs n >= 1")
+    g = Graph()
+    g.add_node(0)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, weight=weight)
+    return g
+
+
+def cycle_graph(n: int, weight: float = 1.0) -> Graph:
+    """Simple cycle on nodes ``0 .. n-1``."""
+    if n < 3:
+        raise TopologyError("cycle_graph needs n >= 3")
+    g = Graph()
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, weight=weight)
+    return g
+
+
+def four_cycle() -> Graph:
+    """The 4-cycle of the Section 3 remark.
+
+    With exactly one base shortest path per node pair, some single link
+    failure always requires three components (two trivial base paths and
+    an edge) to restore — no clever base-set choice avoids it.
+    """
+    return cycle_graph(4)
+
+
+def complete_graph(n: int, weight: float = 1.0) -> Graph:
+    """Complete graph on ``0 .. n-1``."""
+    if n < 1:
+        raise TopologyError("complete_graph needs n >= 1")
+    g = Graph()
+    g.add_node(0)
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j, weight=weight)
+    return g
+
+
+def grid_graph(rows: int, cols: int, weight: float = 1.0) -> Graph:
+    """``rows x cols`` grid; nodes are ``(r, c)`` tuples."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid_graph needs rows, cols >= 1")
+    g = Graph()
+    g.add_node((0, 0))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                g.add_edge((r, c), (r + 1, c), weight=weight)
+            if c + 1 < cols:
+                g.add_edge((r, c), (r, c + 1), weight=weight)
+    return g
+
+
+def comb_graph(k: int) -> tuple[Graph, list[Edge], Node, Node]:
+    """Figure 2: the unweighted comb showing Theorem 1 is tight.
+
+    Spine nodes ``("v", 0) .. ("v", k)`` joined by unit spine edges, and
+    a tooth node ``("t", i)`` over each spine edge, joined to both its
+    endpoints.  Returns ``(graph, spine_edges, s, t)`` where
+    ``spine_edges`` is the failure set ``E_k`` and ``s, t`` are the
+    endpoints of the extremal demand.
+
+    Why the bound is tight: failing the ``k`` spine edges leaves the
+    unique path ``v0, t0, v1, t1, ..., v_k`` of ``2k`` hops.  No tooth
+    node is interior to any original shortest path except in the
+    two-hop pieces ``t_{i-1}, v_i, t_i`` (distance between consecutive
+    teeth is 2), and the first/last hops must stand alone, so every
+    partition into original shortest paths has at least ``k + 1`` parts
+    — and ``[v0 t0], [t0 v1 t1], ..., [t_{k-2} v_{k-1} t_{k-1}],
+    [t_{k-1} v_k]`` achieves it.
+    """
+    if k < 1:
+        raise TopologyError("comb_graph needs k >= 1")
+    g = Graph()
+    spine_edges: list[Edge] = []
+    for i in range(k):
+        v, v_next, tooth = ("v", i), ("v", i + 1), ("t", i)
+        g.add_edge(v, v_next)
+        g.add_edge(v, tooth)
+        g.add_edge(tooth, v_next)
+        spine_edges.append((v, v_next))
+    return g, spine_edges, ("v", 0), ("v", k)
+
+
+def weighted_comb_graph(
+    k: int, segment_hops: int = 2, eps: float = 0.25
+) -> tuple[Graph, list[Edge], Node, Node]:
+    """Figure 3: the weighted comb showing Theorem 2 is tight.
+
+    The graph alternates ``k + 1`` *segments* of unit-weight edges (these
+    survive and are genuine shortest paths) with ``k`` *gadgets*.  Each
+    gadget joins consecutive segment endpoints ``a, b`` two ways:
+
+    * the cheap route ``a - ("f", i) - b`` with weights ``0.5 / 0.5``
+      (total 1) — its first edge is the one that fails;
+    * the direct edge ``(a, b)`` with weight ``1 + eps``.
+
+    Before the failures the cheap route is the unique shortest a→b
+    connection, so the ``1 + eps`` edge is *not* an original shortest
+    path, and no shortest path crosses it (going around via the cheap
+    route is always cheaper).  After failing the ``k`` cheap edges, the
+    unique surviving s→t path interleaves the ``k + 1`` segments with
+    the ``k`` expensive edges — exactly the ``k + 1`` base paths plus
+    ``k`` extra edges of Theorem 2, and no decomposition can do better
+    because each ``1 + eps`` edge belongs to no base path at all.
+
+    Returns ``(graph, failed_edges, s, t)``.
+    """
+    if k < 1:
+        raise TopologyError("weighted_comb_graph needs k >= 1")
+    if segment_hops < 1:
+        raise TopologyError("weighted_comb_graph needs segment_hops >= 1")
+    if not 0 < eps < 0.5:
+        raise TopologyError("eps must lie in (0, 0.5) to keep the gadget extremal")
+    g = Graph()
+    failed: list[Edge] = []
+    node_id = 0
+
+    def fresh() -> int:
+        """Allocate the next node id."""
+        nonlocal node_id
+        node_id += 1
+        return node_id - 1
+
+    start = fresh()
+    g.add_node(start)
+    cursor = start
+    for i in range(k + 1):
+        # Segment of unit edges.
+        for _ in range(segment_hops):
+            nxt = fresh()
+            g.add_edge(cursor, nxt, weight=1.0)
+            cursor = nxt
+        if i == k:
+            break
+        # Gadget between this segment's end and the next segment's start.
+        after = fresh()
+        detour = ("f", i)
+        g.add_edge(cursor, detour, weight=0.5)
+        g.add_edge(detour, after, weight=0.5)
+        g.add_edge(cursor, after, weight=1.0 + eps)
+        failed.append((cursor, detour))
+        cursor = after
+    return g, failed, start, cursor
+
+
+def two_level_star(n: int) -> tuple[Graph, Node, Node, Node]:
+    """Figure 4: hub-and-ring network where a router failure is Θ(n)-bad.
+
+    A hub ``"v"`` is adjacent to every ring node ``0 .. n-2``, and the
+    ring nodes form a cycle.  Every pair of non-adjacent routers is at
+    distance 2 (via the hub), so every original shortest path has at
+    most 2 hops.  When the hub fails, the surviving shortest path
+    between antipodal ring nodes ``s = 0`` and ``t = (n-1)//2`` runs
+    around the ring — ``(n-1)//2`` hops — and therefore needs at least
+    ``(n-1)//4`` concatenated base paths.
+
+    Returns ``(graph, hub, s, t)``.
+    """
+    if n < 6:
+        raise TopologyError("two_level_star needs n >= 6")
+    ring_size = n - 1
+    g = Graph()
+    hub: Node = "v"
+    for i in range(ring_size):
+        g.add_edge(i, (i + 1) % ring_size, weight=1.0)
+        g.add_edge(hub, i, weight=1.0)
+    return g, hub, 0, ring_size // 2
+
+
+def directed_counterexample(n: int) -> tuple[DiGraph, Edge, Node, Node]:
+    """Figure 5: Theorem 1 fails on directed graphs.
+
+    Nodes: ``"a"``, ``"b"`` and a chain ``0 → 1 → ... → m-1`` with
+    ``m = n - 2``.  Arcs: ``a → b``;  ``b → i`` and ``i → a`` for every
+    chain node ``i``;  chain arcs ``i → i+1``.
+
+    Every chain pair ``i → j`` with ``j - i > 3`` has its (unique)
+    shortest path through ``a, b`` (3 hops), so original shortest paths
+    along the chain have at most 3 hops.  Node ``a``'s only out-arc is
+    ``a → b``; failing it forces the ``0 → m-1`` route onto the chain —
+    ``m - 1`` hops that decompose into at least ``(m-1)/3 ≈ (n-2)/3``
+    original shortest paths.
+
+    Returns ``(graph, failed_edge, s, t)``.
+    """
+    if n < 8:
+        raise TopologyError("directed_counterexample needs n >= 8")
+    m = n - 2
+    g = DiGraph()
+    g.add_edge("a", "b", weight=1.0)
+    for i in range(m):
+        g.add_edge("b", i, weight=1.0)
+        g.add_edge(i, "a", weight=1.0)
+        if i + 1 < m:
+            g.add_edge(i, i + 1, weight=1.0)
+    return g, ("a", "b"), 0, m - 1

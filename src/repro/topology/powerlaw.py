@@ -1,0 +1,161 @@
+"""Power-law Internet-like topology generators.
+
+The paper's second and third networks are the NLANR AS graph
+(4,746 nodes / 9,878 links, avg degree 4.16) and the Govindan-
+Tangmunarunkit router-level Internet map (40,377 / 101,659, avg degree
+5.035).  Neither data set ships with this repository, so we generate
+structural stand-ins.  Two properties of those graphs drive the
+paper's numbers:
+
+* the **power-law degree distribution** (the paper cites Faloutsos et
+  al.) — reproduced by preferential attachment;
+* heavy **clustering** (peering triangles), which is what makes
+  55-61% of links two-hop-bypassable in Table 3 — reproduced by a
+  Holme-Kim-style *triad formation* step: after a preferential
+  attachment to ``v``, the next link goes, with some probability, to a
+  random neighbor of ``v``, closing a triangle.
+
+:func:`preferential_attachment` implements both, with a fractional
+mean attachment count, using the standard repeated-endpoint sampling
+trick so generating the 40k-node Internet stand-in stays fast.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..exceptions import TopologyError
+from ..graph.graph import Graph
+
+
+def preferential_attachment(
+    n: int,
+    mean_links_per_node: float,
+    seed: int = 1,
+    node_prefix: str = "n",
+    triad_probability: float = 0.0,
+    quad_probability: float = 0.0,
+) -> Graph:
+    """Grow a power-law graph by preferential attachment.
+
+    Each arriving node attaches to ``floor(mean_links_per_node)`` or
+    ``ceil(mean_links_per_node)`` existing nodes (randomized so the
+    mean is *mean_links_per_node*).  The first target is chosen with
+    probability proportional to current degree; each subsequent link
+    closes a triangle with probability *triad_probability* (Holme-Kim
+    triad formation: attach to a random neighbor of the previous
+    target), else closes a 4-cycle with probability *quad_probability*
+    (attach to a random distance-2 node), else is preferential again.
+    Triangles give links 2-hop bypasses and 4-cycles give 3-hop
+    bypasses — the two knobs that calibrate Table 3.  The final
+    average degree is ≈ ``2 * mean_links_per_node``.
+
+    Nodes are ``(node_prefix, i)`` for determinism and readability.
+    """
+    if n < 3:
+        raise TopologyError("preferential_attachment needs n >= 3")
+    if mean_links_per_node < 1:
+        raise TopologyError("mean_links_per_node must be >= 1")
+    if not 0.0 <= triad_probability <= 1.0:
+        raise TopologyError("triad_probability must lie in [0, 1]")
+    if not 0.0 <= quad_probability <= 1.0 - triad_probability:
+        raise TopologyError(
+            "quad_probability must lie in [0, 1 - triad_probability]"
+        )
+    rng = random.Random(seed)
+    graph = Graph()
+    nodes = [(node_prefix, i) for i in range(n)]
+
+    # Seed clique just large enough for the first attachments.
+    seed_size = max(2, int(mean_links_per_node) + 1)
+    for i in range(seed_size):
+        for j in range(i + 1, seed_size):
+            graph.add_edge(nodes[i], nodes[j], weight=1.0)
+
+    # Every edge endpoint appears once; sampling from this list is
+    # sampling proportional to degree.
+    endpoints: list = []
+    for u, v in graph.edges():
+        endpoints.append(u)
+        endpoints.append(v)
+
+    low = int(mean_links_per_node)
+    frac = mean_links_per_node - low
+    for i in range(seed_size, n):
+        node = nodes[i]
+        k = low + (1 if rng.random() < frac else 0)
+        k = min(k, i)  # cannot attach to more nodes than exist
+        targets: list = []
+        chosen: set = set()
+        previous = None
+        guard = 0
+        while len(targets) < k and guard < 200 * k:
+            guard += 1
+            candidate = None
+            if previous is not None:
+                roll = rng.random()
+                if roll < triad_probability:
+                    neighbors = [
+                        w
+                        for w in graph.neighbors(previous)
+                        if w != node and w not in chosen
+                    ]
+                    if neighbors:
+                        candidate = rng.choice(neighbors)
+                elif roll < triad_probability + quad_probability:
+                    hop1 = [w for w in graph.neighbors(previous) if w != node]
+                    if hop1:
+                        mid = rng.choice(hop1)
+                        hop2 = [
+                            w
+                            for w in graph.neighbors(mid)
+                            if w != node and w != previous and w not in chosen
+                        ]
+                        if hop2:
+                            candidate = rng.choice(hop2)
+            if candidate is None:
+                candidate = rng.choice(endpoints)
+            if candidate in chosen or candidate == node:
+                continue
+            chosen.add(candidate)
+            targets.append(candidate)
+            previous = candidate
+        for target in targets:
+            graph.add_edge(node, target, weight=1.0)
+            endpoints.append(node)
+            endpoints.append(target)
+    return graph
+
+
+def generate_as_graph(n: int = 4746, seed: int = 1) -> Graph:
+    """Stand-in for the NLANR AS graph (Table 1: 4,746 nodes, 9,878 links).
+
+    Calibrated to average degree ≈ 4.16 (mean attachment ≈ 2.08) with
+    triad/quad formation matched to Table 3's bypass profile
+    (~61% two-hop and ~31% three-hop bypasses).
+    """
+    return preferential_attachment(
+        n,
+        mean_links_per_node=2.08,
+        seed=seed,
+        node_prefix="as",
+        triad_probability=0.4,
+        quad_probability=0.5,
+    )
+
+
+def generate_internet_graph(n: int = 40377, seed: int = 1) -> Graph:
+    """Stand-in for the router-level Internet map (40,377 / 101,659 links).
+
+    Calibrated to average degree ≈ 5.035 (mean attachment ≈ 2.52) and
+    a ~55%/38% two-/three-hop bypass share (Table 3).  Pass a smaller *n* for
+    CI-speed experiments; the shape is size-invariant.
+    """
+    return preferential_attachment(
+        n,
+        mean_links_per_node=2.52,
+        seed=seed,
+        node_prefix="r",
+        triad_probability=0.3,
+        quad_probability=0.6,
+    )

@@ -1,0 +1,82 @@
+"""Topology statistics — the numbers behind Table 1.
+
+Table 1 of the paper summarizes each test network by node count, link
+count, and average degree.  :func:`summarize` computes those (plus the
+degree distribution and the power-law exponent estimate the paper's
+Internet graphs are known for), and :func:`table1_row` formats the
+paper-style row.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TopologyStats:
+    """Summary statistics of a topology (the Table 1 quantities and more)."""
+
+    name: str
+    nodes: int
+    links: int
+    average_degree: float
+    min_degree: int
+    max_degree: int
+    degree_histogram: dict[int, int] = field(default_factory=dict, compare=False)
+    powerlaw_exponent: float | None = field(default=None, compare=False)
+
+    def table1_row(self) -> str:
+        """The paper's Table 1 row: ``name  nodes  links  avg.deg.``"""
+        return f"{self.name:<12} {self.nodes:>7,} {self.links:>9,} {self.average_degree:>8.3f}"
+
+
+def degree_histogram(graph) -> dict[int, int]:
+    """Map ``degree -> number of nodes with that degree``."""
+    histogram: dict[int, int] = {}
+    for u in graph.nodes:
+        d = graph.degree(u)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+def estimate_powerlaw_exponent(histogram: dict[int, int]) -> float | None:
+    """Least-squares slope of the log-log degree frequency plot.
+
+    The Faloutsos power laws the paper cites state that the degree
+    frequency follows ``f(d) ∝ d^alpha`` with ``alpha < 0``; this
+    returns the fitted ``alpha`` (``None`` if fewer than 3 distinct
+    degrees — too little data for a slope).
+    """
+    points = [
+        (math.log(d), math.log(count))
+        for d, count in histogram.items()
+        if d > 0 and count > 0
+    ]
+    if len(points) < 3:
+        return None
+    n = len(points)
+    sum_x = sum(x for x, _ in points)
+    sum_y = sum(y for _, y in points)
+    sum_xx = sum(x * x for x, _ in points)
+    sum_xy = sum(x * y for x, y in points)
+    denom = n * sum_xx - sum_x * sum_x
+    if denom == 0:
+        return None
+    return (n * sum_xy - sum_x * sum_y) / denom
+
+
+def summarize(graph, name: str = "network") -> TopologyStats:
+    """Compute :class:`TopologyStats` for *graph*."""
+    histogram = degree_histogram(graph)
+    degrees = [d for d, c in histogram.items() for _ in range(c)] or [0]
+    return TopologyStats(
+        name=name,
+        nodes=graph.number_of_nodes(),
+        links=graph.number_of_edges(),
+        average_degree=graph.average_degree(),
+        min_degree=min(degrees),
+        max_degree=max(degrees),
+        degree_histogram=histogram,
+        powerlaw_exponent=estimate_powerlaw_exponent(histogram),
+    )

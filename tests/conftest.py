@@ -1,0 +1,46 @@
+"""Shared fixtures: small graphs with known shortest-path structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.topology.isp import generate_isp_topology
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """3-cycle with unit weights."""
+    return Graph.from_edges([(1, 2), (2, 3), (1, 3)])
+
+
+@pytest.fixture
+def square() -> Graph:
+    """4-cycle 1-2-3-4-1 with unit weights."""
+    return Graph.from_edges([(1, 2), (2, 3), (3, 4), (4, 1)])
+
+
+@pytest.fixture
+def diamond() -> Graph:
+    """Two 2-hop routes 1-2-4 and 1-3-4 plus the chord 2-3."""
+    return Graph.from_edges([(1, 2), (2, 4), (1, 3), (3, 4), (2, 3)])
+
+
+@pytest.fixture
+def weighted_diamond() -> Graph:
+    """Diamond where the 1-2-4 route is strictly cheaper."""
+    return Graph.from_edges(
+        [(1, 2, 1.0), (2, 4, 1.0), (1, 3, 2.0), (3, 4, 2.0), (2, 3, 5.0)]
+    )
+
+
+@pytest.fixture
+def line5() -> Graph:
+    """Path 0-1-2-3-4."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture(scope="session")
+def small_isp() -> Graph:
+    """A 60-node weighted ISP topology (deterministic)."""
+    return generate_isp_topology(n=60, seed=7)

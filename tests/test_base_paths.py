@@ -1,0 +1,190 @@
+"""Tests for base-set representations (Section 3/4.1 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_paths import (
+    AllShortestPathsBase,
+    ExplicitBaseSet,
+    UniqueShortestPathsBase,
+    expanded_base_set,
+    padded_graph,
+    provision_base_set,
+    unique_shortest_path_base,
+)
+from repro.exceptions import NoPath
+from repro.graph.graph import Graph
+from repro.graph.paths import Path
+from repro.graph.shortest_paths import costs_equal, shortest_path_length
+from repro.mpls.network import MplsNetwork
+
+
+class TestAllShortestPathsBase:
+    def test_any_shortest_path_is_base(self, diamond):
+        base = AllShortestPathsBase(diamond)
+        assert base.is_base_path(Path([1, 2, 4]))
+        assert base.is_base_path(Path([1, 3, 4]))
+
+    def test_non_shortest_rejected(self, diamond):
+        base = AllShortestPathsBase(diamond)
+        assert not base.is_base_path(Path([1, 2, 3, 4]))
+
+    def test_invalid_path_rejected(self, diamond):
+        base = AllShortestPathsBase(diamond)
+        assert not base.is_base_path(Path([1, 4]))
+
+    def test_trivial_rejected(self, diamond):
+        assert not AllShortestPathsBase(diamond).is_base_path(Path([1]))
+
+    def test_edges_always_base_by_default(self, weighted_diamond):
+        base = AllShortestPathsBase(weighted_diamond)
+        # Edge (2,3) costs 5 but dist(2,3) is 2 — still admitted as an edge.
+        assert base.is_base_path(Path([2, 3]))
+        strict = AllShortestPathsBase(weighted_diamond, include_all_edges=False)
+        assert not strict.is_base_path(Path([2, 3]))
+
+    def test_path_for_returns_shortest(self, weighted_diamond):
+        base = AllShortestPathsBase(weighted_diamond)
+        p = base.path_for(1, 4)
+        assert p.cost(weighted_diamond) == 2.0
+
+    def test_has_pair(self, diamond):
+        base = AllShortestPathsBase(diamond)
+        assert base.has_pair(1, 4)
+        assert not base.has_pair(1, 1)
+
+    def test_disconnected_pair(self):
+        g = Graph.from_edges([(1, 2), (3, 4)])
+        base = AllShortestPathsBase(g)
+        assert not base.has_pair(1, 3)
+        assert not base.is_base_path(Path([1, 3]))
+
+    def test_iter_canonical_covers_all_ordered_pairs(self, triangle):
+        base = AllShortestPathsBase(triangle)
+        assert len(list(base.iter_canonical_paths())) == 6
+
+
+class TestUniqueShortestPathsBase:
+    def test_exactly_one_of_two_ties_is_base(self, diamond):
+        base = UniqueShortestPathsBase(diamond, seed=1)
+        candidates = [Path([1, 2, 4]), Path([1, 3, 4])]
+        memberships = [base.is_base_path(p) for p in candidates]
+        assert memberships.count(True) == 1
+
+    def test_canonical_path_is_base(self, diamond):
+        base = UniqueShortestPathsBase(diamond, seed=1)
+        assert base.is_base_path(base.path_for(1, 4))
+
+    def test_subpath_closure(self, small_isp):
+        base = UniqueShortestPathsBase(small_isp, seed=2)
+        nodes = sorted(small_isp.nodes, key=repr)
+        path = base.path_for(nodes[0], nodes[-1])
+        for sub in path.all_subpaths(min_hops=1):
+            assert base.is_base_path(sub)
+
+    def test_canonical_is_truly_shortest(self, small_isp):
+        base = UniqueShortestPathsBase(small_isp, seed=1)
+        nodes = sorted(small_isp.nodes, key=repr)
+        for s, t in [(nodes[0], nodes[10]), (nodes[3], nodes[40])]:
+            p = base.path_for(s, t)
+            assert costs_equal(p.cost(small_isp), shortest_path_length(small_isp, s, t))
+
+    def test_edges_admitted(self, weighted_diamond):
+        base = UniqueShortestPathsBase(weighted_diamond)
+        assert base.is_base_path(Path([2, 3]))
+
+
+class TestExplicitBaseSet:
+    def test_membership_exact(self, diamond):
+        base = ExplicitBaseSet(diamond, [Path([1, 2, 4])])
+        assert base.is_base_path(Path([1, 2, 4]))
+        assert not base.is_base_path(Path([1, 3, 4]))
+
+    def test_add_validates(self, diamond):
+        base = ExplicitBaseSet(diamond)
+        with pytest.raises(ValueError):
+            base.add(Path([1, 9]))
+        with pytest.raises(ValueError):
+            base.add(Path([1]))
+
+    def test_canonical_is_first_added(self, diamond):
+        base = ExplicitBaseSet(diamond, [Path([1, 2, 4]), Path([1, 3, 4])])
+        assert base.path_for(1, 4) == Path([1, 2, 4])
+        assert len(base) == 2
+
+    def test_include_all_edges(self, diamond):
+        base = ExplicitBaseSet(diamond, include_all_edges=True)
+        assert base.is_base_path(Path([1, 2]))
+        assert base.path_for(1, 2) == Path([1, 2])
+        assert base.has_pair(1, 2)
+
+    def test_missing_pair_raises(self, diamond):
+        with pytest.raises(NoPath):
+            ExplicitBaseSet(diamond).path_for(1, 4)
+
+    def test_close_under_subpaths(self, line5):
+        base = ExplicitBaseSet(line5, [Path([0, 1, 2, 3, 4])])
+        base.close_under_subpaths()
+        assert base.is_base_path(Path([1, 2, 3]))
+        assert base.is_base_path(Path([2, 3]))
+        # 4+3+2+1 = 10 subpaths with >= 1 hop
+        assert len(base) == 10
+
+
+class TestPaddedGraph:
+    def test_pads_preserve_topology(self, diamond):
+        padded = padded_graph(diamond, seed=1)
+        assert sorted(padded.edges()) == sorted(diamond.edges())
+
+    def test_pads_are_tiny_and_positive(self, diamond):
+        padded = padded_graph(diamond, seed=1)
+        for u, v, w in padded.weighted_edges():
+            assert diamond.weight(u, v) <= w < diamond.weight(u, v) + 1e-4
+
+    def test_pads_break_ties(self, diamond):
+        padded = padded_graph(diamond, seed=1, scale=1e-6)
+        a = Path([1, 2, 4]).cost(padded)
+        b = Path([1, 3, 4]).cost(padded)
+        assert a != b
+
+    def test_empty_graph(self):
+        assert padded_graph(Graph()).number_of_nodes() == 0
+
+
+class TestExplicitFactories:
+    def test_unique_base_has_one_path_per_pair(self, square):
+        base = unique_shortest_path_base(square, seed=1)
+        # 4 nodes -> 12 ordered pairs, one canonical path each.
+        assert len(list(base.iter_canonical_paths())) == 12
+
+    def test_unique_base_subpath_closed_flag(self, line5):
+        base = unique_shortest_path_base(line5, seed=1, subpath_closed=True)
+        assert base.is_base_path(Path([1, 2, 3]))
+
+    def test_expanded_base_is_larger(self, square):
+        unique = unique_shortest_path_base(square, seed=1)
+        expanded = expanded_base_set(square, seed=1)
+        assert len(expanded) > len(unique)
+
+    def test_expanded_contains_edge_extensions(self, line5):
+        expanded = expanded_base_set(line5, seed=1)
+        # The path 0..3 extended by edge (3,4) must be present.
+        assert expanded.is_base_path(Path([0, 1, 2, 3, 4]))
+
+
+class TestProvisioning:
+    def test_provisions_each_path_once(self, diamond):
+        net = MplsNetwork(diamond)
+        base = AllShortestPathsBase(diamond)
+        registry = provision_base_set(net, base, pairs=[(1, 4), (4, 1)])
+        assert len(registry) == 2
+        for path, lsp_id in registry.items():
+            assert net.get_lsp(lsp_id).path == path
+
+    def test_provision_all_canonical(self, triangle):
+        net = MplsNetwork(triangle)
+        base = AllShortestPathsBase(triangle)
+        registry = provision_base_set(net, base)
+        assert len(registry) == 6
+        assert net.total_ilm_size() == 12  # 6 one-hop LSPs x 2 routers

@@ -1,0 +1,135 @@
+"""Tests for components, bridges, and articulation points (vs networkx)."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.graph import Graph
+from repro.graph.connectivity import (
+    articulation_points,
+    bridges,
+    connected_components,
+    edge_disconnects,
+    is_connected,
+    is_two_edge_connected,
+    largest_component,
+)
+
+
+class TestComponents:
+    def test_single_component(self, triangle):
+        assert is_connected(triangle)
+        assert connected_components(triangle) == [{1, 2, 3}]
+
+    def test_two_components(self):
+        g = Graph.from_edges([(1, 2), (3, 4), (4, 5)])
+        comps = sorted(connected_components(g), key=len)
+        assert comps == [{1, 2}, {3, 4, 5}]
+        assert not is_connected(g)
+        assert largest_component(g) == {3, 4, 5}
+
+    def test_empty_graph(self):
+        g = Graph()
+        assert connected_components(g) == []
+        assert not is_connected(g)
+        assert largest_component(g) == set()
+
+    def test_isolated_node(self):
+        g = Graph()
+        g.add_node(1)
+        assert is_connected(g)
+
+    def test_components_respect_view(self, square):
+        view = square.without(edges=[(1, 2), (3, 4)])
+        comps = sorted(map(sorted, connected_components(view)))
+        assert comps == [[1, 4], [2, 3]]
+
+
+class TestBridges:
+    def test_cycle_has_no_bridges(self, square):
+        assert bridges(square) == set()
+        assert is_two_edge_connected(square)
+
+    def test_tree_edges_are_all_bridges(self, line5):
+        assert bridges(line5) == {(0, 1), (1, 2), (2, 3), (3, 4)}
+        assert not is_two_edge_connected(line5)
+
+    def test_barbell(self):
+        # Two triangles joined by a single edge: only that edge is a bridge.
+        g = Graph.from_edges(
+            [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6), (3, 4)]
+        )
+        assert bridges(g) == {(3, 4)}
+        assert edge_disconnects(g, 3, 4)
+        assert not edge_disconnects(g, 1, 2)
+
+    def test_bridges_in_view(self, square):
+        # Removing one cycle edge turns the rest into bridges.
+        view = square.without(edges=[(1, 2)])
+        assert bridges(view) == {(2, 3), (3, 4), (1, 4)}
+
+
+class TestArticulationPoints:
+    def test_cycle_has_none(self, square):
+        assert articulation_points(square) == set()
+
+    def test_path_interior_nodes(self, line5):
+        assert articulation_points(line5) == {1, 2, 3}
+
+    def test_star_center(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert articulation_points(g) == {0}
+
+    def test_barbell_joint(self):
+        g = Graph.from_edges(
+            [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6), (3, 4)]
+        )
+        assert articulation_points(g) == {3, 4}
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(3, 20))
+    g = Graph()
+    g.add_node(0)
+    for i in range(1, n):
+        if draw(st.booleans()):
+            g.add_edge(draw(st.integers(0, i - 1)), i)
+        else:
+            g.add_node(i)
+    for u, v in draw(
+        st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=30)
+    ):
+        if u < n and v < n and u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+def _to_nx(g):
+    gx = nx.Graph()
+    for u in g.nodes:
+        gx.add_node(u)
+    for u, v in g.edges():
+        gx.add_edge(u, v)
+    return gx
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_graphs())
+def test_bridges_match_networkx(g):
+    assert bridges(g) == {tuple(sorted(e)) for e in nx.bridges(_to_nx(g))}
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_graphs())
+def test_articulation_points_match_networkx(g):
+    assert articulation_points(g) == set(nx.articulation_points(_to_nx(g)))
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_graphs())
+def test_components_match_networkx(g):
+    ours = sorted(map(sorted, connected_components(g)))
+    theirs = sorted(map(sorted, nx.connected_components(_to_nx(g))))
+    assert ours == theirs

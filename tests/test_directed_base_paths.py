@@ -1,0 +1,104 @@
+"""Directed base paths (Section 3, Remark).
+
+"In the context of MPLS, it makes sense to have directed base paths
+(since the label distribution protocol is a directed protocol)."  The
+remark: Theorem 3's construction carries over with a base set of size
+n(n-1) (one path per *ordered* pair).  These tests exercise the base
+machinery on directed graphs, including the Figure 5 counterexample
+where the unweighted k+1 bound provably fails.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.base_paths import UniqueShortestPathsBase, padded_graph
+from repro.core.decomposition import min_pieces_decompose
+from repro.exceptions import NoPath
+from repro.graph.graph import DiGraph
+from repro.graph.shortest_paths import shortest_path
+from repro.topology.classic import directed_counterexample
+
+
+def random_digraph(seed: int, n: int = 14) -> DiGraph:
+    rng = random.Random(seed)
+    g = DiGraph()
+    # A directed cycle guarantees strong connectivity, then extra arcs.
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, weight=rng.choice([1, 2, 3]))
+    for _ in range(2 * n):
+        u, v = rng.sample(range(n), 2)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v, weight=rng.choice([1, 2, 3]))
+    return g
+
+
+class TestPaddedDigraph:
+    def test_padding_preserves_directedness(self):
+        g = random_digraph(1)
+        padded = padded_graph(g, seed=1)
+        assert padded.directed
+        assert padded.number_of_edges() == g.number_of_edges()
+        for u, v in g.edges():
+            assert padded.has_edge(u, v)
+
+
+class TestDirectedUniqueBase:
+    def test_one_base_path_per_ordered_pair(self):
+        g = random_digraph(2)
+        base = UniqueShortestPathsBase(g, seed=1)
+        count = sum(1 for _ in base.iter_canonical_paths())
+        n = g.number_of_nodes()
+        assert count == n * (n - 1)  # strongly connected
+
+    def test_forward_and_reverse_pairs_are_independent(self):
+        g = DiGraph()
+        g.add_edge("a", "b", weight=1.0)
+        g.add_edge("b", "c", weight=1.0)
+        g.add_edge("c", "a", weight=1.0)
+        base = UniqueShortestPathsBase(g)
+        assert base.path_for("a", "b").hops == 1
+        assert base.path_for("b", "a").hops == 2  # must go around
+
+    def test_directed_membership(self):
+        g = random_digraph(3)
+        base = UniqueShortestPathsBase(g, seed=1)
+        p = base.path_for(0, 7)
+        assert base.is_base_path(p)
+        # The reversed walk is generally not even a valid directed path.
+        if not all(g.has_edge(v, u) for u, v in p.edges()):
+            assert not base.is_base_path(p.reversed())
+
+    def test_restoration_on_random_digraphs(self):
+        rng = random.Random(5)
+        for seed in range(5):
+            g = random_digraph(seed)
+            base = UniqueShortestPathsBase(g, seed=1)
+            s, t = rng.sample(sorted(g.nodes), 2)
+            primary = base.path_for(s, t)
+            if primary.hops < 1:
+                continue
+            failed_arc = next(iter(primary.edges()))
+            view = g.without(edges=[failed_arc])
+            try:
+                backup = shortest_path(view, s, t)
+            except NoPath:
+                continue
+            decomposition = min_pieces_decompose(backup, base, allow_edges=True)
+            assert decomposition.path == backup
+
+
+class TestFigure5Blowup:
+    """The directed counterexample: no k+1 analogue of Theorem 1."""
+
+    @pytest.mark.parametrize("n", [10, 20, 40])
+    def test_pieces_grow_linearly(self, n):
+        g, failed, s, t = directed_counterexample(n)
+        base = UniqueShortestPathsBase(g, include_all_edges=False)
+        view = g.without(edges=[failed])
+        backup = shortest_path(view, s, t, weighted=False)
+        decomposition = min_pieces_decompose(backup, base, allow_edges=True)
+        # One edge failure, yet Θ(n) components are required.
+        assert decomposition.num_pieces >= (n - 3) // 3

@@ -1,0 +1,31 @@
+"""Run the library's doctests — the examples in docstrings must stay true."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.graph.graph
+import repro.graph.heap
+import repro.graph.paths
+import repro.graph.spt
+import repro.mpls.labels
+import repro.topology.classic
+
+MODULES = [
+    repro,
+    repro.graph.graph,
+    repro.graph.heap,
+    repro.graph.paths,
+    repro.graph.spt,
+    repro.mpls.labels,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"
+    assert result.attempted > 0, f"no doctests found in {module.__name__}"

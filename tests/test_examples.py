@@ -1,0 +1,37 @@
+"""Smoke tests: every shipped example must run clean end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("isp_link_failure.py", ["--pairs", "6"]),
+    ("local_vs_source.py", []),
+    ("multi_failure_storm.py", ["--failures", "2"]),
+    ("event_driven_failover.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES, ids=[name for name, _ in EXAMPLES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must narrate what they do"
+
+
+def test_examples_dir_is_fully_covered():
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    tested = {name for name, _ in EXAMPLES}
+    assert shipped == tested, f"untested examples: {shipped - tested}"

@@ -1,0 +1,116 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+from repro import exceptions as exc
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        roots = [
+            exc.GraphError,
+            exc.MPLSError,
+            exc.RestorationError,
+            exc.RoutingError,
+            exc.TopologyError,
+        ]
+        for error in roots:
+            assert issubclass(error, exc.ReproError)
+
+    def test_graph_family(self):
+        for error in (
+            exc.NodeNotFound,
+            exc.EdgeNotFound,
+            exc.NoPath,
+            exc.InvalidPath,
+            exc.NegativeWeight,
+        ):
+            assert issubclass(error, exc.GraphError)
+
+    def test_mpls_family(self):
+        for error in (
+            exc.LabelSpaceExhausted,
+            exc.LabelNotFound,
+            exc.ForwardingLoop,
+            exc.TTLExpired,
+            exc.LSPNotFound,
+            exc.SignalingError,
+        ):
+            assert issubclass(error, exc.MPLSError)
+
+    def test_restoration_family(self):
+        assert issubclass(exc.DecompositionError, exc.RestorationError)
+        assert issubclass(exc.NoRestorationPath, exc.RestorationError)
+
+    def test_one_except_clause_catches_all(self, diamond):
+        from repro.graph.shortest_paths import shortest_path
+
+        with pytest.raises(exc.ReproError):
+            shortest_path(diamond, 1, 99)
+
+
+def iter_repro_modules():
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield module_info.name
+
+
+class TestApiSurface:
+    def test_all_modules_import(self):
+        names = list(iter_repro_modules())
+        assert len(names) > 30
+        for name in names:
+            importlib.import_module(name)
+
+    @pytest.mark.parametrize(
+        "package",
+        [
+            "repro.graph",
+            "repro.topology",
+            "repro.mpls",
+            "repro.routing",
+            "repro.failures",
+            "repro.core",
+            "repro.sim",
+            "repro.experiments",
+        ],
+    )
+    def test_package_all_resolves(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} in __all__ but missing"
+
+    @pytest.mark.parametrize(
+        "package",
+        [
+            "repro.graph",
+            "repro.topology",
+            "repro.mpls",
+            "repro.routing",
+            "repro.failures",
+            "repro.core",
+            "repro.sim",
+        ],
+    )
+    def test_all_is_sorted(self, package):
+        module = importlib.import_module(package)
+        assert list(module.__all__) == sorted(module.__all__)
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_public_items_have_docstrings(self):
+        undocumented = []
+        for package in ("repro.graph", "repro.mpls", "repro.core"):
+            module = importlib.import_module(package)
+            for name in module.__all__:
+                item = getattr(module, name)
+                if callable(item) and not (item.__doc__ or "").strip():
+                    undocumented.append(f"{package}.{name}")
+        assert not undocumented, f"missing docstrings: {undocumented}"

@@ -1,0 +1,138 @@
+"""Tests for failure scenarios and the Section 5 sampling methodology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failures.models import FailureScenario
+from repro.failures.sampler import (
+    FAILURE_MODES,
+    cases_for_pair,
+    link_failure_cases,
+    random_link_scenarios,
+    router_failure_cases,
+    sample_pairs,
+)
+from repro.graph.graph import Graph
+from repro.graph.paths import Path
+
+
+class TestScenario:
+    def test_single_link(self):
+        s = FailureScenario.single_link(2, 1)
+        assert s.links == frozenset({(1, 2)})
+        assert s.k_links == 1 and s.k_routers == 0
+
+    def test_apply_removes_failures(self, diamond):
+        s = FailureScenario.link_set([(1, 2)]).merge(
+            FailureScenario.single_router(3)
+        )
+        view = s.apply(diamond)
+        assert not view.has_edge(1, 2)
+        assert not view.has_node(3)
+
+    def test_effective_k_counts_router_edges(self, diamond):
+        s = FailureScenario.single_router(2)
+        assert s.effective_k_edges(diamond) == 3  # deg(2) = 3
+
+    def test_effective_k_deduplicates(self, diamond):
+        s = FailureScenario.link_set([(1, 2)]).merge(FailureScenario.single_router(2))
+        # Edge (1,2) counted once even though it is failed and incident.
+        assert s.effective_k_edges(diamond) == 3
+
+    def test_disturbs_edge_and_router(self):
+        p = Path([1, 2, 3])
+        assert FailureScenario.single_link(2, 1).disturbs(p)
+        assert FailureScenario.single_router(2).disturbs(p)
+        assert not FailureScenario.single_link(3, 4).disturbs(p)
+        assert not FailureScenario.single_router(9).disturbs(p)
+
+    def test_empty(self):
+        assert FailureScenario().is_empty
+
+
+class TestSamplePairs:
+    def test_count_and_determinism(self, small_isp):
+        a = sample_pairs(small_isp, 20, seed=5)
+        b = sample_pairs(small_isp, 20, seed=5)
+        assert a == b
+        assert len(a) == 20
+        assert all(s != t for s, t in a)
+
+    def test_distinct_pairs(self, small_isp):
+        pairs = sample_pairs(small_isp, 30, seed=1)
+        assert len(set(pairs)) == 30
+
+    def test_connected_requirement(self):
+        g = Graph.from_edges([(1, 2), (3, 4)])
+        pairs = sample_pairs(g, 2, seed=1)
+        components = ({1, 2}, {3, 4})
+        for s, t in pairs:
+            assert any(s in c and t in c for c in components)
+
+    def test_impossible_count_raises(self):
+        g = Graph.from_edges([(1, 2)])
+        with pytest.raises(ValueError):
+            sample_pairs(g, 50, seed=1)
+
+    def test_too_few_nodes_raises(self):
+        g = Graph()
+        g.add_node(1)
+        with pytest.raises(ValueError):
+            sample_pairs(g, 1)
+
+
+class TestCaseGeneration:
+    def test_single_link_cases_cover_path_edges(self):
+        primary = Path([1, 2, 3, 4])
+        cases = list(link_failure_cases((1, 4), primary, k=1))
+        assert len(cases) == 3
+        assert {next(iter(c.scenario.links)) for c in cases} == {
+            (1, 2),
+            (2, 3),
+            (3, 4),
+        }
+
+    def test_two_link_cases_are_pairs(self):
+        primary = Path([1, 2, 3, 4])
+        cases = list(link_failure_cases((1, 4), primary, k=2))
+        assert len(cases) == 3  # C(3, 2)
+        assert all(c.scenario.k_links == 2 for c in cases)
+
+    def test_short_path_has_no_two_link_cases(self):
+        primary = Path([1, 2])
+        assert list(link_failure_cases((1, 2), primary, k=2)) == []
+
+    def test_router_cases_exclude_endpoints(self):
+        primary = Path([1, 2, 3, 4])
+        cases = list(router_failure_cases((1, 4), primary, k=1))
+        assert {next(iter(c.scenario.routers)) for c in cases} == {2, 3}
+
+    def test_two_router_cases(self):
+        primary = Path([1, 2, 3, 4, 5])
+        cases = list(router_failure_cases((1, 5), primary, k=2))
+        assert len(cases) == 3  # C(3, 2)
+
+    def test_dispatch_modes(self):
+        primary = Path([1, 2, 3, 4])
+        for mode in FAILURE_MODES:
+            assert list(cases_for_pair((1, 4), primary, mode)) is not None
+        with pytest.raises(ValueError):
+            list(cases_for_pair((1, 4), primary, "meteor-strike"))
+
+
+class TestRandomScenarios:
+    def test_counts_and_k(self, small_isp):
+        scenarios = random_link_scenarios(small_isp, 10, k=2, seed=3)
+        assert len(scenarios) == 10
+        assert all(s.k_links == 2 for s in scenarios)
+
+    def test_deterministic(self, small_isp):
+        a = random_link_scenarios(small_isp, 5, k=1, seed=3)
+        b = random_link_scenarios(small_isp, 5, k=1, seed=3)
+        assert a == b
+
+    def test_too_few_edges_raises(self):
+        g = Graph.from_edges([(1, 2)])
+        with pytest.raises(ValueError):
+            random_link_scenarios(g, 1, k=2)

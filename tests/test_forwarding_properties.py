@@ -1,0 +1,126 @@
+"""Property tests of the forwarding engine: every packet terminates.
+
+The data plane must never hang, crash, or mis-report, no matter what
+(mis)configuration it is given: random label stacks, random failures,
+torn-down LSPs mid-chain.  The status taxonomy must stay truthful —
+``DELIVERED`` iff the packet really stands at its destination with an
+empty stack.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.base_paths import UniqueShortestPathsBase, provision_base_set
+from repro.graph.graph import Graph
+from repro.mpls.ilm import IlmEntry
+from repro.mpls.network import ForwardingStatus, MplsNetwork
+from repro.topology.isp import generate_isp_topology
+
+
+@st.composite
+def random_mpls_worlds(draw):
+    """A small ISP with random LSPs chained into random FEC entries."""
+    seed = draw(st.integers(0, 50))
+    graph = generate_isp_topology(n=20, seed=seed)
+    net = MplsNetwork(graph)
+    base = UniqueShortestPathsBase(graph)
+    nodes = sorted(graph.nodes, key=repr)
+    rng = random.Random(draw(st.integers(0, 10_000)))
+
+    lsp_ids = []
+    for _ in range(draw(st.integers(1, 6))):
+        s, t = rng.sample(nodes, 2)
+        path = base.path_for(s, t)
+        if path.hops >= 1:
+            lsp_ids.append(net.provision_lsp(path, php=rng.random() < 0.3).lsp_id)
+
+    # Random (possibly invalid) FEC chains: set_fec validates, so build
+    # only valid chains but allow later teardowns to invalidate them.
+    for lsp_id in lsp_ids:
+        lsp = net.get_lsp(lsp_id)
+        try:
+            net.set_fec(lsp.head, lsp.tail, [lsp_id])
+        except Exception:
+            pass
+
+    # Random failures and teardowns.
+    for _ in range(draw(st.integers(0, 3))):
+        u, v = rng.choice(sorted(graph.edges(), key=repr))
+        net.fail_link(u, v)
+    if lsp_ids and rng.random() < 0.4:
+        victim = rng.choice(lsp_ids)
+        net.teardown_lsp(victim)
+
+    return net, nodes, rng
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_mpls_worlds())
+def test_every_injection_terminates_with_definite_status(world):
+    net, nodes, rng = world
+    for _ in range(10):
+        s, t = rng.sample(nodes, 2)
+        result = net.inject(s, t)
+        assert isinstance(result.status, ForwardingStatus)
+        if result.delivered:
+            assert result.walk[-1] == t
+            assert result.packet.label_stack == []
+        else:
+            assert result.drop_router is not None
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_mpls_worlds(), st.integers(0, 2**20 - 1))
+def test_garbage_label_stacks_never_crash(world, label):
+    net, nodes, rng = world
+    s, t = rng.sample(nodes, 2)
+    result = net.send_with_stack(s, [label], t)
+    assert isinstance(result.status, ForwardingStatus)
+
+
+def test_adversarial_ilm_rewiring_is_loop_safe():
+    """Randomly rewired swap entries must hit the loop/TTL guards, not hang."""
+    graph = generate_isp_topology(n=15, seed=3)
+    net = MplsNetwork(graph)
+    base = UniqueShortestPathsBase(graph)
+    registry = provision_base_set(net, base)
+    rng = random.Random(7)
+    nodes = sorted(graph.nodes, key=repr)
+    # Corrupt half the ILM entries to point at random neighbors/labels.
+    for name in nodes:
+        router = net.routers[name]
+        for label in list(router.ilm.labels()):
+            if rng.random() < 0.5:
+                neighbor = rng.choice(sorted(graph.neighbors(name), key=repr))
+                router.ilm.install(
+                    label,
+                    IlmEntry(push=(rng.randrange(16, 4000),), next_hop=neighbor),
+                )
+    terminal = {
+        ForwardingStatus.DELIVERED,
+        ForwardingStatus.DROPPED_LOOP,
+        ForwardingStatus.DROPPED_TTL_EXPIRED,
+        ForwardingStatus.DROPPED_NO_ILM_ENTRY,
+        ForwardingStatus.DROPPED_NO_FEC_ENTRY,
+        ForwardingStatus.DROPPED_LINK_DOWN,
+        ForwardingStatus.DROPPED_ROUTER_DOWN,
+    }
+    for path, lsp_id in list(registry.items())[:40]:
+        result = net.send_on_lsps([lsp_id])
+        assert result.status in terminal
+
+
+def test_delivery_status_is_never_false_positive():
+    """DELIVERED must mean standing at the IP destination, stack empty."""
+    from repro.graph.paths import Path
+
+    graph = Graph.from_edges([(1, 2), (2, 3), (1, 3)])
+    net = MplsNetwork(graph)
+    lsp = net.provision_lsp(Path([1, 2, 3]))
+    # Send to a *different* IP destination than the LSP tail.
+    result = net.send_on_lsps([lsp.lsp_id], destination=1)
+    assert not result.delivered
+    assert result.status is ForwardingStatus.DROPPED_NO_FEC_ENTRY

@@ -1,0 +1,158 @@
+"""Unit and property tests for the addressable binary heap."""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.heap import AddressableHeap
+
+
+class TestBasics:
+    def test_empty_heap_is_falsy(self):
+        heap = AddressableHeap()
+        assert not heap
+        assert len(heap) == 0
+
+    def test_push_pop_single(self):
+        heap = AddressableHeap()
+        heap.push("a", 5)
+        assert heap.pop() == ("a", 5)
+        assert not heap
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().peek()
+
+    def test_peek_does_not_remove(self):
+        heap = AddressableHeap()
+        heap.push("a", 1)
+        assert heap.peek() == ("a", 1)
+        assert len(heap) == 1
+
+    def test_pops_in_priority_order(self):
+        heap = AddressableHeap()
+        for item, priority in [("c", 3), ("a", 1), ("d", 4), ("b", 2)]:
+            heap.push(item, priority)
+        assert [heap.pop() for _ in range(4)] == [
+            ("a", 1),
+            ("b", 2),
+            ("c", 3),
+            ("d", 4),
+        ]
+
+    def test_duplicate_push_raises(self):
+        heap = AddressableHeap()
+        heap.push("a", 1)
+        with pytest.raises(ValueError):
+            heap.push("a", 2)
+
+    def test_contains_and_priority(self):
+        heap = AddressableHeap()
+        heap.push("a", 7)
+        assert "a" in heap
+        assert "b" not in heap
+        assert heap.priority("a") == 7
+        with pytest.raises(KeyError):
+            heap.priority("b")
+
+    def test_iter_yields_all_items(self):
+        heap = AddressableHeap()
+        for i in range(10):
+            heap.push(i, i)
+        assert sorted(heap) == list(range(10))
+
+
+class TestDecreaseKey:
+    def test_decrease_key_reorders(self):
+        heap = AddressableHeap()
+        heap.push("a", 10)
+        heap.push("b", 5)
+        heap.decrease_key("a", 1)
+        assert heap.pop() == ("a", 1)
+
+    def test_decrease_key_to_equal_is_allowed(self):
+        heap = AddressableHeap()
+        heap.push("a", 5)
+        heap.decrease_key("a", 5)
+        assert heap.priority("a") == 5
+
+    def test_increase_via_decrease_key_raises(self):
+        heap = AddressableHeap()
+        heap.push("a", 1)
+        with pytest.raises(ValueError):
+            heap.decrease_key("a", 2)
+
+    def test_decrease_key_missing_raises(self):
+        with pytest.raises(KeyError):
+            AddressableHeap().decrease_key("a", 1)
+
+    def test_push_or_decrease_inserts(self):
+        heap = AddressableHeap()
+        assert heap.push_or_decrease("a", 3)
+        assert heap.priority("a") == 3
+
+    def test_push_or_decrease_improves(self):
+        heap = AddressableHeap()
+        heap.push("a", 3)
+        assert heap.push_or_decrease("a", 1)
+        assert heap.priority("a") == 1
+
+    def test_push_or_decrease_rejects_worse(self):
+        heap = AddressableHeap()
+        heap.push("a", 1)
+        assert not heap.push_or_decrease("a", 3)
+        assert heap.priority("a") == 1
+
+
+class TestAgainstHeapq:
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(-100, 100)), max_size=200))
+    def test_matches_heapq_on_final_priorities(self, operations):
+        """Push-or-decrease sequences: final pop order matches a reference."""
+        heap = AddressableHeap()
+        best: dict[int, int] = {}
+        for item, priority in operations:
+            heap.push_or_decrease(item, priority)
+            if item not in best or priority < best[item]:
+                best[item] = priority
+        reference = sorted((p, i) for i, p in best.items())
+        popped = []
+        while heap:
+            item, priority = heap.pop()
+            popped.append((priority, item))
+        assert sorted(popped) == reference
+        # Priorities must also come out in nondecreasing order.
+        assert [p for p, _ in popped] == sorted(p for p, _ in popped)
+
+    def test_random_interleaving_of_ops(self):
+        rng = random.Random(42)
+        heap = AddressableHeap()
+        mirror: dict[int, float] = {}
+        for _ in range(2000):
+            op = rng.random()
+            if op < 0.5 or not mirror:
+                item = rng.randrange(500)
+                priority = rng.random()
+                if heap.push_or_decrease(item, priority):
+                    if item not in mirror or priority < mirror[item]:
+                        mirror[item] = priority
+            elif op < 0.8:
+                item, priority = heap.pop()
+                assert mirror.pop(item) == priority
+                assert all(priority <= p for p in mirror.values())
+            else:
+                item = rng.choice(list(mirror))
+                new_priority = mirror[item] * rng.random()
+                heap.decrease_key(item, new_priority)
+                mirror[item] = new_priority
+        while heap:
+            item, priority = heap.pop()
+            assert mirror.pop(item) == priority
+        assert not mirror

@@ -1,0 +1,129 @@
+"""Tests for the hybrid scheme and the per-link FEC update planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_paths import AllShortestPathsBase, UniqueShortestPathsBase
+from repro.core.hybrid import HybridTimeline, hybrid_timeline
+from repro.core.local_restoration import LocalStrategy
+from repro.core.planner import FailurePlanner
+from repro.failures.sampler import sample_pairs
+from repro.graph.graph import Graph
+from repro.graph.paths import Path
+from repro.graph.shortest_paths import shortest_path_length
+from repro.routing.flooding import FloodingModel
+
+
+class TestHybridTimeline:
+    def _timeline(self, graph, s, t, strategy=LocalStrategy.EDGE_BYPASS):
+        base = AllShortestPathsBase(graph)
+        primary = base.path_for(s, t)
+        failed = list(primary.edges())[0]
+        return hybrid_timeline(graph, primary, failed, strategy=strategy)
+
+    def test_local_engages_before_source(self, small_isp):
+        nodes = sorted(small_isp.nodes, key=repr)
+        timeline = self._timeline(small_isp, nodes[0], nodes[-1])
+        assert timeline.local_time < timeline.source_time
+        assert timeline.outage == timeline.local_time
+        assert timeline.interim_window > 0
+
+    def test_route_at_phases(self, small_isp):
+        nodes = sorted(small_isp.nodes, key=repr)
+        timeline = self._timeline(small_isp, nodes[0], nodes[-1])
+        assert timeline.route_at(0.0) is None
+        assert timeline.route_at(timeline.local_time) == timeline.local_route
+        assert timeline.route_at(timeline.source_time + 1) == timeline.source_route
+
+    def test_source_route_is_optimal(self, small_isp):
+        nodes = sorted(small_isp.nodes, key=repr)
+        base = AllShortestPathsBase(small_isp)
+        primary = base.path_for(nodes[0], nodes[-1])
+        failed = list(primary.edges())[0]
+        timeline = hybrid_timeline(small_isp, primary, failed)
+        view = small_isp.without(edges=[failed])
+        assert timeline.source_route.cost(small_isp) == pytest.approx(
+            shortest_path_length(view, nodes[0], nodes[-1])
+        )
+
+    def test_interim_stretch_at_least_one(self, small_isp):
+        nodes = sorted(small_isp.nodes, key=repr)
+        for strategy in (LocalStrategy.EDGE_BYPASS, LocalStrategy.END_ROUTE):
+            timeline = self._timeline(small_isp, nodes[0], nodes[-1], strategy)
+            assert timeline.interim_stretch(small_isp) >= 1.0 - 1e-9
+
+    def test_custom_flooding_model(self, small_isp):
+        nodes = sorted(small_isp.nodes, key=repr)
+        base = AllShortestPathsBase(small_isp)
+        primary = base.path_for(nodes[0], nodes[-1])
+        failed = list(primary.edges())[0]
+        slow = FloodingModel(detection_delay=1.0, per_hop_delay=0.5, spf_delay=2.0)
+        timeline = hybrid_timeline(small_isp, primary, failed, model=slow)
+        assert timeline.local_time == pytest.approx(1.5)
+        assert timeline.source_time >= 3.0
+
+
+class TestFailurePlanner:
+    @pytest.fixture
+    def planner(self, small_isp):
+        base = UniqueShortestPathsBase(small_isp)
+        demands = sample_pairs(small_isp, 15, seed=2)
+        return FailurePlanner(small_isp, base, demands), base, demands
+
+    def test_affected_demands_use_the_link(self, planner):
+        plan, base, demands = planner
+        for s, t in demands:
+            primary = plan.primary_path(s, t)
+            for failed in primary.edge_keys():
+                assert (s, t) in plan.affected_demands(*failed)
+
+    def test_updates_cover_affected(self, planner):
+        plan, base, demands = planner
+        s, t = demands[0]
+        primary = plan.primary_path(s, t)
+        failed = next(iter(primary.edge_keys()))
+        updates = plan.updates_for_link(*failed)
+        restored = {(u.source, u.destination) for u in updates}
+        unrestorable = set(plan.unrestorable_demands(*failed))
+        assert restored | unrestorable == set(plan.affected_demands(*failed))
+
+    def test_update_decompositions_survive(self, planner, small_isp):
+        plan, base, demands = planner
+        s, t = demands[0]
+        primary = plan.primary_path(s, t)
+        failed = next(iter(primary.edge_keys()))
+        view = small_isp.without(edges=[failed])
+        for update in plan.updates_for_link(*failed):
+            assert update.decomposition.path.is_valid_in(view)
+
+    def test_cache_and_index_size(self, planner):
+        plan, base, demands = planner
+        s, t = demands[0]
+        failed = next(iter(plan.primary_path(s, t).edge_keys()))
+        first = plan.updates_for_link(*failed)
+        assert plan.updates_for_link(*failed) is first  # cached
+        assert plan.index_size() >= len(first)
+
+    def test_unaffected_link_has_no_updates(self, planner, small_isp):
+        plan, base, demands = planner
+        used = set()
+        for s, t in demands:
+            used |= set(plan.primary_path(s, t).edge_keys())
+        unused = [e for e in small_isp.edges() if e not in used]
+        if not unused:
+            pytest.skip("every link is on some primary")
+        assert plan.updates_for_link(*unused[0]) == []
+
+    def test_precompute_mode(self, small_isp):
+        base = UniqueShortestPathsBase(small_isp)
+        demands = sample_pairs(small_isp, 5, seed=3)
+        plan = FailurePlanner(small_isp, base, demands, precompute=True)
+        assert plan.index_size() > 0
+
+    def test_bridge_demand_unrestorable(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 1), (3, 4)])  # (3,4) is a bridge
+        base = UniqueShortestPathsBase(g)
+        plan = FailurePlanner(g, base, [(1, 4)])
+        assert plan.unrestorable_demands(3, 4) == [(1, 4)]
+        assert plan.updates_for_link(3, 4) == []

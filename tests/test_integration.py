@@ -1,0 +1,189 @@
+"""End-to-end integration: the full RBPC lifecycle on a live MPLS domain.
+
+These tests exercise the whole stack together — topology generation,
+base-set provisioning with real labels, failures, restoration by FEC /
+ILM rewriting, packet forwarding over label stacks, and recovery —
+asserting the properties the paper promises at the system level.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.base_paths import UniqueShortestPathsBase, provision_base_set
+from repro.core.local_restoration import LocalRbpc, LocalStrategy
+from repro.core.restoration import SourceRouterRbpc
+from repro.exceptions import NoRestorationPath
+from repro.failures.sampler import sample_pairs
+from repro.graph.shortest_paths import shortest_path_length
+from repro.mpls.network import ForwardingStatus, MplsNetwork
+from repro.topology.isp import generate_isp_topology
+
+
+@pytest.fixture(scope="module")
+def domain():
+    """A 40-node ISP with base LSPs provisioned for 12 sampled demands."""
+    graph = generate_isp_topology(n=40, seed=13)
+    net = MplsNetwork(graph)
+    base = UniqueShortestPathsBase(graph)
+    demands = sample_pairs(graph, 12, seed=4)
+    registry = provision_base_set(net, base, pairs=demands)
+    for source, destination in demands:
+        primary = base.path_for(source, destination)
+        net.set_fec(source, destination, [registry[primary]])
+    return graph, net, base, demands, registry
+
+
+class TestSteadyState:
+    def test_all_demands_delivered_on_primaries(self, domain):
+        graph, net, base, demands, _ = domain
+        for source, destination in demands:
+            result = net.inject(source, destination)
+            assert result.delivered
+            primary = base.path_for(source, destination)
+            assert result.walk == list(primary.nodes)
+
+    def test_primaries_are_shortest(self, domain):
+        graph, net, base, demands, _ = domain
+        for source, destination in demands:
+            result = net.inject(source, destination)
+            walked_cost = sum(
+                graph.weight(u, v) for u, v in zip(result.walk, result.walk[1:])
+            )
+            assert walked_cost == pytest.approx(
+                shortest_path_length(graph, source, destination)
+            )
+
+
+class TestSourceRestorationLifecycle:
+    def test_every_single_link_failure_is_survivable(self, domain):
+        graph, net, base, demands, registry = domain
+        scheme = SourceRouterRbpc(net, base, registry)
+        rng = random.Random(1)
+        tested = 0
+        for source, destination in demands[:6]:
+            primary = base.path_for(source, destination)
+            for failed in primary.edges():
+                net.fail_link(*failed)
+                try:
+                    scheme.restore(source, destination)
+                except NoRestorationPath:
+                    net.restore_link(*failed)
+                    continue
+                result = net.inject(source, destination)
+                assert result.delivered, (source, destination, failed)
+                # Restoration route is a true shortest path of the survivor.
+                walked_cost = sum(
+                    graph.weight(u, v)
+                    for u, v in zip(result.walk, result.walk[1:])
+                )
+                expected = shortest_path_length(
+                    net.operational_view, source, destination
+                )
+                assert walked_cost == pytest.approx(expected)
+                tested += 1
+                # Heal and verify the revert restores the primary.
+                net.restore_link(*failed)
+                scheme.recover(source, destination)
+                assert net.inject(source, destination).walk == list(primary.nodes)
+        assert tested >= 5
+
+    def test_stack_depth_matches_pc_length(self, domain):
+        graph, net, base, demands, registry = domain
+        scheme = SourceRouterRbpc(net, base, registry)
+        for source, destination in demands[:4]:
+            primary = base.path_for(source, destination)
+            failed = list(primary.edges())[0]
+            net.fail_link(*failed)
+            try:
+                action = scheme.restore(source, destination)
+            except NoRestorationPath:
+                net.restore_link(*failed)
+                continue
+            result = net.inject(source, destination)
+            assert result.delivered
+            assert result.packet.max_stack_depth == action.decomposition.num_pieces
+            net.restore_link(*failed)
+            scheme.recover(source, destination)
+
+    def test_forwarding_is_loop_free_under_restoration(self, domain):
+        graph, net, base, demands, registry = domain
+        scheme = SourceRouterRbpc(net, base, registry)
+        for source, destination in demands:
+            primary = base.path_for(source, destination)
+            failed = list(primary.edges())[-1]
+            net.fail_link(*failed)
+            try:
+                scheme.restore(source, destination)
+            except NoRestorationPath:
+                net.restore_link(*failed)
+                continue
+            result = net.inject(source, destination)
+            assert result.status is not ForwardingStatus.DROPPED_LOOP
+            walk = result.walk
+            assert len(walk) == len(set(walk)), f"revisited a router: {walk}"
+            net.restore_link(*failed)
+            scheme.recover(source, destination)
+
+
+class TestLocalRestorationLifecycle:
+    @pytest.mark.parametrize(
+        "strategy", [LocalStrategy.EDGE_BYPASS, LocalStrategy.END_ROUTE]
+    )
+    def test_local_patch_restores_without_touching_source(self, domain, strategy):
+        graph, net, base, demands, registry = domain
+        local = LocalRbpc(net, base, registry)
+        patched = 0
+        for source, destination in demands[:6]:
+            primary = base.path_for(source, destination)
+            lsp_id = registry[primary]
+            failed = list(primary.edges())[-1]
+            net.fail_link(*failed)
+            fec_before = net.routers[source].fec.lookup(destination)
+            try:
+                local.patch(lsp_id, failed, strategy=strategy)
+            except NoRestorationPath:
+                net.restore_link(*failed)
+                continue
+            result = net.inject(source, destination)
+            assert result.delivered, (source, destination, failed, strategy)
+            # Source router's FEC untouched: restoration is purely local.
+            assert net.routers[source].fec.lookup(destination) is fec_before
+            patched += 1
+            net.restore_link(*failed)
+            local.revert(lsp_id)
+            assert net.inject(source, destination).walk == list(primary.nodes)
+        assert patched >= 4
+
+    def test_local_then_source_hybrid_sequence(self, domain):
+        """The hybrid story: local patch first, source re-route later,
+        then full recovery — packets delivered at every stage."""
+        graph, net, base, demands, registry = domain
+        local = LocalRbpc(net, base, registry)
+        scheme = SourceRouterRbpc(net, base, registry)
+        source, destination = demands[0]
+        primary = base.path_for(source, destination)
+        lsp_id = registry[primary]
+        failed = list(primary.edges())[0]
+
+        net.fail_link(*failed)
+        try:
+            local.patch(lsp_id, failed)
+        except NoRestorationPath:
+            pytest.skip("no bypass for this sampled failure")
+        assert net.inject(source, destination).delivered  # stage 1: local
+        scheme.restore(source, destination)
+        result = net.inject(source, destination)
+        assert result.delivered  # stage 2: source
+        walked_cost = sum(
+            graph.weight(u, v) for u, v in zip(result.walk, result.walk[1:])
+        )
+        assert walked_cost == pytest.approx(
+            shortest_path_length(net.operational_view, source, destination)
+        )
+        net.restore_link(*failed)
+        local.revert(lsp_id)
+        scheme.recover(source, destination)
+        assert net.inject(source, destination).walk == list(primary.nodes)  # stage 3

@@ -1,0 +1,208 @@
+"""Tests for local RBPC: bypass paths, end-route and edge-bypass patches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_paths import AllShortestPathsBase, provision_base_set
+from repro.core.local_restoration import (
+    LocalRbpc,
+    LocalStrategy,
+    bypass_path,
+    edge_bypass_route,
+    end_route_route,
+    upstream_router,
+)
+from repro.exceptions import NoRestorationPath
+from repro.failures.models import FailureScenario
+from repro.graph.graph import Graph
+from repro.graph.paths import Path
+from repro.graph.shortest_paths import shortest_path_length
+from repro.mpls.network import ForwardingStatus, MplsNetwork
+
+
+class TestUpstreamRouter:
+    def test_finds_upstream_endpoint(self):
+        p = Path([1, 2, 3, 4])
+        assert upstream_router(p, (2, 3)) == 2
+        assert upstream_router(p, (3, 2)) == 2
+        assert upstream_router(p, (1, 2)) == 1
+
+    def test_link_not_on_path_raises(self):
+        with pytest.raises(ValueError):
+            upstream_router(Path([1, 2]), (3, 4))
+
+
+class TestBypassPath:
+    def test_triangle_bypass_is_two_hops(self, triangle):
+        bypass = bypass_path(triangle, 1, 2)
+        assert bypass == Path([1, 3, 2])
+
+    def test_bridge_raises(self, line5):
+        with pytest.raises(NoRestorationPath):
+            bypass_path(line5, 1, 2)
+
+    def test_respects_extra_failures(self, diamond):
+        extra = FailureScenario.link_set([(2, 3)])
+        bypass = bypass_path(diamond, 1, 2, extra_failures=extra)
+        assert bypass == Path([1, 3, 4, 2]) or bypass.hops >= 3
+
+    def test_weighted_picks_min_cost(self, weighted_diamond):
+        # Bypass of (1,2): 1-3-4-2 (cost 5) vs 1-3-2 via chord (2+5=7).
+        bypass = bypass_path(weighted_diamond, 1, 2, weighted=True)
+        assert bypass == Path([1, 3, 4, 2])
+
+
+class TestPureRoutes:
+    def test_end_route_goes_through_r1(self, square):
+        primary = Path([1, 2, 3])
+        route = end_route_route(square, primary, (2, 3), weighted=False)
+        assert route.nodes[:2] == (1, 2)
+        assert route.target == 3
+
+    def test_edge_bypass_resumes_original(self, small_isp):
+        base = AllShortestPathsBase(small_isp)
+        nodes = sorted(small_isp.nodes, key=repr)
+        primary = base.path_for(nodes[0], nodes[-1])
+        if primary.hops < 2:
+            pytest.skip("primary too short")
+        failed = list(primary.edges())[primary.hops // 2]
+        route = edge_bypass_route(small_isp, primary, failed)
+        # The route contains the full original prefix and suffix.
+        r1 = upstream_router(primary, failed)
+        prefix = primary.subpath_between(primary.source, r1)
+        assert route.nodes[: len(prefix.nodes)] == prefix.nodes
+        assert route.target == primary.target
+        assert route.is_valid_in(small_isp.without(edges=[failed]))
+
+    def test_local_routes_never_beat_optimal(self, small_isp):
+        base = AllShortestPathsBase(small_isp)
+        nodes = sorted(small_isp.nodes, key=repr)
+        checked = 0
+        for s, t in [(nodes[0], nodes[30]), (nodes[5], nodes[50]), (nodes[2], nodes[40])]:
+            primary = base.path_for(s, t)
+            for failed in primary.edges():
+                view = small_isp.without(edges=[failed])
+                try:
+                    optimal = shortest_path_length(view, s, t)
+                except Exception:
+                    continue
+                for fn in (end_route_route, edge_bypass_route):
+                    try:
+                        route = fn(small_isp, primary, failed)
+                    except NoRestorationPath:
+                        continue
+                    checked += 1
+                    assert route.cost(small_isp) >= optimal - 1e-9
+        assert checked > 0
+
+
+@pytest.fixture
+def patched_net(diamond):
+    net = MplsNetwork(diamond)
+    base = AllShortestPathsBase(diamond)
+    registry = provision_base_set(net, base)
+    local = LocalRbpc(net, base, registry)
+    return net, base, registry, local
+
+
+class TestLocalRbpcLive:
+    def _setup_demand(self, net, base, registry, s, t):
+        primary = base.path_for(s, t)
+        lsp_id = registry[primary]
+        net.set_fec(s, t, [lsp_id])
+        return primary, lsp_id
+
+    @pytest.mark.parametrize(
+        "strategy", [LocalStrategy.END_ROUTE, LocalStrategy.EDGE_BYPASS]
+    )
+    def test_patch_restores_delivery(self, patched_net, strategy):
+        net, base, registry, local = patched_net
+        primary, lsp_id = self._setup_demand(net, base, registry, 1, 4)
+        failed = list(primary.edges())[0]
+        net.fail_link(*failed)
+        assert not net.inject(1, 4).delivered
+        local.patch(lsp_id, failed, strategy=strategy)
+        result = net.inject(1, 4)
+        assert result.delivered, result
+        # Route must avoid the dead link.
+        walk_edges = set(zip(result.walk, result.walk[1:]))
+        assert failed not in walk_edges and tuple(reversed(failed)) not in walk_edges
+
+    def test_patch_only_touches_r1(self, patched_net):
+        net, base, registry, local = patched_net
+        primary, lsp_id = self._setup_demand(net, base, registry, 1, 4)
+        failed = list(primary.edges())[0]
+        sizes_before = net.ilm_sizes()
+        net.fail_link(*failed)
+        patch = local.patch(lsp_id, failed, strategy=LocalStrategy.END_ROUTE)
+        sizes_after = net.ilm_sizes()
+        # ILM size may grow only at routers of on-demand pieces; entry
+        # replacement at R1 does not change its table size.
+        assert sizes_after[patch.router] >= sizes_before[patch.router]
+        assert patch.router == upstream_router(primary, failed)
+
+    def test_revert_restores_primary_behavior(self, patched_net):
+        net, base, registry, local = patched_net
+        primary, lsp_id = self._setup_demand(net, base, registry, 1, 4)
+        failed = list(primary.edges())[0]
+        net.fail_link(*failed)
+        local.patch(lsp_id, failed)
+        net.restore_link(*failed)
+        local.revert(lsp_id)
+        result = net.inject(1, 4)
+        assert result.delivered
+        assert result.walk == list(primary.nodes)
+
+    def test_revert_unknown_is_noop(self, patched_net):
+        _, _, _, local = patched_net
+        local.revert(12345)  # must not raise
+
+    def test_revert_all(self, patched_net):
+        net, base, registry, local = patched_net
+        primary, lsp_id = self._setup_demand(net, base, registry, 1, 4)
+        failed = list(primary.edges())[0]
+        net.fail_link(*failed)
+        local.patch(lsp_id, failed)
+        assert len(local.active_patches()) == 1
+        local.revert_all()
+        assert local.active_patches() == []
+
+    def test_edge_bypass_resumes_lsp_mid_path(self, line5):
+        # Line 0-1-2-3-4 plus a bypass 1-5-2 around link (1,2).
+        g = line5.copy()
+        g.add_edge(1, 5)
+        g.add_edge(5, 2)
+        net = MplsNetwork(g)
+        base = AllShortestPathsBase(g)
+        primary = Path([0, 1, 2, 3, 4])
+        lsp = net.provision_lsp(primary)
+        net.set_fec(0, 4, [lsp.lsp_id])
+        net.fail_link(1, 2)
+        local = LocalRbpc(net, base, lsp_registry={})
+        local.patch(lsp.lsp_id, (1, 2), strategy=LocalStrategy.EDGE_BYPASS)
+        result = net.inject(0, 4)
+        assert result.delivered
+        assert result.walk == [0, 1, 5, 2, 3, 4]
+
+    def test_no_bypass_raises(self, line5):
+        net = MplsNetwork(line5)
+        base = AllShortestPathsBase(line5)
+        lsp = net.provision_lsp(Path([0, 1, 2, 3, 4]))
+        net.fail_link(1, 2)
+        local = LocalRbpc(net, base)
+        with pytest.raises(NoRestorationPath):
+            local.patch(lsp.lsp_id, (1, 2), strategy=LocalStrategy.EDGE_BYPASS)
+        with pytest.raises(NoRestorationPath):
+            local.patch(lsp.lsp_id, (1, 2), strategy=LocalStrategy.END_ROUTE)
+
+    def test_patch_records_ilm_update_not_signaling(self, patched_net):
+        net, base, registry, local = patched_net
+        primary, lsp_id = self._setup_demand(net, base, registry, 1, 4)
+        failed = list(primary.edges())[0]
+        net.fail_link(*failed)
+        setups_before = net.ledger.count("lsp_setup")
+        local.patch(lsp_id, failed, strategy=LocalStrategy.EDGE_BYPASS)
+        assert net.ledger.count("ilm_update") >= 1
+        # With a fully provisioned registry, no new LSPs are signaled.
+        assert net.ledger.count("lsp_setup") == setups_before

@@ -1,0 +1,110 @@
+"""Tests for Dinic's max-flow and edge-disjoint path extraction."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NodeNotFound
+from repro.graph.graph import DiGraph, Graph
+from repro.graph.maxflow import (
+    edge_disjoint_paths,
+    max_disjoint_path_count,
+    max_flow,
+)
+
+
+def random_graph(seed: int, n: int = 12, extra: int = 14) -> Graph:
+    rng = random.Random(seed)
+    g = Graph()
+    for i in range(1, n):
+        g.add_edge(rng.randrange(i), i)
+    for _ in range(extra):
+        u, v = rng.sample(range(n), 2)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+class TestMaxFlow:
+    def test_diamond_has_two(self, diamond):
+        assert max_flow(diamond, 1, 4) == 2
+
+    def test_line_has_one(self, line5):
+        assert max_flow(line5, 0, 4) == 1
+
+    def test_disconnected_is_zero(self):
+        g = Graph.from_edges([(1, 2), (3, 4)])
+        assert max_flow(g, 1, 3) == 0
+
+    def test_capacity_scales(self, diamond):
+        assert max_flow(diamond, 1, 4, capacity=3) == 6
+
+    def test_missing_node_raises(self, diamond):
+        with pytest.raises(NodeNotFound):
+            max_flow(diamond, 1, 99)
+
+    def test_same_node_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            max_flow(diamond, 1, 1)
+
+    def test_directed_asymmetry(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(1, 3)
+        assert max_flow(g, 1, 3) == 2
+        assert max_flow(g, 3, 1) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 500), st.integers(0, 11), st.integers(0, 11))
+    def test_matches_networkx_edge_connectivity(self, seed, a, b):
+        g = random_graph(seed)
+        if a == b:
+            return
+        gx = nx.Graph(list(g.edges()))
+        expected = nx.edge_connectivity(gx, a, b)
+        assert max_flow(g, a, b) == expected
+
+
+class TestEdgeDisjointPaths:
+    def test_paths_are_disjoint_and_maximal(self, diamond):
+        paths = edge_disjoint_paths(diamond, 1, 4)
+        assert len(paths) == 2
+        used = set()
+        for path in paths:
+            for key in path.edge_keys():
+                assert key not in used
+                used.add(key)
+            assert path.source == 1 and path.target == 4
+            assert path.is_valid_in(diamond)
+
+    def test_empty_when_disconnected(self):
+        g = Graph.from_edges([(1, 2), (3, 4)])
+        assert edge_disjoint_paths(g, 1, 3) == []
+
+    def test_count_matches_flow(self):
+        for seed in range(10):
+            g = random_graph(seed)
+            count = max_disjoint_path_count(g, 0, 11)
+            paths = edge_disjoint_paths(g, 0, 11)
+            assert len(paths) == count
+            used = set()
+            for path in paths:
+                for key in path.edge_keys():
+                    assert key not in used, f"seed {seed}: shared edge"
+                    used.add(key)
+                assert path.is_valid_in(g)
+
+    def test_isp_dual_homing_gives_two(self):
+        from repro.topology.isp import generate_isp_topology
+
+        graph = generate_isp_topology(n=60, seed=3)
+        nodes = sorted(graph.nodes, key=repr)
+        access = [u for u in nodes if u[0] == "acc"]
+        # Every dual-homed access router has exactly 2 disjoint routes out.
+        count = max_disjoint_path_count(graph, access[0], access[-1])
+        assert count == 2

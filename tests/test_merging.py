@@ -1,0 +1,154 @@
+"""Tests for merged per-destination label trees (Section 2 optimization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_paths import UniqueShortestPathsBase, provision_base_set
+from repro.core.restoration import plan_restoration
+from repro.exceptions import LSPNotFound
+from repro.failures.models import FailureScenario
+from repro.graph.graph import Graph
+from repro.mpls.merging import (
+    MergedTree,
+    provision_all_trees,
+    provision_destination_tree,
+    provision_edge_lsps,
+    restoration_stack,
+    tree_ilm_entries,
+)
+from repro.mpls.network import MplsNetwork
+from repro.topology.isp import generate_isp_topology
+
+
+@pytest.fixture(scope="module")
+def merged_world():
+    graph = generate_isp_topology(n=40, seed=19)
+    net = MplsNetwork(graph)
+    base = UniqueShortestPathsBase(graph)
+    trees = provision_all_trees(net, base)
+    edge_labels = provision_edge_lsps(net)
+    return graph, net, base, trees, edge_labels
+
+
+class TestProvisioning:
+    def test_every_router_has_label_per_destination(self, merged_world):
+        graph, net, base, trees, edge_labels = merged_world
+        n = graph.number_of_nodes()
+        assert len(trees) == n
+        for tree in trees.values():
+            assert len(tree.labels) == n  # connected graph: all reach all
+
+    def test_ilm_size_is_n_plus_degree_per_router(self, merged_world):
+        graph, net, base, trees, edge_labels = merged_world
+        n = graph.number_of_nodes()
+        for router, size in net.ilm_sizes().items():
+            assert size == n + graph.degree(router)
+
+    def test_merging_is_cheaper_than_per_pair_lsps(self, merged_world):
+        graph, _, base, trees, edge_labels = merged_world
+        merged_entries = tree_ilm_entries(trees) + len(edge_labels)
+        # Per-pair provisioning: one entry per router per canonical path.
+        per_pair_entries = sum(
+            len(p.nodes) for p in base.iter_canonical_paths()
+        )
+        assert merged_entries < per_pair_entries / 2
+
+    def test_label_at_unknown_router_raises(self):
+        tree = MergedTree(destination="d")
+        with pytest.raises(LSPNotFound):
+            tree.label_at("x")
+
+
+class TestForwarding:
+    def test_single_tree_delivery(self, merged_world):
+        graph, net, base, trees, edge_labels = merged_world
+        nodes = sorted(graph.nodes, key=repr)
+        s, t = nodes[0], nodes[-1]
+        result = net.send_with_stack(s, [trees[t].label_at(s)], t)
+        assert result.delivered
+        assert result.walk == list(base.path_for(s, t).nodes)
+
+    def test_restoration_stack_rides_pieces(self, merged_world):
+        graph, net, base, trees, edge_labels = merged_world
+        nodes = sorted(graph.nodes, key=repr)
+        s, t = nodes[0], nodes[-1]
+        primary = base.path_for(s, t)
+        failed = list(primary.edges())[0]
+        net.fail_link(*failed)
+        try:
+            plan = plan_restoration(net.operational_view, base, s, t)
+            stack = restoration_stack(trees, plan.pieces, s, edge_labels=edge_labels)
+            result = net.send_with_stack(s, stack, t)
+            assert result.delivered
+            assert result.walk == list(plan.path.nodes)
+            # Non-tree-routable pieces expand into per-hop labels, so
+            # the stack is at least one label per piece.
+            assert result.packet.max_stack_depth >= plan.num_pieces
+        finally:
+            net.restore_link(*failed)
+
+    def test_stack_wrong_start_rejected(self, merged_world):
+        graph, net, base, trees, edge_labels = merged_world
+        nodes = sorted(graph.nodes, key=repr)
+        s, t = nodes[0], nodes[-1]
+        plan_pieces = [base.path_for(s, t)]
+        with pytest.raises(ValueError):
+            restoration_stack(trees, plan_pieces, t)
+
+    def test_missing_tree_falls_back_to_edge_lsps(self, merged_world):
+        graph, net, base, trees, edge_labels = merged_world
+        nodes = sorted(graph.nodes, key=repr)
+        piece = next(
+            p for p in (base.path_for(nodes[0], n) for n in nodes[1:])
+            if p.hops >= 2
+        )
+        partial = {k: v for k, v in trees.items() if k != piece.target}
+        # Without edge LSPs the piece is unroutable...
+        with pytest.raises(LSPNotFound):
+            restoration_stack(partial, [piece], nodes[0], edge_labels=None)
+        # ...with them, the hop-by-hop fallback still delivers.
+        stack = restoration_stack(partial, [piece], nodes[0], edge_labels=edge_labels)
+        assert len(stack) == piece.hops
+        result = net.send_with_stack(piece.source, stack, piece.target)
+        assert result.delivered and result.walk == list(piece.nodes)
+
+    def test_bare_edge_piece_without_edge_lsps_raises(self, merged_world):
+        graph, net, base, trees, edge_labels = merged_world
+        # Find an edge that is NOT its endpoints' canonical path.
+        from repro.graph.paths import Path
+        bare = None
+        for u, v in graph.edges():
+            for a, b in ((u, v), (v, u)):
+                if base.path_for(a, b).hops > 1:
+                    bare = Path([a, b])
+                    break
+            if bare:
+                break
+        if bare is None:
+            pytest.skip("every edge is canonical in this topology")
+        with pytest.raises(LSPNotFound):
+            restoration_stack(trees, [bare], bare.source, edge_labels=None)
+        stack = restoration_stack(trees, [bare], bare.source, edge_labels=edge_labels)
+        result = net.send_with_stack(bare.source, stack, bare.target)
+        assert result.delivered and result.walk == list(bare.nodes)
+
+
+class TestEquivalenceWithPerPairLsps:
+    def test_same_routes_both_ways(self):
+        graph = generate_isp_topology(n=24, seed=5)
+        base = UniqueShortestPathsBase(graph)
+        nodes = sorted(graph.nodes, key=repr)
+        demands = [(nodes[0], nodes[-1]), (nodes[2], nodes[-3])]
+
+        net_lsp = MplsNetwork(graph)
+        registry = provision_base_set(net_lsp, base, pairs=demands)
+
+        net_merged = MplsNetwork(graph)
+        trees = provision_all_trees(net_merged, base)
+
+        for s, t in demands:
+            primary = base.path_for(s, t)
+            via_lsp = net_lsp.send_on_lsps([registry[primary]])
+            via_tree = net_merged.send_with_stack(s, [trees[t].label_at(s)], t)
+            assert via_lsp.walk == via_tree.walk

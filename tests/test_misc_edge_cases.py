@@ -1,0 +1,178 @@
+"""Edge-case coverage across modules: small behaviors with big blast radii."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidPath, NoPath
+from repro.graph.graph import DiGraph, Graph
+from repro.graph.paths import Path
+from repro.graph.shortest_paths import costs_equal
+from repro.mpls.network import ForwardingStatus, MplsNetwork
+from repro.mpls.packet import Packet
+
+
+class TestCostsEqual:
+    def test_exact(self):
+        assert costs_equal(1.0, 1.0)
+
+    def test_relative_tolerance_scales(self):
+        assert costs_equal(1e6, 1e6 + 1e-4)
+        assert not costs_equal(1e6, 1e6 + 1.0)
+
+    def test_small_values_use_absolute_floor(self):
+        assert costs_equal(0.0, 1e-10)
+        assert not costs_equal(0.0, 1e-3)
+
+
+class TestPathOrdering:
+    def test_lt_is_total_on_mixed_nodes(self):
+        paths = [Path([2, 1]), Path(["a", "b"]), Path([1, 2])]
+        ordered = sorted(paths)
+        assert len(ordered) == 3  # no TypeError
+
+    def test_repr_roundtrip_info(self):
+        assert "1->2" in repr(Path([1, 2]))
+
+
+class TestDirectedViewAdjacency:
+    def test_out_edges_only(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 1)
+        view = g.without()
+        assert sorted(view.neighbors(1)) == [2]
+        assert list(view.adjacency(3)) == [(1, 1.0)]
+
+    def test_directed_edges_listing(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        view = g.without(edges=[(1, 2)])
+        assert list(view.edges()) == [(2, 1)]
+
+
+class TestMplsOddities:
+    @pytest.fixture
+    def net(self, diamond):
+        return MplsNetwork(diamond)
+
+    def test_high_water_mark_survives_teardown(self, net):
+        lsp1 = net.provision_lsp(Path([1, 2, 4]))
+        lsp2 = net.provision_lsp(Path([1, 3, 4]))
+        before = net.routers[1].ilm.high_water_mark
+        net.teardown_lsp(lsp1.lsp_id)
+        net.teardown_lsp(lsp2.lsp_id)
+        assert net.routers[1].ilm.high_water_mark == before
+        assert net.routers[1].ilm.size() == 0
+
+    def test_lsps_listing(self, net):
+        a = net.provision_lsp(Path([1, 2]))
+        b = net.provision_lsp(Path([2, 4]))
+        assert {l.lsp_id for l in net.lsps()} == {a.lsp_id, b.lsp_id}
+
+    def test_router_failure_blocks_next_hop(self, net):
+        lsp = net.provision_lsp(Path([1, 2, 4]))
+        net.set_fec(1, 4, [lsp.lsp_id])
+        net.fail_router(2)
+        result = net.inject(1, 4)
+        assert result.status is ForwardingStatus.DROPPED_ROUTER_DOWN
+        net.restore_router(2)
+        assert net.inject(1, 4).delivered
+
+    def test_link_is_up_semantics(self, net):
+        assert net.link_is_up(1, 2)
+        net.fail_router(2)
+        assert not net.link_is_up(1, 2)
+        net.restore_router(2)
+        net.fail_link(2, 1)
+        assert not net.link_is_up(1, 2)
+        assert not net.link_is_up(2, 1)
+
+    def test_send_with_stack_empty_stack_at_destination(self, net):
+        result = net.send_with_stack(1, [], 1)
+        assert result.delivered
+
+    def test_send_with_stack_empty_stack_elsewhere(self, net):
+        result = net.send_with_stack(1, [], 4)
+        assert result.status is ForwardingStatus.DROPPED_NO_FEC_ENTRY
+
+    def test_repr_smoke(self, net):
+        assert "MplsNetwork" in repr(net)
+        lsp = net.provision_lsp(Path([1, 2]))
+        assert "Lsp" in repr(lsp)
+        assert "LSR" in repr(net.routers[1])
+
+    def test_packet_default_fields(self):
+        packet = Packet(destination="d")
+        assert packet.top_label is None
+        assert packet.stack_depth == 0
+        assert packet.max_stack_depth == 0
+
+
+class TestGraphMisc:
+    def test_weighted_edges_view(self, weighted_diamond):
+        view = weighted_diamond.without(edges=[(2, 3)])
+        weights = {frozenset((u, v)): w for u, v, w in view.weighted_edges()}
+        assert frozenset((2, 3)) not in weights
+        assert weights[frozenset((1, 2))] == 1.0
+
+    def test_view_repr(self, triangle):
+        view = triangle.without(edges=[(1, 2)], nodes=[3])
+        assert "FilteredView" in repr(view)
+        assert 3 not in view
+
+    def test_digraph_average_degree(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert g.average_degree() == pytest.approx(4 / 3)
+
+    def test_graph_repr(self, triangle):
+        assert "n=3" in repr(triangle) and "m=3" in repr(triangle)
+
+
+class TestStackDepthLimit:
+    """Hardware label-stack limits: RBPC's depth budget is Theorem 1's k+1."""
+
+    @pytest.fixture
+    def limited_net(self, diamond):
+        return MplsNetwork(diamond, max_stack_depth=1)
+
+    def test_single_lsp_fits_depth_one(self, limited_net):
+        lsp = limited_net.provision_lsp(Path([1, 2, 4]))
+        limited_net.set_fec(1, 4, [lsp.lsp_id])
+        assert limited_net.inject(1, 4).delivered
+
+    def test_two_label_stack_overflows_depth_one(self, limited_net):
+        a = limited_net.provision_lsp(Path([1, 2]))
+        b = limited_net.provision_lsp(Path([2, 4]))
+        limited_net.set_fec(1, 4, [a.lsp_id, b.lsp_id])
+        result = limited_net.inject(1, 4)
+        assert result.status is ForwardingStatus.DROPPED_STACK_OVERFLOW
+
+    def test_depth_two_carries_single_failure_restoration(self, diamond):
+        from repro.core.base_paths import UniqueShortestPathsBase, provision_base_set
+        from repro.core.restoration import SourceRouterRbpc
+
+        net = MplsNetwork(diamond, max_stack_depth=2)
+        base = UniqueShortestPathsBase(diamond)
+        registry = provision_base_set(net, base, include_edges=True)
+        primary = base.path_for(1, 4)
+        net.set_fec(1, 4, [registry[primary]])
+        net.fail_link(*list(primary.edges())[0])
+        scheme = SourceRouterRbpc(net, base, registry)
+        action = scheme.restore(1, 4)
+        # Theorem 1 for k=1: two pieces, i.e. stack depth 2 — exactly fits.
+        assert action.decomposition.num_pieces <= 2
+        assert net.inject(1, 4).delivered
+
+    def test_explicit_stack_checked_at_injection(self, limited_net):
+        a = limited_net.provision_lsp(Path([1, 2]))
+        b = limited_net.provision_lsp(Path([2, 4]))
+        result = limited_net.send_on_lsps([a.lsp_id, b.lsp_id])
+        assert result.status is ForwardingStatus.DROPPED_STACK_OVERFLOW
+
+    def test_invalid_limit_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            MplsNetwork(diamond, max_stack_depth=0)

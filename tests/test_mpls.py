@@ -1,0 +1,334 @@
+"""Tests for the MPLS simulator: labels, tables, LSPs, forwarding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    InvalidPath,
+    LabelNotFound,
+    LabelSpaceExhausted,
+    LSPNotFound,
+    SignalingError,
+)
+from repro.graph.graph import Graph
+from repro.graph.paths import Path
+from repro.mpls.fec import FecEntry, FecMap
+from repro.mpls.ilm import IlmEntry, IncomingLabelMap
+from repro.mpls.labels import MIN_LABEL, LabelAllocator
+from repro.mpls.network import ForwardingStatus, MplsNetwork
+from repro.mpls.packet import Packet
+
+
+class TestLabelAllocator:
+    def test_allocates_from_min(self):
+        alloc = LabelAllocator()
+        assert alloc.allocate() == MIN_LABEL
+
+    def test_unique_until_release(self):
+        alloc = LabelAllocator()
+        labels = {alloc.allocate() for _ in range(100)}
+        assert len(labels) == 100
+
+    def test_release_and_reuse(self):
+        alloc = LabelAllocator()
+        label = alloc.allocate()
+        alloc.release(label)
+        assert alloc.allocate() == label
+
+    def test_release_unallocated_raises(self):
+        with pytest.raises(ValueError):
+            LabelAllocator().release(MIN_LABEL)
+
+    def test_exhaustion(self):
+        alloc = LabelAllocator(max_label=MIN_LABEL + 1)
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(LabelSpaceExhausted):
+            alloc.allocate()
+
+    def test_in_use_and_capacity(self):
+        alloc = LabelAllocator(max_label=MIN_LABEL + 9)
+        assert alloc.capacity == 10
+        a = alloc.allocate()
+        assert alloc.in_use == 1
+        assert alloc.is_allocated(a)
+
+
+class TestIlm:
+    def test_install_lookup_remove(self):
+        ilm = IncomingLabelMap()
+        entry = IlmEntry(push=(17,), next_hop="b")
+        ilm.install(16, entry)
+        assert ilm.lookup(16) is entry
+        assert 16 in ilm
+        ilm.remove(16)
+        assert 16 not in ilm
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(LabelNotFound):
+            IncomingLabelMap().lookup(16)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(LabelNotFound):
+            IncomingLabelMap().remove(16)
+
+    def test_size_and_high_water(self):
+        ilm = IncomingLabelMap()
+        ilm.install(16, IlmEntry())
+        ilm.install(17, IlmEntry())
+        ilm.remove(16)
+        assert ilm.size() == 1
+        assert ilm.high_water_mark == 2
+
+    def test_entry_kind_properties(self):
+        assert IlmEntry(push=(17,), next_hop="b").is_swap
+        assert IlmEntry().is_pop
+        assert not IlmEntry(push=(1, 2), next_hop="b").is_swap
+
+    def test_entries_for_lsp(self):
+        ilm = IncomingLabelMap()
+        ilm.install(16, IlmEntry(lsp_id=1))
+        ilm.install(17, IlmEntry(lsp_id=2))
+        assert ilm.entries_for_lsp(1) == [16]
+
+
+class TestFecMap:
+    def test_install_and_lookup(self):
+        fec = FecMap()
+        fec.install(FecEntry("d", (1,)))
+        assert fec.lookup("d").lsp_ids == (1,)
+        assert fec.lookup("missing") is None
+
+    def test_override_and_restore(self):
+        fec = FecMap()
+        fec.install(FecEntry("d", (1,)))
+        fec.override(FecEntry("d", (2, 3), restoration=True))
+        assert fec.lookup("d").lsp_ids == (2, 3)
+        assert fec.overridden_destinations() == ["d"]
+        fec.restore("d")
+        assert fec.lookup("d").lsp_ids == (1,)
+
+    def test_double_override_restores_original(self):
+        fec = FecMap()
+        fec.install(FecEntry("d", (1,)))
+        fec.override(FecEntry("d", (2,), restoration=True))
+        fec.override(FecEntry("d", (3,), restoration=True))
+        fec.restore("d")
+        assert fec.lookup("d").lsp_ids == (1,)
+
+    def test_restore_without_override_is_noop(self):
+        fec = FecMap()
+        fec.install(FecEntry("d", (1,)))
+        fec.restore("d")
+        assert fec.lookup("d").lsp_ids == (1,)
+
+    def test_restore_all(self):
+        fec = FecMap()
+        fec.install(FecEntry("d1", (1,)))
+        fec.install(FecEntry("d2", (2,)))
+        fec.override(FecEntry("d1", (9,), restoration=True))
+        fec.override(FecEntry("d2", (9,), restoration=True))
+        fec.restore_all()
+        assert fec.lookup("d1").lsp_ids == (1,)
+        assert fec.lookup("d2").lsp_ids == (2,)
+
+
+class TestPacket:
+    def test_stack_discipline(self):
+        p = Packet(destination="d")
+        p.push(16)
+        p.push(17)
+        assert p.top_label == 17
+        assert p.pop() == 17
+        assert p.top_label == 16
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            Packet(destination="d").pop()
+
+    def test_routers_visited_collapses_repeats(self):
+        p = Packet(destination="d")
+        p.record("a")
+        p.record("a")
+        p.record("b")
+        assert p.routers_visited() == ["a", "b"]
+
+    def test_max_stack_depth(self):
+        p = Packet(destination="d")
+        p.push(1)
+        p.push(2)
+        p.record("a")
+        p.pop()
+        p.record("b")
+        assert p.max_stack_depth == 2
+
+
+@pytest.fixture
+def net():
+    """Line 1-2-3-4 plus detour 2-5-3."""
+    g = Graph.from_edges([(1, 2), (2, 3), (3, 4), (2, 5), (5, 3)])
+    return MplsNetwork(g)
+
+
+class TestProvisioning:
+    def test_provision_installs_ilm_entries(self, net):
+        lsp = net.provision_lsp(Path([1, 2, 3, 4]))
+        assert set(lsp.labels) == {1, 2, 3, 4}
+        for router in (1, 2, 3, 4):
+            assert lsp.labels[router] in net.routers[router].ilm
+
+    def test_php_skips_tail_label(self, net):
+        lsp = net.provision_lsp(Path([1, 2, 3]), php=True)
+        assert 3 not in lsp.labels
+        assert net.routers[3].ilm.size() == 0
+
+    def test_trivial_path_rejected(self, net):
+        with pytest.raises(InvalidPath):
+            net.provision_lsp(Path([1]))
+
+    def test_provision_over_failed_link_rejected(self, net):
+        net.fail_link(2, 3)
+        with pytest.raises(SignalingError):
+            net.provision_lsp(Path([1, 2, 3]))
+
+    def test_teardown_releases_everything(self, net):
+        lsp = net.provision_lsp(Path([1, 2, 3]))
+        sizes_before = net.total_ilm_size()
+        assert sizes_before == 3
+        net.teardown_lsp(lsp.lsp_id)
+        assert net.total_ilm_size() == 0
+        assert net.routers[1].allocator.in_use == 0
+        with pytest.raises(LSPNotFound):
+            net.get_lsp(lsp.lsp_id)
+
+    def test_lsps_between(self, net):
+        lsp = net.provision_lsp(Path([1, 2, 3]))
+        assert net.lsps_between(1, 3) == [lsp]
+        assert net.lsps_between(3, 1) == []
+
+    def test_find_lsp(self, net):
+        lsp = net.provision_lsp(Path([1, 2, 3]))
+        assert net.find_lsp(Path([1, 2, 3])) is lsp
+        assert net.find_lsp(Path([1, 2, 5])) is None
+
+    def test_signaling_ledger_records_setup(self, net):
+        before = net.ledger.total_messages
+        net.provision_lsp(Path([1, 2, 3, 4]))
+        assert net.ledger.total_messages == before + 6  # 2 * 3 hops
+
+
+class TestForwarding:
+    def test_delivery_along_lsp(self, net):
+        lsp = net.provision_lsp(Path([1, 2, 3, 4]))
+        net.set_fec(1, 4, [lsp.lsp_id])
+        result = net.inject(1, 4)
+        assert result.delivered
+        assert result.walk == [1, 2, 3, 4]
+
+    def test_delivery_with_php(self, net):
+        lsp = net.provision_lsp(Path([1, 2, 3, 4]), php=True)
+        net.set_fec(1, 4, [lsp.lsp_id])
+        result = net.inject(1, 4)
+        assert result.delivered
+        assert result.walk == [1, 2, 3, 4]
+
+    def test_concatenation_via_stack(self, net):
+        a = net.provision_lsp(Path([1, 2, 5]))
+        b = net.provision_lsp(Path([5, 3, 4]))
+        net.set_fec(1, 4, [a.lsp_id, b.lsp_id])
+        result = net.inject(1, 4)
+        assert result.delivered
+        assert result.walk == [1, 2, 5, 3, 4]
+        assert result.packet.max_stack_depth == 2
+
+    def test_send_on_lsps(self, net):
+        a = net.provision_lsp(Path([1, 2, 5]))
+        b = net.provision_lsp(Path([5, 3, 4]))
+        result = net.send_on_lsps([a.lsp_id, b.lsp_id])
+        assert result.delivered
+        assert result.walk == [1, 2, 5, 3, 4]
+
+    def test_drop_on_failed_link(self, net):
+        lsp = net.provision_lsp(Path([1, 2, 3, 4]))
+        net.set_fec(1, 4, [lsp.lsp_id])
+        net.fail_link(2, 3)
+        result = net.inject(1, 4)
+        assert result.status is ForwardingStatus.DROPPED_LINK_DOWN
+        assert result.drop_router == 2
+
+    def test_drop_on_failed_router(self, net):
+        lsp = net.provision_lsp(Path([1, 2, 3, 4]))
+        net.set_fec(1, 4, [lsp.lsp_id])
+        net.fail_router(3)
+        result = net.inject(1, 4)
+        assert result.status is ForwardingStatus.DROPPED_ROUTER_DOWN
+
+    def test_drop_without_fec_entry(self, net):
+        result = net.inject(1, 4)
+        assert result.status is ForwardingStatus.DROPPED_NO_FEC_ENTRY
+
+    def test_drop_without_ilm_entry(self, net):
+        lsp = net.provision_lsp(Path([1, 2, 3]))
+        net.set_fec(1, 3, [lsp.lsp_id])
+        net.routers[2].ilm.remove(lsp.labels[2])
+        result = net.inject(1, 3)
+        assert result.status is ForwardingStatus.DROPPED_NO_ILM_ENTRY
+
+    def test_ttl_expiry(self, net):
+        lsp = net.provision_lsp(Path([1, 2, 3, 4]))
+        net.set_fec(1, 4, [lsp.lsp_id])
+        result = net.inject(1, 4, ttl=2)
+        assert result.status is ForwardingStatus.DROPPED_TTL_EXPIRED
+
+    def test_self_delivery(self, net):
+        result = net.inject(1, 1)
+        assert result.delivered
+        assert result.walk == [1]
+
+    def test_loop_detection(self, net):
+        # Hand-craft two swap entries that bounce a label between 1 and 2.
+        net.routers[1].ilm.install(999, IlmEntry(push=(998,), next_hop=2))
+        net.routers[2].ilm.install(998, IlmEntry(push=(999,), next_hop=1))
+        packet_lsp = net.provision_lsp(Path([1, 2]))
+        # Overwrite the FEC chain to start with the looping label.
+        net.routers[1].fec.install(FecEntry(4, (packet_lsp.lsp_id,)))
+        net.routers[1].ilm.install(
+            packet_lsp.labels[1], IlmEntry(push=(998,), next_hop=2)
+        )
+        result = net.inject(1, 4)
+        assert result.status is ForwardingStatus.DROPPED_LOOP
+
+
+class TestFecValidation:
+    def test_chain_must_be_contiguous(self, net):
+        a = net.provision_lsp(Path([1, 2]))
+        b = net.provision_lsp(Path([5, 3]))
+        with pytest.raises(InvalidPath):
+            net.set_fec(1, 3, [a.lsp_id, b.lsp_id])
+
+    def test_chain_must_start_at_router(self, net):
+        a = net.provision_lsp(Path([2, 3]))
+        with pytest.raises(InvalidPath):
+            net.set_fec(1, 3, [a.lsp_id])
+
+    def test_chain_must_end_at_destination(self, net):
+        a = net.provision_lsp(Path([1, 2]))
+        with pytest.raises(InvalidPath):
+            net.set_fec(1, 3, [a.lsp_id])
+
+    def test_empty_chain_rejected(self, net):
+        with pytest.raises(InvalidPath):
+            net.set_fec(1, 3, [])
+
+    def test_restoration_override_and_revert(self, net):
+        primary = net.provision_lsp(Path([1, 2, 3, 4]))
+        a = net.provision_lsp(Path([1, 2, 5]))
+        b = net.provision_lsp(Path([5, 3, 4]))
+        net.set_fec(1, 4, [primary.lsp_id])
+        net.set_fec(1, 4, [a.lsp_id, b.lsp_id], restoration=True)
+        net.fail_link(2, 3)
+        assert net.inject(1, 4).delivered
+        net.restore_link(2, 3)
+        net.revert_fec(1, 4)
+        assert net.inject(1, 4).walk == [1, 2, 3, 4]

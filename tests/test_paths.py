@@ -1,0 +1,190 @@
+"""Unit and property tests for Path and the concatenation algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import InvalidPath
+from repro.graph.graph import Graph
+from repro.graph.paths import Path, concat_all, is_concatenation_of
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidPath):
+            Path([])
+
+    def test_trivial_path(self):
+        p = Path([1])
+        assert p.is_trivial
+        assert p.hops == 0
+        assert p.source == p.target == 1
+
+    def test_repeated_consecutive_node_rejected(self):
+        with pytest.raises(InvalidPath):
+            Path([1, 1, 2])
+
+    def test_nonconsecutive_repeat_allowed(self):
+        # Walks may revisit nodes (the proof's p' is non-simple).
+        p = Path([1, 2, 1])
+        assert not p.is_simple()
+        assert p.hops == 2
+
+    def test_basic_accessors(self):
+        p = Path([1, 2, 3])
+        assert p.source == 1
+        assert p.target == 3
+        assert p.hops == 2
+        assert list(p.edges()) == [(1, 2), (2, 3)]
+        assert list(p.edge_keys()) == [(1, 2), (2, 3)]
+        assert p.interior_nodes() == (2,)
+
+
+class TestCosts:
+    def test_cost_sums_weights(self, weighted_diamond):
+        assert Path([1, 2, 4]).cost(weighted_diamond) == 2.0
+        assert Path([1, 3, 4]).cost(weighted_diamond) == 4.0
+
+    def test_cost_of_invalid_path_raises(self, triangle):
+        with pytest.raises(Exception):
+            Path([1, 4]).cost(triangle)
+
+    def test_is_valid_in(self, triangle):
+        assert Path([1, 2, 3]).is_valid_in(triangle)
+        assert not Path([1, 2, 4]).is_valid_in(triangle)
+
+    def test_valid_in_view_respects_failures(self, triangle):
+        view = triangle.without(edges=[(1, 2)])
+        assert not Path([1, 2]).is_valid_in(view)
+        assert Path([1, 3, 2]).is_valid_in(view)
+
+    def test_uses_edge_and_node(self):
+        p = Path([1, 2, 3])
+        assert p.uses_edge(2, 1)
+        assert not p.uses_edge(2, 1, directed=True)
+        assert p.uses_edge(1, 2, directed=True)
+        assert p.uses_node(2)
+        assert not p.uses_node(9)
+
+
+class TestSlicing:
+    def test_prefix(self):
+        p = Path([1, 2, 3, 4])
+        assert p.prefix(2).nodes == (1, 2, 3)
+        assert p.prefix(0).is_trivial
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(IndexError):
+            Path([1, 2]).prefix(5)
+
+    def test_suffix_from(self):
+        p = Path([1, 2, 3, 4])
+        assert p.suffix_from(2).nodes == (3, 4)
+
+    def test_subpath(self):
+        p = Path([1, 2, 3, 4])
+        assert p.subpath(1, 3).nodes == (2, 3, 4)
+        with pytest.raises(IndexError):
+            p.subpath(3, 1)
+
+    def test_subpath_between(self):
+        p = Path([1, 2, 3, 4])
+        assert p.subpath_between(2, 4).nodes == (2, 3, 4)
+        with pytest.raises(InvalidPath):
+            p.subpath_between(4, 2)
+
+    def test_reversed(self):
+        assert Path([1, 2, 3]).reversed().nodes == (3, 2, 1)
+
+    def test_all_subpaths_count(self):
+        p = Path([1, 2, 3, 4])
+        # 3 of 1 hop, 2 of 2 hops, 1 of 3 hops.
+        assert len(list(p.all_subpaths())) == 6
+        assert len(list(p.all_subpaths(min_hops=2))) == 3
+
+
+class TestConcatenation:
+    def test_concat(self):
+        assert (Path([1, 2]) + Path([2, 3])).nodes == (1, 2, 3)
+
+    def test_concat_mismatch_raises(self):
+        with pytest.raises(InvalidPath):
+            Path([1, 2]).concat(Path([3, 4]))
+
+    def test_concat_with_trivial(self):
+        assert (Path([1, 2]) + Path([2])).nodes == (1, 2)
+        assert (Path([1]) + Path([1, 2])).nodes == (1, 2)
+
+    def test_concat_all(self):
+        whole = concat_all([Path([1, 2]), Path([2, 3]), Path([3, 1])])
+        assert whole.nodes == (1, 2, 3, 1)
+
+    def test_concat_all_empty_raises(self):
+        with pytest.raises(InvalidPath):
+            concat_all([])
+
+    def test_is_concatenation_of(self):
+        whole = Path([1, 2, 3, 4])
+        assert is_concatenation_of(whole, [Path([1, 2, 3]), Path([3, 4])])
+        assert not is_concatenation_of(whole, [Path([1, 2]), Path([3, 4])])
+        assert not is_concatenation_of(whole, [])
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        assert Path([1, 2]) == Path([1, 2])
+        assert Path([1, 2]) != Path([2, 1])
+        assert hash(Path([1, 2])) == hash(Path([1, 2]))
+        assert len({Path([1, 2]), Path([1, 2]), Path([2, 1])}) == 2
+
+    def test_iteration_and_indexing(self):
+        p = Path([5, 6, 7])
+        assert list(p) == [5, 6, 7]
+        assert p[1] == 6
+        assert p[-1] == 7
+        assert 6 in p
+        assert len(p) == 3
+
+
+# -- property tests -----------------------------------------------------------
+
+node_lists = st.lists(st.integers(0, 30), min_size=2, max_size=12).filter(
+    lambda ns: all(a != b for a, b in zip(ns, ns[1:]))
+)
+
+
+@given(node_lists)
+def test_prefix_suffix_reassemble(nodes):
+    """Splitting at any point and concatenating restores the path."""
+    p = Path(nodes)
+    for cut in range(p.hops + 1):
+        prefix = p.prefix(cut)
+        suffix = p.suffix_from(cut)
+        assert prefix.concat(suffix) == p
+
+
+@given(node_lists)
+def test_reverse_is_involution(nodes):
+    p = Path(nodes)
+    assert p.reversed().reversed() == p
+
+
+@given(node_lists)
+def test_hops_consistency(nodes):
+    p = Path(nodes)
+    assert p.hops == len(list(p.edges())) == len(p) - 1
+
+
+@given(node_lists, node_lists)
+def test_concat_cost_is_additive(a_nodes, b_nodes):
+    """cost(p + q) == cost(p) + cost(q) on a complete weighted graph."""
+    b_nodes = [a_nodes[-1]] + [n + 100 for n in b_nodes[1:]]
+    if any(x == y for x, y in zip(b_nodes, b_nodes[1:])):
+        return
+    g = Graph()
+    p, q = Path(a_nodes), Path(b_nodes)
+    for u, v in list(p.edges()) + list(q.edges()):
+        if not g.has_edge(u, v):
+            g.add_edge(u, v, weight=(hash((min(u, v), max(u, v))) % 7) + 1)
+    assert p.concat(q).cost(g) == pytest.approx(p.cost(g) + q.cost(g))

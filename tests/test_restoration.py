@@ -1,0 +1,215 @@
+"""Tests for source-router RBPC (plan + live MPLS application)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_paths import AllShortestPathsBase, provision_base_set
+from repro.core.restoration import SourceRouterRbpc, plan_restoration
+from repro.exceptions import NoRestorationPath
+from repro.graph.graph import Graph
+from repro.graph.paths import Path
+from repro.graph.shortest_paths import shortest_path_length
+from repro.mpls.network import ForwardingStatus, MplsNetwork
+
+
+@pytest.fixture
+def net_and_scheme(diamond):
+    net = MplsNetwork(diamond)
+    base = AllShortestPathsBase(diamond)
+    registry = provision_base_set(net, base)
+    scheme = SourceRouterRbpc(net, base, registry)
+    return net, base, registry, scheme
+
+
+class TestPlanRestoration:
+    def test_plan_is_shortest_and_covered(self, diamond):
+        base = AllShortestPathsBase(diamond)
+        view = diamond.without(edges=[(1, 2)])
+        plan = plan_restoration(view, base, 1, 4)
+        assert plan.path.cost(diamond) == shortest_path_length(view, 1, 4)
+        assert plan.num_pieces >= 1
+        assert all(p.is_valid_in(view) for p in plan.pieces)
+
+    def test_disconnected_raises(self):
+        g = Graph.from_edges([(1, 2)])
+        base = AllShortestPathsBase(g)
+        with pytest.raises(NoRestorationPath):
+            plan_restoration(g.without(edges=[(1, 2)]), base, 1, 2)
+
+    def test_unweighted_mode(self, weighted_diamond):
+        base = AllShortestPathsBase(weighted_diamond)
+        view = weighted_diamond.without(edges=[(1, 2)])
+        by_cost = plan_restoration(view, base, 1, 4, weighted=True)
+        by_hops = plan_restoration(view, base, 1, 4, weighted=False)
+        assert by_cost.path == by_hops.path  # 1-3-4 wins both ways here
+
+
+class TestSourceRouterRbpc:
+    def test_restore_delivers_packets(self, net_and_scheme):
+        net, base, registry, scheme = net_and_scheme
+        primary = base.path_for(1, 4)
+        net.set_fec(1, 4, [registry[primary]])
+        failed = list(primary.edges())[0]
+        net.fail_link(*failed)
+        assert net.inject(1, 4).status is ForwardingStatus.DROPPED_LINK_DOWN
+
+        action = scheme.restore(1, 4)
+        result = net.inject(1, 4)
+        assert result.delivered
+        assert result.walk == list(action.decomposition.path.nodes)
+
+    def test_restoration_path_is_shortest(self, net_and_scheme):
+        net, base, registry, scheme = net_and_scheme
+        primary = base.path_for(1, 4)
+        net.set_fec(1, 4, [registry[primary]])
+        net.fail_link(*list(primary.edges())[0])
+        action = scheme.restore(1, 4)
+        view = net.operational_view
+        assert action.decomposition.path.cost(net.graph) == shortest_path_length(
+            view, 1, 4
+        )
+
+    def test_no_on_demand_provisioning_with_unique_base(self, diamond):
+        """With a unique (sub-path closed) base set fully provisioned,
+        restoration needs ZERO signaling — the paper's headline property.
+
+        (With an all-shortest-paths membership but canonical-only
+        provisioning, a piece can be a non-canonical tie and require
+        on-demand setup; the unique base set rules that out because
+        every sub-path of a canonical path is canonical.)
+        """
+        from repro.core.base_paths import UniqueShortestPathsBase
+
+        net = MplsNetwork(diamond)
+        base = UniqueShortestPathsBase(diamond)
+        registry = provision_base_set(net, base)
+        # Provision every sub-path of every canonical path as well.
+        for path in list(registry):
+            for sub in path.all_subpaths(min_hops=1):
+                if sub not in registry:
+                    registry[sub] = net.provision_lsp(sub).lsp_id
+        scheme = SourceRouterRbpc(net, base, registry)
+        primary = base.path_for(1, 4)
+        net.set_fec(1, 4, [registry[primary]])
+        net.fail_link(*list(primary.edges())[0])
+        messages_before = net.ledger.total_messages
+        action = scheme.restore(1, 4)
+        # The whole point: zero signaling messages to restore.
+        assert net.ledger.total_messages == messages_before
+        assert action.provisioned_on_demand == 0
+        assert net.inject(1, 4).delivered
+
+    def test_on_demand_provisioning_with_empty_registry(self, diamond):
+        net = MplsNetwork(diamond)
+        base = AllShortestPathsBase(diamond)
+        primary = base.path_for(1, 4)
+        lsp = net.provision_lsp(primary)
+        net.set_fec(1, 4, [lsp.lsp_id])
+        net.fail_link(*list(primary.edges())[0])
+        scheme = SourceRouterRbpc(net, base, lsp_registry={})
+        action = scheme.restore(1, 4)
+        assert action.provisioned_on_demand >= 1
+        assert net.inject(1, 4).delivered
+
+    def test_recover_reverts_to_primary(self, net_and_scheme):
+        net, base, registry, scheme = net_and_scheme
+        primary = base.path_for(1, 4)
+        net.set_fec(1, 4, [registry[primary]])
+        failed = list(primary.edges())[0]
+        net.fail_link(*failed)
+        scheme.restore(1, 4)
+        net.restore_link(*failed)
+        scheme.recover(1, 4)
+        result = net.inject(1, 4)
+        assert result.delivered
+        assert result.walk == list(primary.nodes)
+        assert scheme.active_restorations() == []
+
+    def test_recover_all(self, net_and_scheme):
+        net, base, registry, scheme = net_and_scheme
+        primary = base.path_for(1, 4)
+        net.set_fec(1, 4, [registry[primary]])
+        net.fail_link(*list(primary.edges())[0])
+        scheme.restore(1, 4)
+        assert len(scheme.active_restorations()) == 1
+        scheme.recover_all()
+        assert scheme.active_restorations() == []
+
+    def test_restore_disconnected_raises(self):
+        g = Graph.from_edges([(1, 2)])
+        net = MplsNetwork(g)
+        base = AllShortestPathsBase(g)
+        net.fail_link(1, 2)
+        scheme = SourceRouterRbpc(net, base)
+        with pytest.raises(NoRestorationPath):
+            scheme.restore(1, 2)
+
+    def test_multi_failure_restoration(self, small_isp):
+        """Two failures on a path: restore still works via surviving pieces."""
+        net = MplsNetwork(small_isp)
+        base = AllShortestPathsBase(small_isp)
+        nodes = sorted(small_isp.nodes, key=repr)
+        source, dest = nodes[0], nodes[-1]
+        primary = base.path_for(source, dest)
+        if primary.hops < 3:
+            pytest.skip("sampled primary too short for a 2-failure test")
+        lsp = net.provision_lsp(primary)
+        net.set_fec(source, dest, [lsp.lsp_id])
+        edges = list(primary.edges())
+        net.fail_link(*edges[0])
+        net.fail_link(*edges[-1])
+        scheme = SourceRouterRbpc(net, base, lsp_registry={})
+        scheme.restore(source, dest)
+        result = net.inject(source, dest)
+        assert result.delivered
+        # Delivered route avoids both failed links.
+        walk_edges = set(zip(result.walk, result.walk[1:]))
+        for u, v in (edges[0], edges[-1]):
+            assert (u, v) not in walk_edges and (v, u) not in walk_edges
+
+
+class TestAuxGraphStrategy:
+    """§4.1's fallback: Dijkstra over surviving base paths."""
+
+    def test_plan_via_aux_graph(self, diamond):
+        from repro.core.base_paths import unique_shortest_path_base
+
+        base = unique_shortest_path_base(diamond, seed=1)
+        view = diamond.without(edges=[(1, 2)])
+        plan = plan_restoration(view, base, 1, 4, strategy="aux-graph")
+        assert plan.path.is_valid_in(view)
+        assert plan.path.source == 1 and plan.path.target == 4
+
+    def test_aux_graph_needs_explicit_base(self, diamond):
+        base = AllShortestPathsBase(diamond)
+        with pytest.raises(ValueError):
+            plan_restoration(diamond.without(), base, 1, 4, strategy="aux-graph")
+
+    def test_unknown_strategy_rejected(self, diamond):
+        base = AllShortestPathsBase(diamond)
+        with pytest.raises(ValueError):
+            plan_restoration(diamond.without(), base, 1, 4, strategy="teleport")
+
+    def test_scheme_end_to_end_with_aux_graph(self, diamond):
+        from repro.core.base_paths import provision_base_set, unique_shortest_path_base
+
+        base = unique_shortest_path_base(diamond, seed=1)
+        net = MplsNetwork(diamond)
+        registry = provision_base_set(net, base, include_edges=True)
+        scheme = SourceRouterRbpc(net, base, registry, strategy="aux-graph")
+        primary = base.path_for(1, 4)
+        net.set_fec(1, 4, [registry[primary]])
+        net.fail_link(*list(primary.edges())[0])
+        scheme.restore(1, 4)
+        assert net.inject(1, 4).delivered
+
+    def test_aux_graph_disconnection_raises(self):
+        from repro.core.base_paths import unique_shortest_path_base
+
+        g = Graph.from_edges([(1, 2)])
+        base = unique_shortest_path_base(g, seed=1)
+        with pytest.raises(NoRestorationPath):
+            plan_restoration(
+                g.without(edges=[(1, 2)]), base, 1, 2, strategy="aux-graph"
+            )

@@ -1,0 +1,130 @@
+"""Tests for the link-state routing substrate (LSDB, SPF, flooding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NoPath
+from repro.graph.graph import Graph
+from repro.routing.flooding import (
+    FloodingModel,
+    action_time,
+    flood_times,
+    local_restoration_time,
+    source_restoration_time,
+)
+from repro.routing.lsdb import LinkStateAd, LinkStateDatabase
+from repro.routing.events import LinkDown, LinkUp, RouterDown
+from repro.routing.spf import SpfRouter, spf_tree
+
+
+class TestLsdb:
+    def test_from_graph_matches(self, diamond):
+        db = LinkStateDatabase.from_graph(diamond)
+        assert db.is_up(1, 2)
+        assert db.link_state(1, 2) == (1.0, True, 0)
+        assert len(db.known_links()) == diamond.number_of_edges()
+
+    def test_apply_newer_sequence_wins(self, diamond):
+        db = LinkStateDatabase.from_graph(diamond)
+        assert db.apply(LinkStateAd(1, 2, 1.0, up=False, sequence=1))
+        assert not db.is_up(1, 2)
+
+    def test_stale_ad_ignored(self, diamond):
+        db = LinkStateDatabase.from_graph(diamond)
+        db.apply(LinkStateAd(1, 2, 1.0, up=False, sequence=5))
+        assert not db.apply(LinkStateAd(1, 2, 1.0, up=True, sequence=3))
+        assert not db.is_up(1, 2)
+
+    def test_to_graph_excludes_down_links(self, diamond):
+        db = LinkStateDatabase.from_graph(diamond)
+        db.apply(LinkStateAd(1, 2, 1.0, up=False, sequence=1))
+        graph = db.to_graph()
+        assert not graph.has_edge(1, 2)
+        assert graph.has_edge(2, 4)
+        assert db.down_links() == {(1, 2)}
+
+    def test_unknown_link_not_up(self):
+        assert not LinkStateDatabase().is_up(1, 2)
+
+
+class TestSpfRouter:
+    def test_routes_on_bootstrap(self, diamond):
+        router = SpfRouter(1, LinkStateDatabase.from_graph(diamond))
+        assert router.distance_to(4) == 2.0
+        assert router.route_to(4).source == 1
+        assert router.next_hop_to(4) in (2, 3)
+        assert router.next_hop_to(1) is None
+
+    def test_recomputes_after_failure_ad(self, square):
+        router = SpfRouter(1, LinkStateDatabase.from_graph(square))
+        assert router.distance_to(2) == 1.0
+        router.receive(LinkStateAd(1, 2, 1.0, up=False, sequence=1))
+        assert router.distance_to(2) == 3.0  # around the square
+
+    def test_unreachable_raises(self, square):
+        router = SpfRouter(1, LinkStateDatabase.from_graph(square))
+        router.receive(LinkStateAd(1, 2, 1.0, up=False, sequence=1))
+        router.receive(LinkStateAd(1, 4, 1.0, up=False, sequence=1))
+        with pytest.raises(NoPath):
+            router.distance_to(3)
+
+    def test_believes_up(self, square):
+        router = SpfRouter(1, LinkStateDatabase.from_graph(square))
+        assert router.believes_up(1, 2)
+        router.receive(LinkStateAd(1, 2, 1.0, up=False, sequence=1))
+        assert not router.believes_up(1, 2)
+
+    def test_spf_tree(self, diamond):
+        tree = spf_tree(diamond, 1)
+        assert tree[4].hops == 2
+        assert tree[1].is_trivial
+
+
+class TestFlooding:
+    def test_flood_times_monotone_with_distance(self, line5):
+        model = FloodingModel(detection_delay=0.01, per_hop_delay=0.005)
+        times = flood_times(line5, [0], model)
+        assert times[0] == pytest.approx(0.01)
+        for i in range(1, 5):
+            assert times[i] == pytest.approx(0.01 + 0.005 * i)
+
+    def test_two_origins_take_min(self, square):
+        model = FloodingModel(detection_delay=0.01, per_hop_delay=0.005)
+        times = flood_times(square, [1, 2], model)
+        assert times[3] == pytest.approx(0.015)  # one hop from 2
+        assert times[4] == pytest.approx(0.015)  # one hop from 1
+
+    def test_partitioned_router_never_learns(self):
+        g = Graph.from_edges([(1, 2), (3, 4)])
+        times = flood_times(g, [1])
+        assert 3 not in times and 4 not in times
+
+    def test_local_beats_source(self, line5):
+        model = FloodingModel()
+        # Failure at far end of the line; source is node 0.
+        view = line5.without(edges=[(3, 4)])
+        source_t = source_restoration_time(view, [3, 4], 0, model)
+        assert local_restoration_time(model) < source_t
+
+    def test_source_unreachable_is_infinite(self):
+        g = Graph.from_edges([(1, 2), (3, 4)])
+        assert source_restoration_time(g, [3, 4], 1) == float("inf")
+
+    def test_action_time_adds_spf_delay(self):
+        model = FloodingModel(spf_delay=0.05)
+        assert action_time(1.0, model) == pytest.approx(1.05)
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ValueError):
+            FloodingModel(detection_delay=-1.0)
+
+
+class TestEvents:
+    def test_link_event_edges_canonical(self):
+        assert LinkDown(2, 1).edge == (1, 2)
+        assert LinkUp(2, 1).edge == (1, 2)
+
+    def test_router_down(self):
+        event = RouterDown("r", time=3.0)
+        assert event.router == "r" and event.time == 3.0

@@ -1,0 +1,191 @@
+"""Tests for the DES core and the hybrid restoration orchestration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_paths import UniqueShortestPathsBase, provision_base_set
+from repro.core.local_restoration import LocalStrategy, upstream_router
+from repro.graph.shortest_paths import shortest_path_length
+from repro.mpls.network import ForwardingStatus, MplsNetwork
+from repro.routing.flooding import FloodingModel
+from repro.sim.event_queue import EventQueue
+from repro.sim.orchestrator import RestorationSimulation
+from repro.topology.isp import generate_isp_topology
+
+
+class TestEventQueue:
+    def test_dispatch_in_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(3.0, lambda: log.append("c"))
+        q.schedule(1.0, lambda: log.append("a"))
+        q.schedule(2.0, lambda: log.append("b"))
+        q.run_until(10.0)
+        assert log == ["a", "b", "c"]
+        assert q.now == 10.0
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        log = []
+        for tag in "abc":
+            q.schedule(1.0, lambda t=tag: log.append(t))
+        q.run_all()
+        assert log == ["a", "b", "c"]
+
+    def test_run_until_stops_at_boundary(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda: log.append(1))
+        q.schedule(2.0, lambda: log.append(2))
+        assert q.run_until(1.5) == 1
+        assert log == [1]
+        assert len(q) == 1
+
+    def test_past_scheduling_rejected(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.run_until(5.0)
+        with pytest.raises(ValueError):
+            q.schedule(2.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        q = EventQueue()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                q.schedule_in(1.0, lambda: chain(n + 1))
+
+        q.schedule(0.0, lambda: chain(0))
+        q.run_all()
+        assert log == [0, 1, 2, 3]
+        assert q.now == 3.0
+
+    def test_livelock_guard(self):
+        q = EventQueue()
+
+        def forever():
+            q.schedule_in(0.0, forever)
+
+        q.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            q.run_all(max_events=100)
+
+
+@pytest.fixture(scope="module")
+def sim_world():
+    graph = generate_isp_topology(n=60, seed=31)
+    net = MplsNetwork(graph)
+    base = UniqueShortestPathsBase(graph)
+    # Find a demand with a reasonably long primary.
+    nodes = sorted(graph.nodes, key=repr)
+    best = max(
+        ((s, t) for s in nodes[:15] for t in nodes[-15:] if s != t),
+        key=lambda pair: base.path_for(*pair).hops,
+    )
+    registry = provision_base_set(net, base, pairs=[best])
+    return graph, net, base, registry, best
+
+
+def build_sim(sim_world, model=None, strategy=LocalStrategy.EDGE_BYPASS):
+    graph, net, base, registry, demand_pair = sim_world
+    model = model or FloodingModel(
+        detection_delay=0.010, per_hop_delay=0.005, spf_delay=0.050
+    )
+    sim = RestorationSimulation(
+        net, base, dict(registry), model=model, local_strategy=strategy
+    )
+    demand = sim.add_demand(*demand_pair)
+    return sim, demand
+
+
+class TestRestorationSimulation:
+    def test_full_hybrid_timeline(self, sim_world):
+        graph, net, base, registry, demand_pair = sim_world
+        sim, demand = build_sim(sim_world)
+        primary = demand.primary
+        failed = list(primary.edges())[primary.hops - 1]  # far from source
+
+        sim.schedule_link_failure(1.0, *failed)
+
+        # Before the failure: primary delivery.
+        sim.run_until(0.5)
+        assert sim.inject(*demand_pair).walk == list(primary.nodes)
+
+        # Immediately after the failure, before detection: black hole.
+        sim.run_until(1.005)
+        result = sim.inject(*demand_pair)
+        assert result.status is ForwardingStatus.DROPPED_LINK_DOWN
+
+        # After detection: local patch carries traffic.
+        sim.run_until(1.012)
+        result = sim.inject(*demand_pair)
+        assert result.delivered
+        assert demand.locally_patched
+        assert not demand.source_restored
+
+        # After the flood reaches the source (+ SPF): shortest path restored.
+        sim.run_until(2.0)
+        assert demand.source_restored
+        result = sim.inject(*demand_pair)
+        assert result.delivered
+        walked_cost = sum(
+            graph.weight(u, v) for u, v in zip(result.walk, result.walk[1:])
+        )
+        expected = shortest_path_length(
+            graph.without(edges=[failed]), *demand_pair
+        )
+        assert walked_cost == pytest.approx(expected)
+
+        # Recovery: primary comes back.
+        sim.schedule_link_recovery(3.0, *failed)
+        sim.run_until(5.0)
+        assert not demand.source_restored and not demand.locally_patched
+        assert sim.inject(*demand_pair).walk == list(primary.nodes)
+
+    def test_timeline_event_order(self, sim_world):
+        sim, demand = build_sim(sim_world)
+        primary = demand.primary
+        failed = list(primary.edges())[primary.hops - 1]
+        sim.schedule_link_failure(1.0, *failed)
+        sim.run_until(10.0)
+        actions = [e.action for e in sim.timeline]
+        assert actions.index("link-down") < actions.index("detected")
+        assert actions.index("detected") < actions.index("local-patch")
+        assert actions.index("local-patch") < actions.index("source-restore")
+
+    def test_source_restore_supersedes_local_patch(self, sim_world):
+        sim, demand = build_sim(sim_world)
+        failed = list(demand.primary.edges())[demand.primary.hops - 1]
+        sim.schedule_link_failure(1.0, *failed)
+        sim.run_until(10.0)
+        assert demand.source_restored
+        assert not demand.locally_patched  # retired after source re-route
+
+    def test_failure_near_source_is_detected_by_source(self, sim_world):
+        graph, net, base, registry, demand_pair = sim_world
+        sim, demand = build_sim(sim_world)
+        failed = list(demand.primary.edges())[0]
+        assert upstream_router(demand.primary, failed) == demand.source
+        sim.schedule_link_failure(1.0, *failed)
+        sim.run_until(10.0)
+        assert sim.inject(*demand_pair).delivered
+
+    def test_lsdbs_converge(self, sim_world):
+        sim, demand = build_sim(sim_world)
+        failed = list(demand.primary.edges())[demand.primary.hops - 1]
+        sim.schedule_link_failure(1.0, *failed)
+        sim.run_until(10.0)
+        # Every (connected) router's LSDB must now agree the link is down.
+        for router in sim.routers.values():
+            assert not router.believes_up(*failed)
+
+    def test_flood_is_quenched(self, sim_world):
+        """Stale-sequence suppression must terminate the flood."""
+        sim, demand = build_sim(sim_world)
+        failed = list(demand.primary.edges())[demand.primary.hops - 1]
+        sim.schedule_link_failure(1.0, *failed)
+        sim.run_until(50.0)
+        assert len(sim.queue) == 0  # nothing left circulating

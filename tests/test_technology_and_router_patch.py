@@ -1,0 +1,132 @@
+"""Tests for the technology cost model and local router-failure patching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_paths import UniqueShortestPathsBase, provision_base_set
+from repro.core.decomposition import Decomposition
+from repro.core.local_restoration import LocalRbpc
+from repro.core.restoration import plan_restoration
+from repro.core.technology import (
+    ATM,
+    MPLS,
+    PROFILES,
+    WDM,
+    TechnologyProfile,
+    concatenation_advantage,
+    concatenation_restoration_cost,
+    reestablishment_restoration_cost,
+)
+from repro.exceptions import NoRestorationPath
+from repro.graph.paths import Path
+from repro.mpls.network import MplsNetwork
+from repro.topology.isp import generate_isp_topology
+
+
+def two_piece_decomposition():
+    return Decomposition(
+        pieces=(Path([1, 2, 3]), Path([3, 4])), base_flags=(True, True)
+    )
+
+
+class TestTechnologyModel:
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyProfile("x", concat_cost=-1, setup_cost_per_hop=1, teardown_cost_per_hop=1)
+
+    def test_concatenation_cost_counts_junctions(self):
+        d = two_piece_decomposition()
+        assert concatenation_restoration_cost(MPLS, d) == pytest.approx(0.1)
+        single = Decomposition(pieces=(Path([1, 2]),), base_flags=(True,))
+        assert concatenation_restoration_cost(MPLS, single) == 0.0
+
+    def test_reestablishment_prices_both_circuits(self):
+        primary = Path([1, 2, 3, 4])
+        backup = Path([1, 5, 6, 4])
+        cost = reestablishment_restoration_cost(MPLS, primary, backup)
+        assert cost == pytest.approx(3 * 1.0 + 3 * 2.0)
+
+    def test_paper_ordering_of_advantages(self):
+        """RBPC's edge: huge in MPLS, big in WDM, modest in ATM (§1)."""
+        d = two_piece_decomposition()
+        primary = Path([1, 2, 5, 4])
+        advantages = {
+            p.name: concatenation_advantage(p, d, primary) for p in PROFILES
+        }
+        assert advantages["MPLS"] > advantages["WDM"] > advantages["ATM"]
+        assert advantages["ATM"] > 1.0  # still wins, but less clearly
+        assert advantages["MPLS"] > 20
+
+    def test_zero_junction_advantage_is_infinite(self):
+        single = Decomposition(pieces=(Path([1, 2]),), base_flags=(True,))
+        assert concatenation_advantage(WDM, single, Path([1, 3, 2])) == float("inf")
+
+    def test_advantage_on_real_restorations(self):
+        graph = generate_isp_topology(n=40, seed=9)
+        base = UniqueShortestPathsBase(graph)
+        nodes = sorted(graph.nodes, key=repr)
+        s, t = nodes[0], nodes[-1]
+        primary = base.path_for(s, t)
+        failed = next(iter(primary.edge_keys()))
+        plan = plan_restoration(graph.without(edges=[failed]), base, s, t)
+        for profile in PROFILES:
+            assert concatenation_advantage(profile, plan, primary) > 1.0
+
+
+class TestRouterFailurePatch:
+    @pytest.fixture()
+    def world(self):
+        graph = generate_isp_topology(n=50, seed=29)
+        net = MplsNetwork(graph)
+        base = UniqueShortestPathsBase(graph)
+        nodes = sorted(graph.nodes, key=repr)
+        demand = max(
+            ((s, t) for s in nodes[:10] for t in nodes[-10:] if s != t),
+            key=lambda pair: base.path_for(*pair).hops,
+        )
+        registry = provision_base_set(net, base, pairs=[demand])
+        primary = base.path_for(*demand)
+        net.set_fec(*demand, [registry[primary]])
+        return graph, net, base, registry, demand, primary
+
+    def test_patch_restores_through_router_failure(self, world):
+        graph, net, base, registry, demand, primary = world
+        local = LocalRbpc(net, base, registry)
+        victim = primary.interior_nodes()[len(primary.interior_nodes()) // 2]
+        net.fail_router(victim)
+        patch = local.patch_router_failure(registry[primary], victim)
+        result = net.inject(*demand)
+        assert result.delivered
+        assert victim not in result.walk
+        # R1 is the router immediately before the victim on the LSP.
+        assert patch.router == primary.nodes[primary.index(victim) - 1]
+
+    def test_non_interior_router_rejected(self, world):
+        graph, net, base, registry, demand, primary = world
+        local = LocalRbpc(net, base, registry)
+        with pytest.raises(ValueError):
+            local.patch_router_failure(registry[primary], demand[0])
+
+    def test_revert_restores_primary(self, world):
+        graph, net, base, registry, demand, primary = world
+        local = LocalRbpc(net, base, registry)
+        victim = primary.interior_nodes()[0]
+        net.fail_router(victim)
+        local.patch_router_failure(registry[primary], victim)
+        net.restore_router(victim)
+        local.revert(registry[primary])
+        assert net.inject(*demand).walk == list(primary.nodes)
+
+    def test_disconnecting_router_failure_raises(self):
+        # Line: interior failure disconnects; no patch possible.
+        from repro.graph.graph import Graph
+
+        graph = Graph.from_edges([(1, 2), (2, 3), (3, 4)])
+        net = MplsNetwork(graph)
+        base = UniqueShortestPathsBase(graph)
+        lsp = net.provision_lsp(Path([1, 2, 3, 4]))
+        net.fail_router(3)
+        local = LocalRbpc(net, base)
+        with pytest.raises(NoRestorationPath):
+            local.patch_router_failure(lsp.lsp_id, 3)

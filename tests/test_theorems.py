@@ -1,0 +1,274 @@
+"""Property tests of Theorems 1-3 and the proof machinery (Section 3).
+
+These are the paper's headline claims run as executable checks:
+random graphs, random failure sets, random demands — the bound must
+hold every single time.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.base_paths import AllShortestPathsBase, unique_shortest_path_base
+from repro.core.decomposition import min_base_paths_decompose, min_pieces_decompose
+from repro.core.theory import (
+    eulerian_path,
+    gf2_dependent_subset,
+    proof_bypasses,
+    theorem1_bound,
+    theorem2_bound,
+    verify_theorem1,
+    verify_theorem2,
+)
+from repro.exceptions import GraphError, NoPath
+from repro.failures.models import FailureScenario
+from repro.graph.graph import Graph
+from repro.graph.shortest_paths import shortest_path
+from repro.topology.classic import comb_graph, four_cycle, weighted_comb_graph
+from repro.topology.isp import generate_isp_topology
+from repro.topology.powerlaw import preferential_attachment
+
+
+def random_connected_graph(seed: int, n: int = 24, extra: int = 14) -> Graph:
+    rng = random.Random(seed)
+    g = Graph()
+    for i in range(1, n):
+        g.add_edge(rng.randrange(i), i)
+    for _ in range(extra):
+        u, v = rng.sample(range(n), 2)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+class TestTheorem1:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        k=st.integers(1, 4),
+        pair_seed=st.integers(0, 10_000),
+    )
+    def test_holds_on_random_graphs(self, seed, k, pair_seed):
+        g = random_connected_graph(seed)
+        rng = random.Random(pair_seed)
+        edges = sorted(g.edges())
+        failed = rng.sample(edges, min(k, len(edges)))
+        s, t = rng.sample(sorted(g.nodes), 2)
+        scenario = FailureScenario.link_set(failed)
+        try:
+            holds, decomposition = verify_theorem1(g, scenario, s, t)
+        except NoPath:
+            return  # disconnected: nothing to restore
+        assert holds, (
+            f"Theorem 1 violated: {decomposition.num_pieces} pieces for "
+            f"k={scenario.effective_k_edges(g)}"
+        )
+
+    def test_tight_on_comb(self):
+        for k in (1, 2, 3, 6):
+            g, failed, s, t = comb_graph(k)
+            holds, decomposition = verify_theorem1(
+                g, FailureScenario.link_set(failed), s, t
+            )
+            assert holds
+            assert decomposition.num_pieces == theorem1_bound(k)
+
+    def test_rejects_weighted_graph(self, weighted_diamond):
+        with pytest.raises(GraphError):
+            verify_theorem1(
+                weighted_diamond, FailureScenario.single_link(1, 2), 1, 4
+            )
+
+    def test_holds_on_powerlaw_graphs(self):
+        g = preferential_attachment(150, 2.0, seed=5)
+        rng = random.Random(9)
+        nodes = sorted(g.nodes)
+        for trial in range(15):
+            k = rng.randrange(1, 4)
+            failed = rng.sample(sorted(g.edges()), k)
+            s, t = rng.sample(nodes, 2)
+            try:
+                holds, _ = verify_theorem1(
+                    g, FailureScenario.link_set(failed), s, t
+                )
+            except NoPath:
+                continue
+            assert holds
+
+
+class TestTheorem2:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        k=st.integers(1, 3),
+        pair_seed=st.integers(0, 10_000),
+    )
+    def test_holds_on_random_weighted_graphs(self, seed, k, pair_seed):
+        g = random_connected_graph(seed, n=18, extra=10)
+        rng = random.Random(seed ^ 0xBEEF)
+        weighted = Graph()
+        for u, v, _ in g.weighted_edges():
+            weighted.add_edge(u, v, weight=rng.choice([1, 1, 2, 3, 5, 10]))
+        rng2 = random.Random(pair_seed)
+        failed = rng2.sample(sorted(weighted.edges()), k)
+        s, t = rng2.sample(sorted(weighted.nodes), 2)
+        try:
+            holds, decomposition = verify_theorem2(
+                weighted, FailureScenario.link_set(failed), s, t
+            )
+        except NoPath:
+            return
+        assert holds, (
+            f"Theorem 2 violated: {decomposition.num_base_paths} paths + "
+            f"{decomposition.num_extra_edges} edges for k={k}"
+        )
+
+    def test_tight_on_weighted_comb(self):
+        for k in (1, 2, 4):
+            g, failed, s, t = weighted_comb_graph(k)
+            holds, decomposition = verify_theorem2(
+                g, FailureScenario.link_set(failed), s, t
+            )
+            assert holds
+            max_paths, max_edges = theorem2_bound(k)
+            assert decomposition.num_base_paths == max_paths
+            assert decomposition.num_extra_edges == max_edges
+
+    def test_holds_on_weighted_isp_with_router_failures(self):
+        g = generate_isp_topology(n=50, seed=11)
+        rng = random.Random(1)
+        nodes = sorted(g.nodes, key=repr)
+        for _ in range(10):
+            router = rng.choice(nodes)
+            s, t = rng.sample(nodes, 2)
+            if router in (s, t):
+                continue
+            scenario = FailureScenario.single_router(router)
+            try:
+                holds, _ = verify_theorem2(g, scenario, s, t)
+            except NoPath:
+                continue
+            assert holds
+
+
+class TestTheorem3:
+    """One base path per pair: k+1 base paths plus k edges still suffice."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 3_000), pair_seed=st.integers(0, 3_000))
+    def test_unique_base_set_restores_single_failure(self, seed, pair_seed):
+        g = random_connected_graph(seed, n=14, extra=8)
+        base = unique_shortest_path_base(g, seed=3)
+        rng = random.Random(pair_seed)
+        failed = rng.choice(sorted(g.edges()))
+        s, t = rng.sample(sorted(g.nodes), 2)
+        view = g.without(edges=[failed])
+        try:
+            backup = shortest_path(view, s, t)
+        except NoPath:
+            return
+        # Theorem 3 with k=1: a covering with at most 2 base paths and 1
+        # extra edge EXISTS.  min_pieces_decompose may legitimately
+        # return, say, 3 base paths instead of 2 paths + 1 edge (same
+        # piece count), so the claim is checked with the edge-bounded
+        # decomposition.
+        decomposition = min_base_paths_decompose(backup, base, max_edges=1)
+        assert decomposition.num_base_paths <= 2
+        assert decomposition.num_extra_edges <= 1
+        assert min_pieces_decompose(backup, base).num_pieces <= 3
+
+    def test_four_cycle_needs_three_components(self):
+        """The Section 3 remark: some failure forces 3 components."""
+        g = four_cycle()
+        worst = 0
+        base = unique_shortest_path_base(g, seed=1)
+        for failed in g.edges():
+            view = g.without(edges=[failed])
+            for s in g.nodes:
+                for t in g.nodes:
+                    if s == t:
+                        continue
+                    backup = shortest_path(view, s, t, weighted=False)
+                    if backup.is_trivial:
+                        continue
+                    d = min_pieces_decompose(backup, base, allow_edges=True)
+                    worst = max(worst, d.num_pieces)
+        assert worst == 3
+
+
+class TestProofMachinery:
+    def test_bypasses_contain_failed_edges(self):
+        g, failed, s, t = comb_graph(3)
+        view = g.without(edges=failed)
+        new_path = shortest_path(view, s, t, weighted=False)
+        triples = proof_bypasses(g, new_path, weighted=False)
+        assert 1 <= len(triples) <= 3
+        failed_set = set(failed)
+        for _, _, bypass in triples:
+            assert any(
+                key in failed_set for key in bypass.edge_keys()
+            ), "every proof bypass must contain a failed edge"
+
+    def test_no_bypasses_for_still_shortest_path(self, diamond):
+        assert proof_bypasses(diamond, shortest_path(diamond, 1, 4)) == []
+
+    def test_gf2_dependent_subset_xors_to_zero(self):
+        vectors = [
+            frozenset({"e1"}),
+            frozenset({"e1", "e2"}),
+            frozenset({"e2"}),
+        ]
+        subset = gf2_dependent_subset(vectors)
+        acc: frozenset = frozenset()
+        for i in subset:
+            acc = acc ^ vectors[i]
+        assert subset
+        assert acc == frozenset()
+
+    def test_gf2_k_plus_one_vectors_always_dependent(self):
+        rng = random.Random(4)
+        universe = [f"e{i}" for i in range(6)]
+        for _ in range(50):
+            vectors = [
+                frozenset(e for e in universe if rng.random() < 0.5) or frozenset({universe[0]})
+                for _ in range(len(universe) + 1)
+            ]
+            subset = gf2_dependent_subset(vectors)
+            acc: frozenset = frozenset()
+            for i in subset:
+                acc = acc ^ vectors[i]
+            assert acc == frozenset()
+
+    def test_gf2_independent_raises(self):
+        with pytest.raises(ValueError):
+            gf2_dependent_subset([frozenset({"a"}), frozenset({"b"})])
+
+    def test_gf2_zero_vector_alone(self):
+        assert gf2_dependent_subset([frozenset()]) == [0]
+
+    def test_eulerian_path_simple(self):
+        walk = eulerian_path([(1, 2), (2, 3)], 1, 3)
+        assert walk == [1, 2, 3]
+
+    def test_eulerian_path_with_parallel_edges(self):
+        walk = eulerian_path([(1, 2), (1, 2), (1, 2)], 1, 2)
+        assert walk[0] == 1 and walk[-1] == 2
+        assert len(walk) == 4
+
+    def test_eulerian_path_with_cycle_splice(self):
+        # s-t edge plus a disjoint-looking cycle hanging off s.
+        edges = [(1, 2), (1, 3), (3, 4), (4, 1)]
+        walk = eulerian_path(edges, 1, 2)
+        assert walk[0] == 1 and walk[-1] == 2
+        assert len(walk) == 5
+
+    def test_eulerian_wrong_parity_raises(self):
+        with pytest.raises(ValueError):
+            eulerian_path([(1, 2), (2, 3)], 1, 2)
+
+    def test_eulerian_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            eulerian_path([(1, 2), (3, 4), (4, 3)], 1, 2)

@@ -1,0 +1,84 @@
+"""Property: a FilteredView is indistinguishable from a mutated copy.
+
+Every failure computation in the library runs on zero-copy views; this
+equivalence is what licenses that design, so it gets its own property
+test: any (edges, nodes) removal applied as a view and as destructive
+mutation must agree on all observable behaviour — adjacency, counts,
+components, and shortest paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.connectivity import connected_components
+from repro.graph.graph import Graph
+from repro.graph.shortest_paths import dijkstra
+from repro.topology.isp import generate_isp_topology
+
+
+@st.composite
+def removal_instances(draw):
+    seed = draw(st.integers(0, 40))
+    graph = generate_isp_topology(n=24, seed=seed, weighted=True)
+    edges = sorted(graph.edges(), key=repr)
+    nodes = sorted(graph.nodes, key=repr)
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    failed_edges = rng.sample(edges, draw(st.integers(0, 4)))
+    failed_nodes = rng.sample(nodes, draw(st.integers(0, 2)))
+    return graph, failed_edges, failed_nodes
+
+
+def mutated_copy(graph: Graph, failed_edges, failed_nodes) -> Graph:
+    clone = graph.copy()
+    for node in failed_nodes:
+        if clone.has_node(node):
+            clone.remove_node(node)
+    for u, v in failed_edges:
+        if clone.has_edge(u, v):
+            clone.remove_edge(u, v)
+    return clone
+
+
+@settings(max_examples=40, deadline=None)
+@given(removal_instances())
+def test_structure_agrees(instance):
+    graph, failed_edges, failed_nodes = instance
+    view = graph.without(edges=failed_edges, nodes=failed_nodes)
+    mutated = mutated_copy(graph, failed_edges, failed_nodes)
+
+    assert set(view.nodes) == set(mutated.nodes)
+    assert set(view.edges()) == set(mutated.edges())
+    assert view.number_of_nodes() == mutated.number_of_nodes()
+    assert view.number_of_edges() == mutated.number_of_edges()
+    for node in mutated.nodes:
+        assert sorted(view.neighbors(node), key=repr) == sorted(
+            mutated.neighbors(node), key=repr
+        )
+        assert view.degree(node) == mutated.degree(node)
+
+
+@settings(max_examples=40, deadline=None)
+@given(removal_instances())
+def test_components_agree(instance):
+    graph, failed_edges, failed_nodes = instance
+    view = graph.without(edges=failed_edges, nodes=failed_nodes)
+    mutated = mutated_copy(graph, failed_edges, failed_nodes)
+    a = sorted(sorted(map(repr, c)) for c in connected_components(view))
+    b = sorted(sorted(map(repr, c)) for c in connected_components(mutated))
+    assert a == b
+
+
+@settings(max_examples=30, deadline=None)
+@given(removal_instances())
+def test_shortest_distances_agree(instance):
+    graph, failed_edges, failed_nodes = instance
+    view = graph.without(edges=failed_edges, nodes=failed_nodes)
+    mutated = mutated_copy(graph, failed_edges, failed_nodes)
+    sources = sorted(mutated.nodes, key=repr)[:3]
+    for source in sources:
+        dist_view, _ = dijkstra(view, source)
+        dist_mut, _ = dijkstra(mutated, source)
+        assert dist_view == dist_mut
