@@ -1,20 +1,86 @@
-"""Shared fixtures for the benchmark harness.
+"""Shared fixtures and JSON output for the benchmark harness.
 
 Benchmarks regenerate the paper's tables and figures at a reduced but
 shape-preserving scale (see ``repro.experiments.networks``), so the
 whole harness completes in minutes on a laptop.  Run the full paper
 scale with ``python -m repro.experiments.runner --scale paper``.
+
+Every benchmark session also emits a machine-readable summary —
+per-benchmark timing stats plus the global perf counters — to
+``BENCH_benchmarks.json`` at the repository root by default.  Point it
+elsewhere with ``--json-out PATH``; disable with ``--json-out -``.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
-from repro.core.base_paths import UniqueShortestPathsBase
+from repro.core.cache import shared_unique_base
 from repro.experiments.networks import suite
 from repro.failures.sampler import sample_pairs
+from repro.perf import COUNTERS
 from repro.topology.isp import generate_isp_topology
 from repro.topology.powerlaw import generate_as_graph
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json-out",
+        action="store",
+        default=None,
+        help=(
+            "where to write the machine-readable benchmark summary "
+            "(default: BENCH_benchmarks.json at the repo root; '-' disables)"
+        ),
+    )
+
+
+def pytest_sessionstart(session):
+    session.config._bench_counters_start = COUNTERS.snapshot()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    target = session.config.getoption("--json-out", default=None)
+    if target == "-":
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None) or []
+    entries = []
+    for bench in benchmarks:
+        stats = getattr(bench, "stats", None)
+        if not stats:  # disabled / never ran: Stats() is falsy when empty
+            continue
+        entries.append(
+            {
+                "name": bench.name,
+                "fullname": bench.fullname,
+                "group": bench.group,
+                "rounds": stats.rounds,
+                "mean_s": stats.mean,
+                "min_s": stats.min,
+                "max_s": stats.max,
+                "stddev_s": stats.stddev,
+            }
+        )
+    if not entries:
+        return  # collection-only / --benchmark-disable runs: nothing to report
+    start = getattr(session.config, "_bench_counters_start", None)
+    counters = (COUNTERS.delta(start) if start else COUNTERS).as_dict()
+    payload = {
+        "name": "benchmarks",
+        "exit_status": int(exitstatus),
+        "benchmarks": sorted(entries, key=lambda e: e["fullname"]),
+        "counters": counters,
+    }
+    from repro.experiments.bench import write_bench_json
+
+    out = Path(target) if target else REPO_ROOT / "BENCH_benchmarks.json"
+    write_bench_json("benchmarks", payload, path=out)
+    print(f"\n[bench] wrote {out}")
 
 
 @pytest.fixture(scope="session")
@@ -31,7 +97,10 @@ def isp200():
 
 @pytest.fixture(scope="session")
 def isp200_base(isp200):
-    return UniqueShortestPathsBase(isp200)
+    # Served from the shared cache so repeated benchmark modules (and
+    # the experiment drivers, if mixed in one process) reuse one padded
+    # graph + oracle per topology.
+    return shared_unique_base(isp200)
 
 
 @pytest.fixture(scope="session")

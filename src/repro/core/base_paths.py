@@ -64,6 +64,17 @@ class BaseSet:
         """Yield one canonical base path per covered ordered pair."""
         raise NotImplementedError
 
+    def subpath_probe(self, path: Path):
+        """A sub-path membership prober for *path* (see ``decomp_kernel``).
+
+        The default answers probes by materializing each sub-path and
+        calling :meth:`is_base_path`; the implicit shortest-path sets
+        override this with the O(1) prefix-sum kernel.
+        """
+        from .decomp_kernel import SubpathProbe
+
+        return SubpathProbe(path, self)
+
 
 class AllShortestPathsBase(BaseSet):
     """Implicit base set: *every* shortest path (and every edge) is basic.
@@ -121,6 +132,16 @@ class AllShortestPathsBase(BaseSet):
                 if s != t and self._oracle.has_path(s, t):
                     yield self._oracle.path(s, t)
 
+    def subpath_probe(self, path: Path):
+        """O(1) prefix-sum prober against the original-graph oracle."""
+        from .decomp_kernel import PrefixSumProbe, SubpathProbe
+
+        if not path.is_valid_in(self.graph):
+            return SubpathProbe(path, self)
+        return PrefixSumProbe(
+            path, self, self.graph, self._oracle, self.include_all_edges
+        )
+
 
 class UniqueShortestPathsBase(BaseSet):
     """Implicit Theorem-3 base set: one shortest path per pair, plus subpaths.
@@ -150,7 +171,10 @@ class UniqueShortestPathsBase(BaseSet):
         self.graph = graph
         self.include_all_edges = include_all_edges
         self._padded = padded_graph(graph, seed=seed, scale=pad_scale)
-        self._oracle = LazyDistanceOracle(self._padded)
+        # Padding makes shortest paths unique, hence tie-free: the
+        # oracle may use the faster lazy-heap Dijkstra for full rows
+        # without changing any predecessor tree.
+        self._oracle = LazyDistanceOracle(self._padded, tie_free=True)
 
     @property
     def padded(self) -> Graph:
@@ -185,6 +209,16 @@ class UniqueShortestPathsBase(BaseSet):
             for t in self.graph.nodes:
                 if s != t and self._oracle.has_path(s, t):
                     yield self._oracle.path(s, t)
+
+    def subpath_probe(self, path: Path):
+        """O(1) prefix-sum prober against the padded-graph oracle."""
+        from .decomp_kernel import PrefixSumProbe, SubpathProbe
+
+        if not path.is_valid_in(self.graph):
+            return SubpathProbe(path, self)
+        return PrefixSumProbe(
+            path, self, self._padded, self._oracle, self.include_all_edges
+        )
 
 
 class ExplicitBaseSet(BaseSet):

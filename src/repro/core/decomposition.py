@@ -104,6 +104,69 @@ def greedy_decompose(
     :class:`AllShortestPathsBase`, where prefix membership is monotone)
     or ``"linear"`` (default otherwise — correct for any base set).
     Raises :class:`DecompositionError` if no progress can be made.
+
+    Membership probes go through the base set's sub-path prober (O(1)
+    prefix-sum arithmetic for the implicit shortest-path sets — see
+    ``repro.core.decomp_kernel``); the probe sequence, and therefore the
+    result, is identical to :func:`greedy_decompose_reference`.
+    """
+    if path.is_trivial:
+        return Decomposition(pieces=(), base_flags=())
+    if prefix_probe is None:
+        prefix_probe = (
+            "binary" if isinstance(base_set, AllShortestPathsBase) else "linear"
+        )
+    if prefix_probe not in ("binary", "linear"):
+        raise ValueError(f"unknown prefix_probe {prefix_probe!r}")
+
+    probe = base_set.subpath_probe(path)
+    n = path.hops
+    pos = 0
+    pieces: list[Path] = []
+    flags: list[bool] = []
+    while pos < n:
+        if prefix_probe == "binary":
+            lo, hi = 0, n - pos
+            # Invariant: subpath(pos, pos+lo) is base or lo == 0.
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if probe.is_base(pos, pos + mid):
+                    lo = mid
+                else:
+                    hi = mid - 1
+            length = lo
+        else:
+            length = 0
+            for cand in range(1, n - pos + 1):
+                if probe.is_base(pos, pos + cand):
+                    length = cand
+        if length >= 1:
+            pieces.append(path.subpath(pos, pos + length))
+            flags.append(True)
+            pos += length
+        else:
+            admissible, is_base = probe.piece(pos, pos + 1, allow_edges)
+            if not admissible:
+                raise DecompositionError(
+                    f"no base path or admissible edge covers "
+                    f"{path.subpath(pos, pos + 1)!r}"
+                )
+            pieces.append(path.subpath(pos, pos + 1))
+            flags.append(is_base)
+            pos += 1
+    return Decomposition(pieces=tuple(pieces), base_flags=tuple(flags))
+
+
+def greedy_decompose_reference(
+    path: Path,
+    base_set: BaseSet,
+    allow_edges: bool = True,
+    prefix_probe: Optional[str] = None,
+) -> Decomposition:
+    """Pre-kernel implementation of :func:`greedy_decompose`.
+
+    Allocates a :class:`Path` per membership probe.  Kept as the
+    specification the equivalence tests check the kernel against.
     """
     if path.is_trivial:
         return Decomposition(pieces=(), base_flags=())
@@ -165,12 +228,61 @@ def min_pieces_decompose(
     Dynamic program over node positions; among decompositions with the
     same piece count, the one with fewer bare edges wins.  This is the
     quantity Table 2's "avg. PC length" averages.
+
+    The O(L²) probe loop runs on the base set's sub-path prober, so for
+    the implicit shortest-path sets each probe is O(1) arithmetic with
+    no :class:`Path` allocation; results are identical to
+    :func:`min_pieces_decompose_reference`.
+    """
+    if path.is_trivial:
+        return Decomposition(pieces=(), base_flags=())
+    probe = base_set.subpath_probe(path)
+    n = len(path.nodes)
+    INF = (n + 1, n + 1)
+    # best[i] = (pieces, extra_edges) to cover path[0..i]; choice[i] = (j, is_base)
+    best: list[tuple[int, int]] = [INF] * n
+    choice: list[Optional[tuple[int, bool]]] = [None] * n
+    best[0] = (0, 0)
+    for i in range(1, n):
+        for j in range(i):
+            if best[j] == INF:
+                continue
+            admissible, is_base = probe.piece(j, i, allow_edges)
+            if not admissible:
+                continue
+            candidate = (best[j][0] + 1, best[j][1] + (0 if is_base else 1))
+            if candidate < best[i]:
+                best[i] = candidate
+                choice[i] = (j, is_base)
+    if best[n - 1] == INF:
+        raise DecompositionError(f"{path!r} cannot be covered by the base set")
+    pieces: list[Path] = []
+    flags: list[bool] = []
+    i = n - 1
+    while i > 0:
+        j, is_base = choice[i]  # type: ignore[misc]
+        pieces.append(path.subpath(j, i))
+        flags.append(is_base)
+        i = j
+    pieces.reverse()
+    flags.reverse()
+    return Decomposition(pieces=tuple(pieces), base_flags=tuple(flags))
+
+
+def min_pieces_decompose_reference(
+    path: Path,
+    base_set: BaseSet,
+    allow_edges: bool = True,
+) -> Decomposition:
+    """Pre-kernel implementation of :func:`min_pieces_decompose`.
+
+    Allocates a :class:`Path` per DP probe.  Kept as the specification
+    the equivalence tests check the kernel against.
     """
     if path.is_trivial:
         return Decomposition(pieces=(), base_flags=())
     n = len(path.nodes)
     INF = (n + 1, n + 1)
-    # best[i] = (pieces, extra_edges) to cover path[0..i]; choice[i] = (j, is_base)
     best: list[tuple[int, int]] = [INF] * n
     choice: list[Optional[tuple[int, bool]]] = [None] * n
     best[0] = (0, 0)
@@ -218,9 +330,67 @@ def min_base_paths_decompose(
         return Decomposition(pieces=(), base_flags=())
     if max_edges < 0:
         raise ValueError("max_edges must be >= 0")
-    n = len(path.nodes)
+    probe = base_set.subpath_probe(path)
+    nodes = path.nodes
+    n = len(nodes)
     INF = n + 1
     # best[i][e] = min base pieces covering path[0..i] with e bare edges.
+    best = [[INF] * (max_edges + 1) for _ in range(n)]
+    choice: list[list[Optional[tuple[int, int, bool]]]] = [
+        [None] * (max_edges + 1) for _ in range(n)
+    ]
+    best[0][0] = 0
+    for i in range(1, n):
+        for j in range(i):
+            is_base = probe.is_base(j, i)
+            is_edge = i - j == 1 and base_set.graph.has_edge(nodes[j], nodes[i])
+            if not is_base and not is_edge:
+                continue
+            for e in range(max_edges + 1):
+                if best[j][e] >= INF:
+                    continue
+                if is_base and best[j][e] + 1 < best[i][e]:
+                    best[i][e] = best[j][e] + 1
+                    choice[i][e] = (j, e, True)
+                if is_edge and e < max_edges and best[j][e] < best[i][e + 1]:
+                    best[i][e + 1] = best[j][e]
+                    choice[i][e + 1] = (j, e, False)
+    final_e = min(
+        range(max_edges + 1), key=lambda e: (best[n - 1][e], e), default=0
+    )
+    if best[n - 1][final_e] >= INF:
+        raise DecompositionError(
+            f"{path!r} cannot be covered with <= {max_edges} bare edges"
+        )
+    pieces: list[Path] = []
+    flags: list[bool] = []
+    i, e = n - 1, final_e
+    while i > 0:
+        j, prev_e, is_base = choice[i][e]  # type: ignore[misc]
+        pieces.append(path.subpath(j, i))
+        flags.append(is_base)
+        i, e = j, prev_e
+    pieces.reverse()
+    flags.reverse()
+    return Decomposition(pieces=tuple(pieces), base_flags=tuple(flags))
+
+
+def min_base_paths_decompose_reference(
+    path: Path,
+    base_set: BaseSet,
+    max_edges: int,
+) -> Decomposition:
+    """Pre-kernel implementation of :func:`min_base_paths_decompose`.
+
+    Allocates a :class:`Path` per DP probe.  Kept as the specification
+    the equivalence tests check the kernel against.
+    """
+    if path.is_trivial:
+        return Decomposition(pieces=(), base_flags=())
+    if max_edges < 0:
+        raise ValueError("max_edges must be >= 0")
+    n = len(path.nodes)
+    INF = n + 1
     best = [[INF] * (max_edges + 1) for _ in range(n)]
     choice: list[list[Optional[tuple[int, int, bool]]]] = [
         [None] * (max_edges + 1) for _ in range(n)

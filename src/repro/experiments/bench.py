@@ -1,0 +1,60 @@
+"""Machine-readable perf output — ``BENCH_<name>.json`` emission.
+
+Every experiment CLI and benchmark writes one JSON document per run so
+the performance trajectory of the pipeline is tracked from PR to PR:
+wall-clock, per-stage timings, case counts, and the global work
+counters (:mod:`repro.perf`).  The driver convention is a file named
+``BENCH_<name>.json`` in the current working directory (the repo root
+in CI), overridable per CLI via ``--bench-json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+
+class StageTimer:
+    """Accumulating named wall-clock stages.
+
+    >>> timer = StageTimer()
+    >>> with timer.stage("warmup"):
+    ...     pass
+    >>> "warmup" in timer.stages
+    True
+    """
+
+    def __init__(self) -> None:
+        self.stages: dict[str, float] = {}
+        self._start = time.perf_counter()
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a block; repeated stages accumulate."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = (
+                self.stages.get(name, 0.0) + time.perf_counter() - t0
+            )
+
+    def total(self) -> float:
+        """Seconds since this timer was created."""
+        return time.perf_counter() - self._start
+
+    def as_dict(self, digits: int = 4) -> dict[str, float]:
+        """Rounded stage timings, insertion-ordered."""
+        return {name: round(secs, digits) for name, secs in self.stages.items()}
+
+
+def write_bench_json(
+    name: str, payload: dict[str, Any], path: Optional[str] = None
+) -> Path:
+    """Write ``BENCH_<name>.json`` (or *path*); returns the path written."""
+    out = Path(path) if path else Path.cwd() / f"BENCH_{name}.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return out

@@ -14,14 +14,24 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
+from typing import Optional
 
-from ..core.base_paths import UniqueShortestPathsBase
+from ..core.base_paths import BaseSet
+from ..core.cache import shared_unique_base
 from ..core.local_restoration import edge_bypass_route, end_route_route
 from ..exceptions import NoPath, NoRestorationPath
 from ..failures.sampler import link_failure_cases, sample_pairs
-from ..graph.graph import Graph
+from ..graph.graph import Graph, Node
 from ..graph.shortest_paths import shortest_path
-from .networks import scales, suite
+from ..perf import COUNTERS
+from .bench import StageTimer, write_bench_json
+from .networks import cached_suite, scales
+from .parallel import (
+    figure10_stretch_chunk,
+    make_executor,
+    resolve_jobs,
+    run_chunked,
+)
 from .reporting import format_histogram, percent_histogram
 
 #: Histogram bucket edges for stretch factors above 1 (overflow at the end).
@@ -63,42 +73,67 @@ class StretchSamples:
         return 100.0 * sum(1 for v in self.cost if v <= threshold) / len(self.cost)
 
 
-def collect(
-    graph: Graph, weighted: bool, n_pairs: int, seed: int = 1
+def collect_pair_samples(
+    graph: Graph, weighted: bool, base: BaseSet, pair: tuple[Node, Node]
+) -> list[tuple[str, Optional[float], Optional[float]]]:
+    """Stretch samples for one demand pair's sampled 1-link failures.
+
+    Returns ``(strategy, cost stretch or None, hop stretch or None)``
+    tuples in deterministic case order — the unit the parallel runner
+    fans out and reassembles.
+    """
+    items: list[tuple[str, Optional[float], Optional[float]]] = []
+    primary = base.path_for(*pair)
+    for case in link_failure_cases(pair, primary, k=1):
+        failed = next(iter(case.scenario.links))
+        view = case.scenario.apply(graph)
+        try:
+            optimal = shortest_path(
+                view, case.source, case.destination, weighted=weighted
+            )
+        except NoPath:
+            continue  # disconnected: no scheme can restore
+        optimal_cost = optimal.cost(graph)
+        optimal_hops = optimal.hops
+        for name, route_fn in (
+            ("edge-bypass", edge_bypass_route),
+            ("end-route", end_route_route),
+        ):
+            try:
+                route = route_fn(graph, primary, failed, weighted=weighted)
+            except NoRestorationPath:
+                continue
+            cost = route.cost(graph) / optimal_cost if optimal_cost > 0 else None
+            hops = route.hops / optimal_hops if optimal_hops > 0 else None
+            items.append((name, cost, hops))
+    return items
+
+
+def _assemble(
+    items: list[tuple[str, Optional[float], Optional[float]]],
 ) -> dict[str, StretchSamples]:
-    """Stretch samples for both strategies over sampled 1-link failures."""
-    base = UniqueShortestPathsBase(graph)
-    pairs = sample_pairs(graph, n_pairs, seed=seed)
     samples = {
         "edge-bypass": StretchSamples([], []),
         "end-route": StretchSamples([], []),
     }
-    for pair in pairs:
-        primary = base.path_for(*pair)
-        for case in link_failure_cases(pair, primary, k=1):
-            failed = next(iter(case.scenario.links))
-            view = case.scenario.apply(graph)
-            try:
-                optimal = shortest_path(
-                    view, case.source, case.destination, weighted=weighted
-                )
-            except NoPath:
-                continue  # disconnected: no scheme can restore
-            optimal_cost = optimal.cost(graph)
-            optimal_hops = optimal.hops
-            for name, route_fn in (
-                ("edge-bypass", edge_bypass_route),
-                ("end-route", end_route_route),
-            ):
-                try:
-                    route = route_fn(graph, primary, failed, weighted=weighted)
-                except NoRestorationPath:
-                    continue
-                if optimal_cost > 0:
-                    samples[name].cost.append(route.cost(graph) / optimal_cost)
-                if optimal_hops > 0:
-                    samples[name].hopcount.append(route.hops / optimal_hops)
+    for name, cost, hops in items:
+        if cost is not None:
+            samples[name].cost.append(cost)
+        if hops is not None:
+            samples[name].hopcount.append(hops)
     return samples
+
+
+def collect(
+    graph: Graph, weighted: bool, n_pairs: int, seed: int = 1
+) -> dict[str, StretchSamples]:
+    """Stretch samples for both strategies over sampled 1-link failures."""
+    base = shared_unique_base(graph)
+    pairs = sample_pairs(graph, n_pairs, seed=seed)
+    items: list[tuple[str, Optional[float], Optional[float]]] = []
+    for pair in pairs:
+        items.extend(collect_pair_samples(graph, weighted, base, pair))
+    return _assemble(items)
 
 
 def render(samples: dict[str, StretchSamples]) -> str:
@@ -122,10 +157,26 @@ def render(samples: dict[str, StretchSamples]) -> str:
     return "\n\n".join(blocks)
 
 
-def run(scale: str = "small", seed: int = 1) -> dict[str, StretchSamples]:
-    """Figure 10 runs on the weighted ISP network (as in the paper)."""
-    isp = suite(scale=scale, seed=seed)[0]
-    return collect(isp.graph, isp.weighted, isp.sample_pairs, seed=seed)
+def run(
+    scale: str = "small", seed: int = 1, jobs: int = 1
+) -> dict[str, StretchSamples]:
+    """Figure 10 runs on the weighted ISP network (as in the paper).
+
+    With ``jobs > 1`` the demand pairs are fanned out over worker
+    processes; chunk reassembly keeps the sample order — and hence
+    every histogram — byte-identical to the sequential run.
+    """
+    isp = cached_suite(scale=scale, seed=seed)[0]
+    jobs = resolve_jobs(jobs)
+    executor = make_executor(jobs)
+    if executor is None:
+        return collect(isp.graph, isp.weighted, isp.sample_pairs, seed=seed)
+    pairs = sample_pairs(isp.graph, isp.sample_pairs, seed=seed)
+    with executor:
+        items = run_chunked(
+            executor, figure10_stretch_chunk, (scale, seed), len(pairs), jobs
+        )
+    return _assemble(items)
 
 
 def main(argv: list[str] | None = None) -> str:
@@ -133,9 +184,40 @@ def main(argv: list[str] | None = None) -> str:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=scales(), default="small")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the case fan-out (0 = auto)",
+    )
+    parser.add_argument(
+        "--bench-json", type=str, default=None,
+        help="path for the BENCH JSON (default BENCH_figure10.json; "
+             "'-' disables)",
+    )
     args = parser.parse_args(argv)
-    report = render(run(scale=args.scale, seed=args.seed))
+    timer = StageTimer()
+    before = COUNTERS.snapshot()
+    with timer.stage("collect"):
+        samples = run(scale=args.scale, seed=args.seed, jobs=args.jobs)
+    with timer.stage("render"):
+        report = render(samples)
     print(report)
+    if args.bench_json != "-":
+        write_bench_json(
+            "figure10",
+            {
+                "name": "figure10",
+                "scale": args.scale,
+                "seed": args.seed,
+                "jobs": args.jobs,
+                "wall_clock_s": round(timer.total(), 4),
+                "stages": timer.as_dict(),
+                "samples": {
+                    name: len(data.cost) for name, data in samples.items()
+                },
+                "counters": COUNTERS.delta(before).as_dict(),
+            },
+            path=args.bench_json,
+        )
     return report
 
 

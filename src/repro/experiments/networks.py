@@ -47,7 +47,7 @@ def scales() -> list[str]:
 
 
 def suite(scale: str = "small", seed: int = 1) -> list[ExperimentNetwork]:
-    """Build the four evaluation networks at *scale*."""
+    """Build the four evaluation networks at *scale* (fresh objects)."""
     if scale not in _SCALES:
         raise ValueError(f"unknown scale {scale!r}; choose from {list(_SCALES)}")
     isp_n, internet_n, as_n, isp_pairs, large_pairs = _SCALES[scale]
@@ -62,3 +62,24 @@ def suite(scale: str = "small", seed: int = 1) -> list[ExperimentNetwork]:
             "AS Graph", generate_as_graph(n=as_n, seed=seed), False, large_pairs
         ),
     ]
+
+
+_SUITE_CACHE: dict[tuple[str, int], list[ExperimentNetwork]] = {}
+
+
+def cached_suite(scale: str = "small", seed: int = 1) -> list[ExperimentNetwork]:
+    """Process-wide memoized :func:`suite`.
+
+    Experiments and benchmarks that go through this accessor share
+    topology *objects*, which is what lets the base-set/oracle cache
+    (:mod:`repro.core.cache`, keyed by graph identity) serve them all
+    from one set of warm Dijkstra rows.  Nothing in the pipeline
+    mutates the graphs — failures are zero-copy ``FilteredView``s — so
+    sharing is safe.
+    """
+    key = (scale, seed)
+    networks = _SUITE_CACHE.get(key)
+    if networks is None:
+        networks = suite(scale=scale, seed=seed)
+        _SUITE_CACHE[key] = networks
+    return networks

@@ -1,0 +1,171 @@
+"""Parallel experiment fan-out — chunked failure cases over processes.
+
+The experiments are embarrassingly parallel across demand pairs (and,
+for Table 3, across links): each unit rebuilds nothing and mutates
+nothing, so the only engineering is in keeping the output *bit-identical*
+to the sequential run:
+
+* **Work references, not work payloads.**  A worker receives
+  ``(scale, seed, network index, mode, chunk bounds)`` — never a graph.
+  It rebuilds the deterministic topology via
+  :func:`~repro.experiments.networks.cached_suite` (cached per process,
+  and inherited for free under ``fork`` start methods) and takes its
+  base set from the shared cache (:mod:`repro.core.cache`), so oracle
+  rows warm up once per worker and amortize across its chunks.
+* **Deterministic ordering.**  Chunks are keyed by their start index;
+  the parent reassembles results in index order, so the concatenated
+  case list is exactly the sequential one and every downstream
+  aggregate (metrics averages, histogram buckets) is byte-identical.
+* **Counter fan-in.**  Each chunk returns the delta of the global
+  :data:`~repro.perf.COUNTERS` it accumulated; the parent merges them,
+  so ``BENCH_*.json`` totals include work done in workers.
+
+``--jobs 1`` (the default everywhere) bypasses this module entirely and
+runs the plain sequential loops; ``--jobs 0`` means "auto" —
+``min(cpu_count, 8)``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Callable, Iterator, Optional
+
+from ..perf import COUNTERS
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``--jobs`` value: 0 means auto, otherwise as given."""
+    if jobs < 0:
+        raise ValueError(f"--jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return min(os.cpu_count() or 1, 8)
+    return jobs
+
+
+def make_executor(jobs: int) -> Optional[ProcessPoolExecutor]:
+    """A process pool for *jobs* workers, or None when sequential."""
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1:
+        return None
+    return ProcessPoolExecutor(max_workers=jobs)
+
+
+def chunk_bounds(n_items: int, jobs: int) -> Iterator[tuple[int, int]]:
+    """Deterministic ``(start, end)`` chunking of ``range(n_items)``.
+
+    Four chunks per worker balances straggler smoothing against
+    per-chunk dispatch overhead.
+    """
+    if n_items <= 0:
+        return
+    per_chunk = max(1, -(-n_items // (max(1, jobs) * 4)))
+    for start in range(0, n_items, per_chunk):
+        yield start, min(start + per_chunk, n_items)
+
+
+def run_chunked(
+    executor: Executor,
+    worker: Callable[..., tuple[list, dict]],
+    common_args: tuple,
+    n_items: int,
+    jobs: int,
+) -> list:
+    """Fan ``worker(*common_args, start, end)`` out over chunks.
+
+    The worker returns ``(items, counter_delta)``; this reassembles the
+    item lists in chunk order (sequential-identical) and merges every
+    counter delta into the parent's :data:`COUNTERS`.
+    """
+    futures = {
+        executor.submit(worker, *common_args, start, end): start
+        for start, end in chunk_bounds(n_items, jobs)
+    }
+    by_start: dict[int, list] = {}
+    for future, start in futures.items():
+        items, delta = future.result()
+        by_start[start] = items
+        COUNTERS.merge(delta)
+    ordered: list = []
+    for start in sorted(by_start):
+        ordered.extend(by_start[start])
+    return ordered
+
+
+# -- worker entry points ------------------------------------------------------
+#
+# Top-level functions (picklable under spawn), importing experiment
+# modules lazily to dodge the circular import (experiments import this
+# module for their --jobs plumbing).
+
+
+def _network(scale: str, seed: int, index: int):
+    from .networks import cached_suite
+
+    return cached_suite(scale=scale, seed=seed)[index]
+
+
+def table2_case_chunk(
+    scale: str, seed: int, index: int, mode: str, start: int, end: int
+) -> tuple[list, dict]:
+    """Evaluate the failure cases of demand pairs ``[start:end)``."""
+    from ..core.cache import shared_unique_base
+    from ..failures.sampler import cases_for_pair, sample_pairs
+    from .table2 import run_case
+
+    before = COUNTERS.snapshot()
+    network = _network(scale, seed, index)
+    graph = network.graph
+    base = shared_unique_base(graph)
+    pairs = sample_pairs(graph, network.sample_pairs, seed=seed)
+    results = []
+    for pair in pairs[start:end]:
+        primary = base.path_for(*pair)
+        for case in cases_for_pair(pair, primary, mode):
+            results.append(run_case(graph, base, case, network.weighted))
+    return results, COUNTERS.delta(before).as_dict()
+
+
+def table3_bypass_chunk(
+    scale: str, seed: int, index: int, start: int, end: int
+) -> tuple[list, dict]:
+    """Bypass hop counts (None for bridges) of links ``[start:end)``."""
+    from ..core.local_restoration import bypass_path
+    from ..exceptions import NoRestorationPath
+
+    before = COUNTERS.snapshot()
+    network = _network(scale, seed, index)
+    graph = network.graph
+    edges = list(graph.edges())[start:end]
+    hops: list[Optional[int]] = []
+    for u, v in edges:
+        try:
+            hops.append(bypass_path(graph, u, v, weighted=network.weighted).hops)
+        except NoRestorationPath:
+            hops.append(None)
+    return hops, COUNTERS.delta(before).as_dict()
+
+
+def figure10_stretch_chunk(
+    scale: str, seed: int, start: int, end: int
+) -> tuple[list, dict]:
+    """Per-pair stretch sample tuples for demand pairs ``[start:end)``.
+
+    Each item is ``(strategy name, cost stretch or None, hop stretch or
+    None)`` in the exact order the sequential ``collect`` loop appends.
+    """
+    from .figure10 import collect_pair_samples
+
+    before = COUNTERS.snapshot()
+    network = _network(scale, seed, 0)  # Figure 10 runs on the weighted ISP
+    from ..core.cache import shared_unique_base
+    from ..failures.sampler import sample_pairs
+
+    base = shared_unique_base(network.graph)
+    pairs = sample_pairs(network.graph, network.sample_pairs, seed=seed)
+    items: list[tuple[str, Optional[float], Optional[float]]] = []
+    for pair in pairs[start:end]:
+        items.extend(
+            collect_pair_samples(network.graph, network.weighted, base, pair)
+        )
+    return items, COUNTERS.delta(before).as_dict()

@@ -10,17 +10,19 @@ import time
 from pathlib import Path as FilePath
 
 from . import figure10, table1, table2, table3, theory_figures
-from .networks import scales, suite
+from .networks import cached_suite, scales
 
 
-def run_all(scale: str = "small", seed: int = 1, ilm: str = "per-pair") -> str:
+def run_all(
+    scale: str = "small", seed: int = 1, ilm: str = "per-pair", jobs: int = 1
+) -> str:
     """Run every table and figure in paper order; returns the report."""
     sections = []
     for name, runner in (
-        ("Table 1", lambda: table1.render(table1.collect(suite(scale=scale, seed=seed)))),
-        ("Table 2", lambda: table2.render(table2.run(scale=scale, seed=seed, ilm_accounting=ilm))),
-        ("Table 3", lambda: table3.render(table3.run(scale=scale, seed=seed))),
-        ("Figure 10", lambda: figure10.render(figure10.run(scale=scale, seed=seed))),
+        ("Table 1", lambda: table1.render(table1.collect(cached_suite(scale=scale, seed=seed)))),
+        ("Table 2", lambda: table2.render(table2.run(scale=scale, seed=seed, ilm_accounting=ilm, jobs=jobs))),
+        ("Table 3", lambda: table3.render(table3.run(scale=scale, seed=seed, jobs=jobs))),
+        ("Figure 10", lambda: figure10.render(figure10.run(scale=scale, seed=seed, jobs=jobs))),
         ("Figures 2-5", lambda: theory_figures.render(theory_figures.run())),
     ):
         start = time.perf_counter()
@@ -37,8 +39,12 @@ def main(argv: list[str] | None = None) -> str:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--out", type=str, default=None)
     parser.add_argument("--ilm", choices=("per-pair", "per-link"), default="per-pair")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the experiment fan-outs (0 = auto)",
+    )
     args = parser.parse_args(argv)
-    report = run_all(scale=args.scale, seed=args.seed, ilm=args.ilm)
+    report = run_all(scale=args.scale, seed=args.seed, ilm=args.ilm, jobs=args.jobs)
     print(report)
     if args.out:
         FilePath(args.out).write_text(report + "\n")

@@ -11,19 +11,24 @@ Run with ``python -m repro.experiments.table2 [--scale small]``.
 from __future__ import annotations
 
 import argparse
-from dataclasses import replace
+from concurrent.futures import Executor
+from dataclasses import asdict, replace
 from typing import Optional
 
 from ..core.base_paths import UniqueShortestPathsBase
+from ..core.cache import shared_unique_base
 from ..core.decomposition import min_pieces_decompose
 from ..exceptions import NoPath
 from ..failures.sampler import FAILURE_MODES, FailureCase, cases_for_pair, sample_pairs
 from ..graph.graph import Graph
 from ..graph.shortest_paths import shortest_path
 from ..graph.spt import ShortestPathDag
+from ..perf import COUNTERS
+from .bench import StageTimer, write_bench_json
 from .ilm_accounting import IlmAccountant, scenarios_from_cases
 from .metrics import CaseResult, TableTwoRow, build_row
-from .networks import ExperimentNetwork, scales, suite
+from .networks import ExperimentNetwork, cached_suite, scales
+from .parallel import make_executor, resolve_jobs, run_chunked, table2_case_chunk
 from .reporting import format_table
 
 #: Published Table 2, for EXPERIMENTS.md comparison:
@@ -102,6 +107,11 @@ def evaluate_network(
     with_multiplicity: bool = True,
     ilm_accounting: str = "per-pair",
     ilm_max_scenarios: int = 200,
+    jobs: int = 1,
+    suite_ref: Optional[tuple[str, int, int]] = None,
+    executor: Optional[Executor] = None,
+    timer: Optional[StageTimer] = None,
+    stats: Optional[dict] = None,
 ) -> dict[str, TableTwoRow]:
     """All Table 2 rows for one network.
 
@@ -114,33 +124,61 @@ def evaluate_network(
       backing up *every* affected demand of the universe (all pairs on
       ISP-sized graphs, all demands from the sampled sources on the
       large ones); see :mod:`repro.experiments.ilm_accounting`.
+
+    With *executor* and *suite_ref* ``(scale, seed, network index)``
+    given and ``jobs > 1``, the failure cases are fanned out over
+    worker processes per mode; chunk reassembly keeps the result order
+    — and hence every row — byte-identical to the sequential loop.
+    *timer*/*stats*, when given, receive per-stage wall-clock and case
+    counts for the BENCH output.
     """
     if ilm_accounting not in ("per-pair", "per-link"):
         raise ValueError(f"unknown ilm_accounting {ilm_accounting!r}")
+    timer = timer if timer is not None else StageTimer()
+    stats = stats if stats is not None else {}
     graph = network.graph
-    base = UniqueShortestPathsBase(graph)
+    base = shared_unique_base(graph)
     pairs = sample_pairs(graph, network.sample_pairs, seed=seed)
-    primaries = {pair: base.path_for(*pair) for pair in pairs}
+    with timer.stage("primaries"):
+        primaries = {pair: base.path_for(*pair) for pair in pairs}
 
     max_multiplicity: Optional[int] = None
     if with_multiplicity:
         max_multiplicity = 0
-        for source, _ in pairs:
-            dag = ShortestPathDag.compute(graph, source)
-            for target in dag.dist:
-                if target != source:
-                    max_multiplicity = max(
-                        max_multiplicity, dag.count_paths_to(target)
-                    )
+        with timer.stage("multiplicity"):
+            # One DAG + one batched counting DP per distinct source
+            # (sources repeat across sampled pairs).
+            for source in dict.fromkeys(s for s, _ in pairs):
+                dag = ShortestPathDag.compute(graph, source)
+                counts = dag.count_all_paths()
+                for target, count in counts.items():
+                    if target != source:
+                        max_multiplicity = max(max_multiplicity, count)
 
     rows: dict[str, TableTwoRow] = {}
     for mode in modes:
         results: list[CaseResult] = []
         cases: list[FailureCase] = []
-        for pair in pairs:
-            for case in cases_for_pair(pair, primaries[pair], mode):
-                cases.append(case)
-                results.append(run_case(graph, base, case, network.weighted))
+        with timer.stage("cases"):
+            if executor is not None and suite_ref is not None and jobs > 1:
+                scale, suite_seed, index = suite_ref
+                results = run_chunked(
+                    executor,
+                    table2_case_chunk,
+                    (scale, suite_seed, index, mode),
+                    len(pairs),
+                    jobs,
+                )
+                for pair in pairs:
+                    cases.extend(cases_for_pair(pair, primaries[pair], mode))
+            else:
+                for pair in pairs:
+                    for case in cases_for_pair(pair, primaries[pair], mode):
+                        cases.append(case)
+                        results.append(
+                            run_case(graph, base, case, network.weighted)
+                        )
+        stats["cases"] = stats.get("cases", 0) + len(results)
         row = build_row(
             network.name,
             mode,
@@ -148,25 +186,26 @@ def evaluate_network(
             max_multiplicity=max_multiplicity if mode == "link" else None,
         )
         if ilm_accounting == "per-link":
-            if graph.number_of_nodes() <= ALL_PAIRS_ILM_LIMIT:
-                demand_sources = None  # all-pairs universe
-            else:
-                demand_sources = sorted({s for s, _ in pairs}, key=repr)
-            accountant = IlmAccountant(
-                graph, base, demand_sources=demand_sources, weighted=network.weighted
-            )
-            scenarios = scenarios_from_cases(cases)
-            if len(scenarios) > ilm_max_scenarios:
-                # Deterministic thinning: an evenly spaced subsample
-                # keeps the accounting tractable on the quadratic
-                # two-failure modes without biasing toward any demand.
-                step = len(scenarios) / ilm_max_scenarios
-                scenarios = [
-                    scenarios[int(i * step)] for i in range(ilm_max_scenarios)
-                ]
-            accountant.process_scenarios(scenarios)
-            min_sf, avg_sf = accountant.stretch_factors()
-            row = replace(row, min_ilm_stretch=min_sf, avg_ilm_stretch=avg_sf)
+            with timer.stage("ilm-per-link"):
+                if graph.number_of_nodes() <= ALL_PAIRS_ILM_LIMIT:
+                    demand_sources = None  # all-pairs universe
+                else:
+                    demand_sources = sorted({s for s, _ in pairs}, key=repr)
+                accountant = IlmAccountant(
+                    graph, base, demand_sources=demand_sources, weighted=network.weighted
+                )
+                scenarios = scenarios_from_cases(cases)
+                if len(scenarios) > ilm_max_scenarios:
+                    # Deterministic thinning: an evenly spaced subsample
+                    # keeps the accounting tractable on the quadratic
+                    # two-failure modes without biasing toward any demand.
+                    step = len(scenarios) / ilm_max_scenarios
+                    scenarios = [
+                        scenarios[int(i * step)] for i in range(ilm_max_scenarios)
+                    ]
+                accountant.process_scenarios(scenarios)
+                min_sf, avg_sf = accountant.stretch_factors()
+                row = replace(row, min_ilm_stretch=min_sf, avg_ilm_stretch=avg_sf)
         rows[mode] = row
     return rows
 
@@ -214,16 +253,47 @@ def run(
     seed: int = 1,
     modes: tuple[str, ...] = FAILURE_MODES,
     ilm_accounting: str = "per-pair",
+    jobs: int = 1,
+    timer: Optional[StageTimer] = None,
+    stats: Optional[dict] = None,
 ) -> dict[str, list[TableTwoRow]]:
-    """Full Table 2: mode -> rows across the four networks."""
-    networks = suite(scale=scale, seed=seed)
-    per_network = [
-        evaluate_network(n, modes=modes, seed=seed, ilm_accounting=ilm_accounting)
-        for n in networks
-    ]
+    """Full Table 2: mode -> rows across the four networks.
+
+    ``jobs > 1`` fans the failure cases out over worker processes
+    (``0`` = auto); the rows are byte-identical regardless of *jobs*.
+    """
+    jobs = resolve_jobs(jobs)
+    with timer.stage("topologies") if timer else _null():
+        networks = cached_suite(scale=scale, seed=seed)
+    executor = make_executor(jobs)
+    try:
+        per_network = [
+            evaluate_network(
+                n,
+                modes=modes,
+                seed=seed,
+                ilm_accounting=ilm_accounting,
+                jobs=jobs,
+                suite_ref=(scale, seed, index),
+                executor=executor,
+                timer=timer,
+                stats=stats,
+            )
+            for index, n in enumerate(networks)
+        ]
+    finally:
+        if executor is not None:
+            executor.shutdown()
     return {
         mode: [rows[mode] for rows in per_network] for mode in modes
     }
+
+
+def _null():
+    """A no-op context manager (placeholder when no timer is passed)."""
+    from contextlib import nullcontext
+
+    return nullcontext()
 
 
 def main(argv: list[str] | None = None) -> str:
@@ -239,16 +309,54 @@ def main(argv: list[str] | None = None) -> str:
         help="ILM stretch accounting (per-link is the faithful Section 4 "
              "comparison; slower)",
     )
-    args = parser.parse_args(argv)
-    report = render(
-        run(
-            scale=args.scale,
-            seed=args.seed,
-            modes=tuple(args.modes),
-            ilm_accounting=args.ilm,
-        )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the case fan-out (0 = auto)",
     )
+    parser.add_argument(
+        "--bench-json", type=str, default=None,
+        help="path for the BENCH JSON (default BENCH_table2.json; "
+             "'-' disables)",
+    )
+    args = parser.parse_args(argv)
+    timer = StageTimer()
+    stats: dict = {}
+    before = COUNTERS.snapshot()
+    all_rows = run(
+        scale=args.scale,
+        seed=args.seed,
+        modes=tuple(args.modes),
+        ilm_accounting=args.ilm,
+        jobs=args.jobs,
+        timer=timer,
+        stats=stats,
+    )
+    with timer.stage("render"):
+        report = render(all_rows)
     print(report)
+    if args.bench_json != "-":
+        counters = COUNTERS.delta(before).as_dict()
+        cases = stats.get("cases", 0)
+        payload = {
+            "name": "table2",
+            "scale": args.scale,
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "ilm_accounting": args.ilm,
+            "wall_clock_s": round(timer.total(), 4),
+            "stages": timer.as_dict(),
+            "cases": cases,
+            "dijkstra_relaxations_per_case": (
+                round(counters["dijkstra_relaxations"] / cases, 1) if cases else None
+            ),
+            "counters": counters,
+            "rows": {
+                mode: [asdict(row) for row in rows]
+                for mode, rows in all_rows.items()
+            },
+        }
+        out = write_bench_json("table2", payload, path=args.bench_json)
+        print(f"[bench] wrote {out}")
     return report
 
 

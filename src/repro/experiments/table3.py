@@ -11,11 +11,20 @@ Run with ``python -m repro.experiments.table3 [--scale small]``.
 from __future__ import annotations
 
 import argparse
+from typing import Optional
 
 from ..core.local_restoration import bypass_path
 from ..exceptions import NoRestorationPath
 from ..graph.graph import Graph
-from .networks import scales, suite
+from ..perf import COUNTERS
+from .bench import StageTimer, write_bench_json
+from .networks import cached_suite, scales
+from .parallel import (
+    make_executor,
+    resolve_jobs,
+    run_chunked,
+    table3_bypass_chunk,
+)
 from .reporting import format_table
 
 #: Published Table 3 (percent of links per bypass hop count).
@@ -37,34 +46,70 @@ def bypass_distribution(
     Bridges have no bypass at all; the paper's topologies are nearly
     bridge-free, ours report the fraction explicitly.
     """
-    counts: dict[int, int] = {}
-    bridges = 0
-    total = 0
+    hops_list: list[Optional[int]] = []
     for u, v in graph.edges():
-        if max_links is not None and total >= max_links:
+        if max_links is not None and len(hops_list) >= max_links:
             break
-        total += 1
         try:
-            bypass = bypass_path(graph, u, v, weighted=weighted)
+            hops_list.append(bypass_path(graph, u, v, weighted=weighted).hops)
         except NoRestorationPath:
-            bridges += 1
-            continue
-        counts[bypass.hops] = counts.get(bypass.hops, 0) + 1
+            hops_list.append(None)
+    return _aggregate(hops_list)
+
+
+def _aggregate(
+    hops_list: list[Optional[int]],
+) -> tuple[dict[int, float], float]:
+    """Fold per-link bypass hop counts (None = bridge) into percentages."""
+    total = len(hops_list)
     if total == 0:
         return {}, 0.0
+    counts: dict[int, int] = {}
+    bridges = 0
+    for hops in hops_list:
+        if hops is None:
+            bridges += 1
+        else:
+            counts[hops] = counts.get(hops, 0) + 1
     percents = {hops: 100.0 * n / total for hops, n in sorted(counts.items())}
     return percents, 100.0 * bridges / total
 
 
 def run(
-    scale: str = "small", seed: int = 1, max_links: int | None = None
+    scale: str = "small",
+    seed: int = 1,
+    max_links: int | None = None,
+    jobs: int = 1,
 ) -> dict[str, tuple[dict[int, float], float]]:
-    """Distribution per network name."""
+    """Distribution per network name.
+
+    With ``jobs > 1`` the links of each network are fanned out over
+    worker processes; reassembly in link order keeps the distribution
+    byte-identical to the sequential run.
+    """
+    jobs = resolve_jobs(jobs)
+    executor = make_executor(jobs)
     results: dict[str, tuple[dict[int, float], float]] = {}
-    for network in suite(scale=scale, seed=seed):
-        results[network.name] = bypass_distribution(
-            network.graph, network.weighted, max_links=max_links
-        )
+    networks = cached_suite(scale=scale, seed=seed)
+    if executor is None:
+        for network in networks:
+            results[network.name] = bypass_distribution(
+                network.graph, network.weighted, max_links=max_links
+            )
+        return results
+    with executor:
+        for index, network in enumerate(networks):
+            n_links = network.graph.number_of_edges()
+            if max_links is not None:
+                n_links = min(n_links, max_links)
+            hops_list = run_chunked(
+                executor,
+                table3_bypass_chunk,
+                (scale, seed, index),
+                n_links,
+                jobs,
+            )
+            results[network.name] = _aggregate(hops_list)
     return results
 
 
@@ -109,9 +154,42 @@ def main(argv: list[str] | None = None) -> str:
         default=None,
         help="cap on links sampled per network (full enumeration by default)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the per-link fan-out (0 = auto)",
+    )
+    parser.add_argument(
+        "--bench-json", type=str, default=None,
+        help="path for the BENCH JSON (default BENCH_table3.json; "
+             "'-' disables)",
+    )
     args = parser.parse_args(argv)
-    report = render(run(scale=args.scale, seed=args.seed, max_links=args.max_links))
+    timer = StageTimer()
+    before = COUNTERS.snapshot()
+    with timer.stage("bypasses"):
+        results = run(
+            scale=args.scale,
+            seed=args.seed,
+            max_links=args.max_links,
+            jobs=args.jobs,
+        )
+    with timer.stage("render"):
+        report = render(results)
     print(report)
+    if args.bench_json != "-":
+        write_bench_json(
+            "table3",
+            {
+                "name": "table3",
+                "scale": args.scale,
+                "seed": args.seed,
+                "jobs": args.jobs,
+                "wall_clock_s": round(timer.total(), 4),
+                "stages": timer.as_dict(),
+                "counters": COUNTERS.delta(before).as_dict(),
+            },
+            path=args.bench_json,
+        )
     return report
 
 

@@ -16,12 +16,13 @@ is only feasible for the small graphs, so this module provides both:
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 from ..exceptions import NoPath
+from ..perf import COUNTERS
 from .graph import Node
 from .paths import Path
-from .shortest_paths import costs_equal, dijkstra, reconstruct_path
+from .shortest_paths import costs_equal, dijkstra, dijkstra_pruned, reconstruct_path
 
 
 class ApspDistances:
@@ -96,29 +97,115 @@ class ApspDistances:
 
 
 class LazyDistanceOracle:
-    """Distance oracle computing per-source Dijkstra on demand.
+    """Distance oracle computing per-source Dijkstra rows on demand.
 
     Suitable for Internet-scale graphs where only sampled sources are
     queried.  The cache is unbounded by design — an experiment's working
     set is its sample of sources.
+
+    Two row flavors coexist:
+
+    * **full rows** — the whole component settled; absence from the row
+      proves unreachability (what :meth:`distance` / :meth:`path` use);
+    * **truncated rows** — computed by :meth:`warm` with a target set,
+      stopping as soon as every requested target settles.  This is the
+      decomposition kernel's access pattern: a restoration path's O(1)
+      membership probes only ever compare against distances *between
+      nodes of that path*, so settling the rest of a 40k-node graph is
+      wasted work.  A truncated row later queried beyond its settled
+      frontier is transparently promoted to a full row (counted in
+      ``COUNTERS.oracle_promotions``).
+
+    With *tie_free* the caller guarantees distinct paths have distinct
+    costs (true for the infinitesimally padded graphs of Theorem 3's
+    construction), which lets full rows use the faster lazy-heap
+    Dijkstra too: without ties the predecessor tree is independent of
+    heap pop order, so :meth:`path` answers stay bit-identical to the
+    classic implementation's.
     """
 
-    __slots__ = ("_graph", "_dist", "_pred", "break_ties_by_hops")
+    __slots__ = (
+        "_graph",
+        "_dist",
+        "_pred",
+        "_complete",
+        "_truncated",
+        "break_ties_by_hops",
+        "tie_free",
+    )
 
-    def __init__(self, graph, break_ties_by_hops: bool = False) -> None:
+    def __init__(
+        self, graph, break_ties_by_hops: bool = False, tie_free: bool = False
+    ) -> None:
         self._graph = graph
         self._dist: dict[Node, dict[Node, float]] = {}
         self._pred: dict[Node, dict[Node, Node]] = {}
+        self._complete: set[Node] = set()
+        self._truncated: set[Node] = set()
         self.break_ties_by_hops = break_ties_by_hops
+        self.tie_free = tie_free
 
     def _ensure(self, source: Node) -> None:
-        if source not in self._dist:
+        """Make the row for *source* a full row."""
+        if source in self._complete:
+            return
+        if source in self._truncated:
+            COUNTERS.oracle_promotions += 1
+            self._truncated.discard(source)
+        if self.tie_free and not self.break_ties_by_hops:
+            dist, pred, _ = dijkstra_pruned(self._graph, source)
+            self._dist[source], self._pred[source] = dist, pred
+        else:
             self._dist[source], self._pred[source] = dijkstra(
                 self._graph, source, break_ties_by_hops=self.break_ties_by_hops
             )
+        self._complete.add(source)
+        COUNTERS.oracle_rows_full += 1
+
+    def warm(self, source: Node, targets: Iterable[Node]) -> None:
+        """Guarantee each target is settled or provably unreachable.
+
+        First request for a source runs a target-pruned Dijkstra; a
+        later request outrunning the settled frontier promotes the row
+        to a full one (re-running truncated searches per query would
+        forfeit the cross-case caching the experiments rely on).
+        """
+        if source in self._complete:
+            return
+        row = self._dist.get(source)
+        if row is not None:
+            if all(t in row for t in targets):
+                return
+            self._ensure(source)
+            return
+        dist, pred, exhausted = dijkstra_pruned(self._graph, source, targets)
+        self._dist[source], self._pred[source] = dist, pred
+        if exhausted:
+            self._complete.add(source)
+            COUNTERS.oracle_rows_full += 1
+        else:
+            self._truncated.add(source)
+            COUNTERS.oracle_rows_truncated += 1
+
+    def distances_from(self, source: Node, targets: Iterable[Node]) -> dict[Node, float]:
+        """Exact distances to *targets*; a missing key means unreachable.
+
+        The decomposition kernel's bulk accessor: one call warms the
+        row, and the returned plain dict makes every subsequent probe a
+        dictionary lookup plus one float comparison.
+        """
+        targets = list(targets)
+        self.warm(source, targets)
+        row = self._dist[source]
+        return {t: row[t] for t in targets if t in row}
 
     def distance(self, u: Node, v: Node) -> float:
         """Shortest distance source->target; raises NoPath if unreachable."""
+        row = self._dist.get(u)
+        if row is not None and v in row:
+            return row[v]
+        if u in self._complete:
+            raise NoPath(f"no path from {u!r} to {v!r}")
         self._ensure(u)
         if v not in self._dist[u]:
             raise NoPath(f"no path from {u!r} to {v!r}")
@@ -126,12 +213,18 @@ class LazyDistanceOracle:
 
     def has_path(self, u: Node, v: Node) -> bool:
         """True if a path exists (and the source is covered)."""
+        row = self._dist.get(u)
+        if row is not None and v in row:
+            return True
+        if u in self._complete:
+            return False
         self._ensure(u)
         return v in self._dist[u]
 
     def path(self, u: Node, v: Node) -> Path:
         """One shortest path for the pair, reconstructed from the cache."""
-        self._ensure(u)
+        if u not in self._complete:
+            self._ensure(u)
         return reconstruct_path(self._pred[u], u, v)
 
     def cached_sources(self) -> list[Node]:

@@ -73,7 +73,9 @@ class Graph:
 
     directed = False
 
-    __slots__ = ("_adj", "_num_edges")
+    # __weakref__ lets the shared base-set/oracle cache key entries by
+    # graph identity without pinning graphs in memory (repro.core.cache).
+    __slots__ = ("_adj", "_num_edges", "__weakref__")
 
     def __init__(self) -> None:
         self._adj: dict[Node, dict[Node, float]] = {}

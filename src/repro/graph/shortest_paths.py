@@ -23,9 +23,11 @@ failures" is just running them on a view.
 
 from __future__ import annotations
 
-from typing import Optional
+import heapq
+from typing import Iterable, Optional
 
 from ..exceptions import NodeNotFound, NoPath
+from ..perf import COUNTERS
 from .graph import Node
 from .heap import AddressableHeap
 from .paths import Path
@@ -67,6 +69,7 @@ def dijkstra(
     heap: AddressableHeap[Node] = AddressableHeap()
     heap.push(source, (0.0, 0) if break_ties_by_hops else 0.0)
     tentative_hops: dict[Node, int] = {source: 0}
+    relaxations = 0
     while heap:
         u, priority = heap.pop()
         if break_ties_by_hops:
@@ -78,6 +81,7 @@ def dijkstra(
         if u == target:
             break
         for v, w in graph.adjacency(u):
+            relaxations += 1
             if v in dist:
                 continue
             candidate = d_u + w  # type: ignore[operator]
@@ -88,7 +92,75 @@ def dijkstra(
                 if heap.push_or_decrease(v, candidate):
                     pred[v] = u
                     tentative_hops[v] = h_u + 1
+    COUNTERS.dijkstra_runs += 1
+    COUNTERS.dijkstra_settled += len(dist)
+    COUNTERS.dijkstra_relaxations += relaxations
     return dist, pred
+
+
+def dijkstra_pruned(
+    graph,
+    source: Node,
+    targets: Optional[Iterable[Node]] = None,
+) -> tuple[dict[Node, float], dict[Node, Node], bool]:
+    """Target-pruned single-source Dijkstra on a lazy binary heap.
+
+    The workhorse behind the distance oracle's row computation: a
+    ``heapq``-based Dijkstra (decrease-key replaced by lazy stale-entry
+    skipping, which is substantially faster in pure Python than an
+    addressable heap) that stops as soon as every node in *targets* is
+    settled.  With ``targets=None`` the whole component is settled.
+
+    Returns ``(dist, pred, exhausted)`` where *exhausted* is True when
+    the search ran to completion — only then does a node's absence from
+    ``dist`` prove it unreachable.
+
+    Distances are exact for every settled node regardless of pruning,
+    so truncation never changes a comparison made against the returned
+    rows.  Tie-breaking between equal-cost predecessors follows the
+    same "first strict improvement wins" rule as :func:`dijkstra`; on
+    the padded (tie-free) graphs the oracle runs on, the predecessor
+    tree is therefore bit-identical to the classic implementation's.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFound(f"no node {source!r}")
+    dist: dict[Node, float] = {}
+    pred: dict[Node, Node] = {}
+    best: dict[Node, float] = {source: 0.0}
+    remaining: Optional[set[Node]] = None
+    if targets is not None:
+        remaining = {t for t in targets if t != source}
+    heap: list[tuple[float, int, Node]] = [(0.0, 0, source)]
+    seq = 0
+    relaxations = 0
+    exhausted = True
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        d_u, _, u = pop(heap)
+        if u in dist:
+            continue
+        dist[u] = d_u
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                exhausted = not heap
+                break
+        for v, w in graph.adjacency(u):
+            relaxations += 1
+            if v in dist:
+                continue
+            candidate = d_u + w
+            old = best.get(v)
+            if old is None or candidate < old:
+                best[v] = candidate
+                seq += 1
+                push(heap, (candidate, seq, v))
+                pred[v] = u
+    COUNTERS.dijkstra_runs += 1
+    COUNTERS.dijkstra_settled += len(dist)
+    COUNTERS.dijkstra_relaxations += relaxations
+    return dist, pred, exhausted
 
 
 def bfs_shortest_paths(
@@ -98,23 +170,38 @@ def bfs_shortest_paths(
 
     Returns ``(dist, pred)`` with hop-count distances as floats, so the
     result is interchangeable with :func:`dijkstra` output.
+
+    With *target* given, the search stops at the moment the target is
+    *discovered* (its BFS distance is already final then) rather than
+    after its whole level is expanded — on small-diameter graphs the
+    last level is often the largest, so this halves the work of a
+    typical restoration-path query.
     """
     if not graph.has_node(source):
         raise NodeNotFound(f"no node {source!r}")
     dist: dict[Node, float] = {source: 0.0}
     pred: dict[Node, Node] = {}
+    if source == target:
+        COUNTERS.bfs_runs += 1
+        COUNTERS.bfs_settled += 1
+        return dist, pred
     frontier = [source]
     while frontier:
         next_frontier = []
         for u in frontier:
-            if u == target:
-                return dist, pred
+            d_next = dist[u] + 1.0
             for v in graph.neighbors(u):
                 if v not in dist:
-                    dist[v] = dist[u] + 1.0
+                    dist[v] = d_next
                     pred[v] = u
+                    if v == target:
+                        COUNTERS.bfs_runs += 1
+                        COUNTERS.bfs_settled += len(dist)
+                        return dist, pred
                     next_frontier.append(v)
         frontier = next_frontier
+    COUNTERS.bfs_runs += 1
+    COUNTERS.bfs_settled += len(dist)
     return dist, pred
 
 

@@ -62,24 +62,38 @@ class ShortestPathDag:
         """Tight predecessors of *v* (empty for the source)."""
         return self._parents.get(v, [])
 
-    def count_paths_to(self, target: Node, modulo: Optional[int] = None) -> int:
-        """Number of distinct shortest paths from the source to *target*.
+    def count_all_paths(self, modulo: Optional[int] = None) -> dict[Node, int]:
+        """Shortest-path counts from the source to *every* reached node.
 
-        Counts can be astronomically large on meshy graphs, hence the
-        optional *modulo*.  Raises :class:`~repro.exceptions.NoPath` if
-        the target is unreachable.
+        One dynamic program over the DAG in distance order serves every
+        target — the per-target convenience :meth:`count_paths_to` used
+        to redo this DP for each query, which made Table 2's
+        multiplicity column quadratic in the node count and was the
+        single largest cost of the whole experiment pipeline.  The
+        counts are exact integers (optionally reduced *modulo*), so
+        callers switching from per-target queries to this batched form
+        see bit-identical numbers.
         """
-        if target not in self.dist:
-            raise NoPath(f"{target!r} unreachable from {self.source!r}")
         memo: dict[Node, int] = {self.source: 1}
-
         order = sorted(self.dist, key=self.dist.__getitem__)
         for v in order:
             if v == self.source:
                 continue
             total = sum(memo[u] for u in self._parents[v])
             memo[v] = total % modulo if modulo else total
-        return memo[target]
+        return memo
+
+    def count_paths_to(self, target: Node, modulo: Optional[int] = None) -> int:
+        """Number of distinct shortest paths from the source to *target*.
+
+        Counts can be astronomically large on meshy graphs, hence the
+        optional *modulo*.  Raises :class:`~repro.exceptions.NoPath` if
+        the target is unreachable.  Prefer :meth:`count_all_paths` when
+        querying many targets of the same DAG.
+        """
+        if target not in self.dist:
+            raise NoPath(f"{target!r} unreachable from {self.source!r}")
+        return self.count_all_paths(modulo=modulo)[target]
 
     def iter_paths_to(self, target: Node, limit: Optional[int] = None) -> Iterator[Path]:
         """Yield distinct shortest paths source→target (up to *limit*)."""
@@ -147,8 +161,6 @@ def max_shortest_path_multiplicity(graph, sources: Optional[list[Node]] = None) 
     nodes = sources if sources is not None else list(graph.nodes)
     for s in nodes:
         dag = ShortestPathDag.compute(graph, s)
-        for t in dag.dist:
-            if t == s:
-                continue
-            best = max(best, dag.count_paths_to(t))
+        counts = dag.count_all_paths()
+        best = max(best, max((c for t, c in counts.items() if t != s), default=0))
     return best

@@ -1,0 +1,91 @@
+"""Lightweight global performance counters for the restoration pipeline.
+
+The north star is "as fast as the hardware allows", which is impossible
+to steer without numbers: this module is the single place every hot
+path reports to.  Counters are plain integer attributes on a module
+singleton (:data:`COUNTERS`) so incrementing them costs one attribute
+add — cheap enough to leave on permanently, including inside Dijkstra's
+relaxation loop (which accumulates into a local first and flushes once
+per run).
+
+The counters feed three consumers:
+
+* the ``BENCH_<name>.json`` files emitted by the experiment CLIs and
+  the benchmark harness (the perf trajectory across PRs);
+* the parallel experiment runner, which snapshots worker-side counters
+  and merges them into the parent process so fan-out does not hide
+  work;
+* tests asserting optimization claims (e.g. "the decomposition kernel
+  answers probes without running new Dijkstras once rows are warm").
+
+Counter meanings:
+
+``dijkstra_runs`` / ``dijkstra_settled`` / ``dijkstra_relaxations``
+    Weighted searches: invocations, nodes settled, edges scanned.
+``bfs_runs`` / ``bfs_settled``
+    Unweighted searches: invocations and nodes labelled.
+``backup_searches``
+    Post-failure restoration-path searches (one per failure case).
+``oracle_rows_full`` / ``oracle_rows_truncated`` / ``oracle_promotions``
+    Distance-oracle rows computed eagerly to completion, rows computed
+    with target-set truncation, and truncated rows later recomputed in
+    full because a query outran their settled frontier.
+``probe_calls`` / ``o1_probes`` / ``path_probes``
+    Decomposition membership probes: total, answered by O(1)
+    prefix-sum arithmetic, answered by the Path-allocating fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+
+
+@dataclass
+class PerfCounters:
+    """A bag of monotonically increasing work counters."""
+
+    dijkstra_runs: int = 0
+    dijkstra_settled: int = 0
+    dijkstra_relaxations: int = 0
+    bfs_runs: int = 0
+    bfs_settled: int = 0
+    backup_searches: int = 0
+    oracle_rows_full: int = 0
+    oracle_rows_truncated: int = 0
+    oracle_promotions: int = 0
+    probe_calls: int = 0
+    o1_probes: int = 0
+    path_probes: int = 0
+
+    def snapshot(self) -> "PerfCounters":
+        """An immutable copy of the current values."""
+        return replace(self)
+
+    def delta(self, since: "PerfCounters") -> "PerfCounters":
+        """Counter increments accumulated after *since* was snapshotted."""
+        return PerfCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def merge(self, other: "PerfCounters | dict") -> None:
+        """Add *other*'s counts into this instance (worker fan-in)."""
+        if isinstance(other, PerfCounters):
+            other = asdict(other)
+        for name, value in other.items():
+            setattr(self, name, getattr(self, name) + int(value))
+
+    def reset(self) -> None:
+        """Zero every counter (test isolation)."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for JSON serialization."""
+        return asdict(self)
+
+
+#: The process-wide counter singleton every hot path reports to.
+COUNTERS = PerfCounters()

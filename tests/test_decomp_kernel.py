@@ -1,0 +1,244 @@
+"""Equivalence of the O(1) decomposition kernel with the reference code.
+
+The kernel (``repro.core.decomp_kernel``) answers "is this sub-path a
+base path?" with prefix-sum arithmetic against cached oracle rows; the
+reference implementations answer it by allocating the sub-path and
+walking its edges.  Every decomposition the pipeline computes must be
+**piece-for-piece identical** between the two — these tests pin that on
+random graphs (hypothesis), on the experiment topologies (fixed seeds),
+and on every base-set flavor.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.base_paths import (
+    AllShortestPathsBase,
+    UniqueShortestPathsBase,
+    unique_shortest_path_base,
+)
+from repro.core.decomp_kernel import PrefixSumProbe, SubpathProbe
+from repro.core.decomposition import (
+    greedy_decompose,
+    greedy_decompose_reference,
+    min_base_paths_decompose,
+    min_base_paths_decompose_reference,
+    min_pieces_decompose,
+    min_pieces_decompose_reference,
+)
+from repro.exceptions import DecompositionError
+from repro.failures.sampler import cases_for_pair, sample_pairs
+from repro.graph.all_pairs import LazyDistanceOracle
+from repro.graph.graph import Graph
+from repro.graph.paths import Path
+from repro.graph.shortest_paths import shortest_path
+from repro.perf import COUNTERS
+
+
+def random_connected_graph(seed: int, n: int = 20, extra: int = 12) -> Graph:
+    rng = random.Random(seed)
+    g = Graph()
+    for i in range(1, n):
+        g.add_edge(rng.randrange(i), i, weight=rng.choice([1, 1, 2, 3, 5, 10]))
+    for _ in range(extra):
+        u, v = rng.sample(range(n), 2)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v, weight=rng.choice([1, 1, 2, 3, 5, 10]))
+    return g
+
+
+def assert_same(d_new, d_ref):
+    assert d_new.pieces == d_ref.pieces
+    assert d_new.base_flags == d_ref.base_flags
+
+
+def backup_paths(graph, seed: int, k_links: int = 1, limit: int = 12):
+    """Deterministic (backup path, weighted) samples after random failures."""
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes)
+    edges = sorted(graph.edges())
+    out = []
+    for _ in range(limit):
+        s, t = rng.sample(nodes, 2)
+        failed = rng.sample(edges, min(k_links, len(edges)))
+        view = graph.without(edges=failed)
+        try:
+            out.append(shortest_path(view, s, t))
+        except Exception:
+            continue
+    return out
+
+
+class TestKernelEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 5_000), case_seed=st.integers(0, 5_000))
+    def test_unique_base_random_graphs(self, seed, case_seed):
+        g = random_connected_graph(seed)
+        base = UniqueShortestPathsBase(g)
+        for path in backup_paths(g, case_seed, limit=4):
+            assert_same(
+                min_pieces_decompose(path, base),
+                min_pieces_decompose_reference(path, base),
+            )
+            assert_same(
+                greedy_decompose(path, base),
+                greedy_decompose_reference(path, base),
+            )
+            assert_same(
+                min_base_paths_decompose(path, base, max_edges=2),
+                min_base_paths_decompose_reference(path, base, max_edges=2),
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5_000), case_seed=st.integers(0, 5_000))
+    def test_all_sp_base_random_graphs(self, seed, case_seed):
+        g = random_connected_graph(seed)
+        for include_all_edges in (True, False):
+            base = AllShortestPathsBase(g, include_all_edges=include_all_edges)
+            for path in backup_paths(g, case_seed, limit=3):
+                try:
+                    d_ref = min_pieces_decompose_reference(path, base)
+                except DecompositionError:
+                    with pytest.raises(DecompositionError):
+                        min_pieces_decompose(path, base)
+                    continue
+                assert_same(min_pieces_decompose(path, base), d_ref)
+                assert_same(
+                    greedy_decompose(path, base),
+                    greedy_decompose_reference(path, base),
+                )
+
+    def test_explicit_base_falls_back_and_matches(self):
+        g = random_connected_graph(7)
+        base = unique_shortest_path_base(g, seed=3)
+        before = COUNTERS.snapshot()
+        for path in backup_paths(g, 11, limit=6):
+            assert_same(
+                min_pieces_decompose(path, base),
+                min_pieces_decompose_reference(path, base),
+            )
+        delta = COUNTERS.delta(before)
+        # Explicit sets have no oracle: every probe takes the fallback.
+        assert delta.o1_probes == 0
+        assert delta.path_probes > 0
+
+    def test_experiment_networks_fixed_seed(self):
+        from repro.experiments.networks import suite
+
+        for network in suite(scale="tiny", seed=1):
+            g = network.graph
+            base = UniqueShortestPathsBase(g)
+            pairs = sample_pairs(g, 6, seed=5)
+            for pair in pairs:
+                primary = base.path_for(*pair)
+                for case in cases_for_pair(pair, primary, "link"):
+                    view = case.scenario.apply(g)
+                    try:
+                        backup = shortest_path(
+                            view, *pair, weighted=network.weighted
+                        )
+                    except Exception:
+                        continue
+                    assert_same(
+                        min_pieces_decompose(backup, base),
+                        min_pieces_decompose_reference(backup, base),
+                    )
+
+
+class TestProbeMechanics:
+    def test_valid_path_uses_o1_probes_only(self):
+        g = random_connected_graph(3)
+        base = UniqueShortestPathsBase(g)
+        path = backup_paths(g, 5, limit=1)[0]
+        assert isinstance(base.subpath_probe(path), PrefixSumProbe)
+        before = COUNTERS.snapshot()
+        min_pieces_decompose(path, base)
+        delta = COUNTERS.delta(before)
+        assert delta.probe_calls > 0
+        assert delta.path_probes == 0
+        assert delta.o1_probes == delta.probe_calls
+
+    def test_invalid_path_gets_fallback_probe(self):
+        g = random_connected_graph(3)
+        base = UniqueShortestPathsBase(g)
+        # A walk with a hop that is not an edge of the graph.
+        nodes = sorted(g.nodes)
+        non_edge = None
+        for u in nodes:
+            for v in nodes:
+                if u != v and not g.has_edge(u, v):
+                    non_edge = (u, v)
+                    break
+            if non_edge:
+                break
+        assert non_edge is not None
+        probe = base.subpath_probe(Path(list(non_edge)))
+        assert isinstance(probe, SubpathProbe)
+        assert not isinstance(probe, PrefixSumProbe)
+
+    def test_probe_matches_is_base_path_exhaustively(self):
+        g = random_connected_graph(9)
+        base = UniqueShortestPathsBase(g)
+        for path in backup_paths(g, 2, limit=4):
+            probe = base.subpath_probe(path)
+            n = len(path.nodes)
+            for j in range(n):
+                for i in range(j + 1, n):
+                    assert probe.is_base(j, i) == base.is_base_path(
+                        path.subpath(j, i)
+                    ), (j, i, path)
+
+
+class TestTruncatedOracle:
+    def test_truncated_rows_match_full_rows(self):
+        g = random_connected_graph(21, n=40, extra=30)
+        full = LazyDistanceOracle(g)
+        pruned = LazyDistanceOracle(g)
+        nodes = sorted(g.nodes)
+        rng = random.Random(0)
+        for _ in range(10):
+            source = rng.choice(nodes)
+            targets = rng.sample(nodes, 5)
+            got = pruned.distances_from(source, targets)
+            for t in targets:
+                if t == source:
+                    continue
+                assert got[t] == full.distance(source, t)
+
+    def test_promotion_answers_beyond_the_frontier(self):
+        g = random_connected_graph(22, n=30, extra=20)
+        oracle = LazyDistanceOracle(g)
+        nodes = sorted(g.nodes)
+        source = nodes[0]
+        near = min(
+            (n for n in nodes if n != source),
+            key=lambda n: LazyDistanceOracle(g).distance(source, n),
+        )
+        before = COUNTERS.snapshot()
+        oracle.warm(source, [near])
+        # A far query outruns the truncated frontier and promotes.
+        reference = LazyDistanceOracle(g)
+        for t in nodes:
+            if t != source:
+                assert oracle.distance(source, t) == reference.distance(source, t)
+        assert COUNTERS.delta(before).oracle_promotions >= 0
+
+    def test_tie_free_full_rows_match_classic(self):
+        from repro.core.base_paths import padded_graph
+
+        g = padded_graph(random_connected_graph(23, n=30, extra=25), seed=1)
+        classic = LazyDistanceOracle(g, tie_free=False)
+        fast = LazyDistanceOracle(g, tie_free=True)
+        nodes = sorted(g.nodes)
+        for s in nodes[:5]:
+            for t in nodes:
+                if s == t:
+                    continue
+                assert classic.has_path(s, t) == fast.has_path(s, t)
+                if classic.has_path(s, t):
+                    assert classic.distance(s, t) == fast.distance(s, t)
+                    assert classic.path(s, t) == fast.path(s, t)

@@ -1,0 +1,128 @@
+"""Determinism of the parallel experiment fan-out.
+
+The contract: ``--jobs N`` is a wall-clock knob only.  Rows, rendered
+tables and per-case results must be byte-identical to the sequential
+run — chunk reassembly and deterministic case ordering are what make
+that true, and these tests pin it.  The acceptance test additionally
+re-implements the pre-optimization sequential pipeline (fresh base
+set, reference decomposer, per-target multiplicity counting) and
+checks the optimized ``evaluate_network`` reproduces its rows exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_paths import UniqueShortestPathsBase
+from repro.core.decomposition import min_pieces_decompose_reference
+from repro.exceptions import NoPath
+from repro.experiments import table2
+from repro.experiments.metrics import CaseResult, build_row
+from repro.experiments.networks import cached_suite
+from repro.experiments.parallel import chunk_bounds, resolve_jobs
+from repro.failures.sampler import FAILURE_MODES, cases_for_pair, sample_pairs
+from repro.graph.shortest_paths import shortest_path
+from repro.graph.spt import ShortestPathDag
+
+
+class TestChunking:
+    def test_chunk_bounds_partition_exactly(self):
+        for n_items in (0, 1, 2, 7, 100, 1001):
+            for jobs in (1, 2, 3, 8):
+                bounds = chunk_bounds(n_items, jobs)
+                covered = []
+                last_end = 0
+                for start, end in bounds:
+                    assert start == last_end, "chunks must be contiguous"
+                    assert start < end
+                    covered.extend(range(start, end))
+                    last_end = end
+                assert covered == list(range(n_items))
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestParallelDeterminism:
+    def test_table2_tiny_rows_identical_across_jobs(self):
+        sequential = table2.run(scale="tiny", seed=1, jobs=1)
+        parallel = table2.run(scale="tiny", seed=1, jobs=4)
+        assert table2.render(parallel) == table2.render(sequential)
+        for mode in sequential:
+            assert parallel[mode] == sequential[mode]
+
+
+class TestAcceptanceRowIdentity:
+    """Optimized pipeline == pre-optimization pipeline, row for row."""
+
+    def test_evaluate_network_matches_reference_pipeline(self):
+        network = cached_suite(scale="tiny", seed=1)[0]
+        graph = network.graph
+
+        optimized = table2.evaluate_network(network, seed=1)
+
+        # The seed pipeline: fresh (uncached) base set, per-target
+        # multiplicity counting, Path-allocating decomposition.
+        base = UniqueShortestPathsBase(graph)
+        pairs = sample_pairs(graph, network.sample_pairs, seed=1)
+        primaries = {pair: base.path_for(*pair) for pair in pairs}
+        max_multiplicity = 0
+        for source, _ in pairs:
+            dag = ShortestPathDag.compute(graph, source)
+            for target in dag.dist:
+                if target != source:
+                    max_multiplicity = max(
+                        max_multiplicity, dag.count_paths_to(target)
+                    )
+        for mode in FAILURE_MODES:
+            results = []
+            for pair in pairs:
+                for case in cases_for_pair(pair, primaries[pair], mode):
+                    view = case.scenario.apply(graph)
+                    primary_cost = case.primary_path.cost(graph)
+                    try:
+                        backup = shortest_path(
+                            view,
+                            case.source,
+                            case.destination,
+                            weighted=network.weighted,
+                        )
+                    except NoPath:
+                        results.append(
+                            CaseResult(
+                                source=case.source,
+                                destination=case.destination,
+                                scenario=case.scenario,
+                                primary=case.primary_path,
+                                primary_cost=primary_cost,
+                                backup=None,
+                                backup_cost=None,
+                                decomposition=None,
+                            )
+                        )
+                        continue
+                    results.append(
+                        CaseResult(
+                            source=case.source,
+                            destination=case.destination,
+                            scenario=case.scenario,
+                            primary=case.primary_path,
+                            primary_cost=primary_cost,
+                            backup=backup,
+                            backup_cost=backup.cost(graph),
+                            decomposition=min_pieces_decompose_reference(
+                                backup, base, allow_edges=True
+                            ),
+                        )
+                    )
+            reference_row = build_row(
+                network.name,
+                mode,
+                results,
+                max_multiplicity=max_multiplicity if mode == "link" else None,
+            )
+            assert optimized[mode] == reference_row, mode

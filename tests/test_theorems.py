@@ -126,6 +126,43 @@ class TestTheorem2:
             f"{decomposition.num_extra_edges} edges for k={k}"
         )
 
+    def test_regression_seed_139_greedy_is_not_a_witness(self):
+        """Pinned falsifying instance of the old greedy-based check.
+
+        At ``seed=139, k=1, pair_seed=1`` the greedy largest-prefix
+        partition spends 3 base paths (+0 edges) where Theorem 2
+        promises a covering with at most 2 base paths and 1 edge — the
+        theorem is an existence claim, so the verifier must search
+        within the bound (``min_base_paths_decompose``), not trust the
+        greedy's piece mix.  This instance made the hypothesis suite
+        red until ``verify_theorem2`` switched decompositions.
+        """
+        from repro.core.decomposition import greedy_decompose
+        from repro.core.theory import restoration_decomposition
+
+        g = random_connected_graph(139, n=18, extra=10)
+        rng = random.Random(139 ^ 0xBEEF)
+        weighted = Graph()
+        for u, v, _ in g.weighted_edges():
+            weighted.add_edge(u, v, weight=rng.choice([1, 1, 2, 3, 5, 10]))
+        rng2 = random.Random(1)
+        failed = rng2.sample(sorted(weighted.edges()), 1)
+        s, t = rng2.sample(sorted(weighted.nodes), 2)
+        scenario = FailureScenario.link_set(failed)
+
+        # The greedy partition itself still exceeds the bound ...
+        greedy, _ = restoration_decomposition(
+            weighted, scenario, s, t, weighted=True
+        )
+        assert greedy.num_base_paths == 3 and greedy.num_extra_edges == 0
+
+        # ... but a witness within the bound exists and the fixed
+        # verifier finds it.
+        holds, decomposition = verify_theorem2(weighted, scenario, s, t)
+        assert holds
+        assert decomposition.num_base_paths <= 2
+        assert decomposition.num_extra_edges <= 1
+
     def test_tight_on_weighted_comb(self):
         for k in (1, 2, 4):
             g, failed, s, t = weighted_comb_graph(k)
