@@ -205,7 +205,7 @@ class LocalRbpc:
         incoming = lsp.labels[r1]
         router = self.network.routers[r1]
         original = router.ilm.lookup(incoming)
-        router.ilm.install(incoming, IlmEntry(push=push, next_hop=None, lsp_id=lsp_id))
+        router.install_ilm(incoming, IlmEntry(push=push, next_hop=None, lsp_id=lsp_id))
         self.network.ledger.record_ilm_update(detail=f"local patch lsp {lsp_id} at {r1!r}")
         patch = LocalPatch(
             lsp_id=lsp_id,
@@ -245,7 +245,7 @@ class LocalRbpc:
         incoming = lsp.labels[r1]
         router = self.network.routers[r1]
         original = router.ilm.lookup(incoming)
-        router.ilm.install(incoming, IlmEntry(push=push, next_hop=None, lsp_id=lsp_id))
+        router.install_ilm(incoming, IlmEntry(push=push, next_hop=None, lsp_id=lsp_id))
         self.network.ledger.record_ilm_update(
             detail=f"local router-failure patch lsp {lsp_id} at {r1!r}"
         )
@@ -266,7 +266,7 @@ class LocalRbpc:
         if patch is None:
             return
         router = self.network.routers[patch.router]
-        router.ilm.install(patch.label, patch.original_entry)
+        router.install_ilm(patch.label, patch.original_entry)
         self.network.ledger.record_ilm_update(detail=f"revert lsp {lsp_id}")
 
     def revert_all(self) -> None:

@@ -8,6 +8,13 @@
 * :mod:`repro.experiments.theory_figures` — Figures 2-5 executed.
 * :mod:`repro.experiments.ablation` — design-choice comparison report.
 * :mod:`repro.experiments.runner` — everything, in paper order.
+
+Every CLI writes a machine-readable ``BENCH_<name>.json``
+(:mod:`repro.experiments.bench`) and accepts ``--obs`` /
+``--trace-jsonl`` to record metrics and hierarchical spans via
+:mod:`repro.obs`; ``python -m repro.obs diff`` compares two bench
+files with thresholds and exit codes.
+
 * :mod:`repro.experiments.metrics` /
   :mod:`repro.experiments.ilm_accounting` /
   :mod:`repro.experiments.reporting` /

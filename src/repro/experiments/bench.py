@@ -5,7 +5,9 @@ the performance trajectory of the pipeline is tracked from PR to PR:
 wall-clock, per-stage timings, case counts, and the global work
 counters (:mod:`repro.perf`).  The driver convention is a file named
 ``BENCH_<name>.json`` in the current working directory (the repo root
-in CI), overridable per CLI via ``--bench-json``.
+in CI), overridable per CLI via ``--bench-json``.  Two bench files are
+compared — with thresholds and exit codes — by
+``python -m repro.obs diff``.
 """
 
 from __future__ import annotations
@@ -16,9 +18,26 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Optional
 
+from ..obs.trace import TRACER, Tracer
+
 
 class StageTimer:
     """Accumulating named wall-clock stages.
+
+    A thin flat facade over the span tracer (:mod:`repro.obs.trace`):
+    each ``stage`` block also opens a span on *tracer* (the global
+    :data:`~repro.obs.trace.TRACER` by default, free when disabled), so
+    the same instrumentation yields both the flat ``BENCH_*.json``
+    stage sums and the hierarchical ``--trace-jsonl`` tree.  *prefix*
+    namespaces the span names (``table2.cases``) without polluting the
+    flat stage keys.
+
+    Edge-case contract (pinned by ``tests/test_obs_trace.py``):
+
+    * repeated stages accumulate;
+    * **re-entrant** stages (``a`` nested inside ``a``) count the
+      outermost occurrence only — no double-counting;
+    * a stage that **raises** still accumulates the partial timing.
 
     >>> timer = StageTimer()
     >>> with timer.stage("warmup"):
@@ -27,20 +46,30 @@ class StageTimer:
     True
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, tracer: Optional[Tracer] = None, prefix: str = ""
+    ) -> None:
         self.stages: dict[str, float] = {}
+        self.prefix = prefix
+        self._tracer = TRACER if tracer is None else tracer
+        self._depth: dict[str, int] = {}
         self._start = time.perf_counter()
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        """Time a block; repeated stages accumulate."""
+        """Time a block; repeated stages accumulate, nested ones don't double."""
+        depth = self._depth.get(name, 0)
+        self._depth[name] = depth + 1
+        span_name = f"{self.prefix}.{name}" if self.prefix else name
         t0 = time.perf_counter()
         try:
-            yield
+            with self._tracer.span(span_name):
+                yield
         finally:
-            self.stages[name] = (
-                self.stages.get(name, 0.0) + time.perf_counter() - t0
-            )
+            elapsed = time.perf_counter() - t0
+            self._depth[name] = depth
+            if depth == 0:
+                self.stages[name] = self.stages.get(name, 0.0) + elapsed
 
     def total(self) -> float:
         """Seconds since this timer was created."""

@@ -23,6 +23,7 @@ from ..exceptions import NoPath, NoRestorationPath
 from ..failures.sampler import link_failure_cases, sample_pairs
 from ..graph.graph import Graph, Node
 from ..graph.shortest_paths import shortest_path
+from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
 from ..perf import COUNTERS
 from .bench import StageTimer, write_bench_json
 from .networks import cached_suite, scales
@@ -193,31 +194,35 @@ def main(argv: list[str] | None = None) -> str:
         help="path for the BENCH JSON (default BENCH_figure10.json; "
              "'-' disables)",
     )
+    add_obs_arguments(parser)
     args = parser.parse_args(argv)
-    timer = StageTimer()
+    activate_from_args(args)
+    timer = StageTimer(prefix="figure10")
     before = COUNTERS.snapshot()
-    with timer.stage("collect"):
-        samples = run(scale=args.scale, seed=args.seed, jobs=args.jobs)
-    with timer.stage("render"):
-        report = render(samples)
+    with TRACER.span("figure10", scale=args.scale, seed=args.seed):
+        with timer.stage("collect"):
+            samples = run(scale=args.scale, seed=args.seed, jobs=args.jobs)
+        with timer.stage("render"):
+            report = render(samples)
     print(report)
     if args.bench_json != "-":
-        write_bench_json(
-            "figure10",
-            {
-                "name": "figure10",
-                "scale": args.scale,
-                "seed": args.seed,
-                "jobs": args.jobs,
-                "wall_clock_s": round(timer.total(), 4),
-                "stages": timer.as_dict(),
-                "samples": {
-                    name: len(data.cost) for name, data in samples.items()
-                },
-                "counters": COUNTERS.delta(before).as_dict(),
+        counters = COUNTERS.delta(before).as_dict()
+        payload = {
+            "name": "figure10",
+            "scale": args.scale,
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "wall_clock_s": round(timer.total(), 4),
+            "stages": timer.as_dict(),
+            "samples": {
+                name: len(data.cost) for name, data in samples.items()
             },
-            path=args.bench_json,
-        )
+            "counters": counters,
+        }
+        payload.update(bench_observability(args, counters))
+        write_bench_json("figure10", payload, path=args.bench_json)
+    else:
+        bench_observability(args)
     return report
 
 

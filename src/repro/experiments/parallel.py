@@ -16,9 +16,11 @@ to the sequential run:
   the parent reassembles results in index order, so the concatenated
   case list is exactly the sequential one and every downstream
   aggregate (metrics averages, histogram buckets) is byte-identical.
-* **Counter fan-in.**  Each chunk returns the delta of the global
-  :data:`~repro.perf.COUNTERS` it accumulated; the parent merges them,
-  so ``BENCH_*.json`` totals include work done in workers.
+* **Counter fan-in.**  Each chunk returns the deltas of the global
+  :data:`~repro.perf.COUNTERS` *and* of the metrics registry
+  (:data:`repro.obs.METRICS`) it accumulated; the parent merges both,
+  so ``BENCH_*.json`` totals include work done in workers and
+  histograms are jobs-invariant.
 
 ``--jobs 1`` (the default everywhere) bypasses this module entirely and
 runs the plain sequential loops; ``--jobs 0`` means "auto" —
@@ -31,6 +33,7 @@ import os
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Callable, Iterator, Optional
 
+from ..obs.metrics import METRICS
 from ..perf import COUNTERS
 
 
@@ -66,16 +69,17 @@ def chunk_bounds(n_items: int, jobs: int) -> Iterator[tuple[int, int]]:
 
 def run_chunked(
     executor: Executor,
-    worker: Callable[..., tuple[list, dict]],
+    worker: Callable[..., tuple[list, dict, dict]],
     common_args: tuple,
     n_items: int,
     jobs: int,
 ) -> list:
     """Fan ``worker(*common_args, start, end)`` out over chunks.
 
-    The worker returns ``(items, counter_delta)``; this reassembles the
-    item lists in chunk order (sequential-identical) and merges every
-    counter delta into the parent's :data:`COUNTERS`.
+    The worker returns ``(items, counter_delta, metrics_delta)``; this
+    reassembles the item lists in chunk order (sequential-identical)
+    and merges every delta into the parent's :data:`COUNTERS` and
+    :data:`METRICS`.
     """
     futures = {
         executor.submit(worker, *common_args, start, end): start
@@ -83,9 +87,10 @@ def run_chunked(
     }
     by_start: dict[int, list] = {}
     for future, start in futures.items():
-        items, delta = future.result()
+        items, delta, metrics_delta = future.result()
         by_start[start] = items
         COUNTERS.merge(delta)
+        METRICS.merge(metrics_delta)
     ordered: list = []
     for start in sorted(by_start):
         ordered.extend(by_start[start])
@@ -107,13 +112,14 @@ def _network(scale: str, seed: int, index: int):
 
 def table2_case_chunk(
     scale: str, seed: int, index: int, mode: str, start: int, end: int
-) -> tuple[list, dict]:
+) -> tuple[list, dict, dict]:
     """Evaluate the failure cases of demand pairs ``[start:end)``."""
     from ..core.cache import shared_unique_base
     from ..failures.sampler import cases_for_pair, sample_pairs
     from .table2 import run_case
 
     before = COUNTERS.snapshot()
+    m_before = METRICS.snapshot()
     network = _network(scale, seed, index)
     graph = network.graph
     base = shared_unique_base(graph)
@@ -123,17 +129,18 @@ def table2_case_chunk(
         primary = base.path_for(*pair)
         for case in cases_for_pair(pair, primary, mode):
             results.append(run_case(graph, base, case, network.weighted))
-    return results, COUNTERS.delta(before).as_dict()
+    return results, COUNTERS.delta(before).as_dict(), METRICS.delta(m_before)
 
 
 def table3_bypass_chunk(
     scale: str, seed: int, index: int, start: int, end: int
-) -> tuple[list, dict]:
+) -> tuple[list, dict, dict]:
     """Bypass hop counts (None for bridges) of links ``[start:end)``."""
     from ..core.local_restoration import bypass_path
     from ..exceptions import NoRestorationPath
 
     before = COUNTERS.snapshot()
+    m_before = METRICS.snapshot()
     network = _network(scale, seed, index)
     graph = network.graph
     edges = list(graph.edges())[start:end]
@@ -143,12 +150,12 @@ def table3_bypass_chunk(
             hops.append(bypass_path(graph, u, v, weighted=network.weighted).hops)
         except NoRestorationPath:
             hops.append(None)
-    return hops, COUNTERS.delta(before).as_dict()
+    return hops, COUNTERS.delta(before).as_dict(), METRICS.delta(m_before)
 
 
 def figure10_stretch_chunk(
     scale: str, seed: int, start: int, end: int
-) -> tuple[list, dict]:
+) -> tuple[list, dict, dict]:
     """Per-pair stretch sample tuples for demand pairs ``[start:end)``.
 
     Each item is ``(strategy name, cost stretch or None, hop stretch or
@@ -157,6 +164,7 @@ def figure10_stretch_chunk(
     from .figure10 import collect_pair_samples
 
     before = COUNTERS.snapshot()
+    m_before = METRICS.snapshot()
     network = _network(scale, seed, 0)  # Figure 10 runs on the weighted ISP
     from ..core.cache import shared_unique_base
     from ..failures.sampler import sample_pairs
@@ -168,4 +176,4 @@ def figure10_stretch_chunk(
         items.extend(
             collect_pair_samples(network.graph, network.weighted, base, pair)
         )
-    return items, COUNTERS.delta(before).as_dict()
+    return items, COUNTERS.delta(before).as_dict(), METRICS.delta(m_before)

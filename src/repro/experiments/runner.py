@@ -6,29 +6,40 @@
 from __future__ import annotations
 
 import argparse
-import time
 from pathlib import Path as FilePath
 
+from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
+from ..perf import COUNTERS
 from . import figure10, table1, table2, table3, theory_figures
+from .bench import StageTimer, write_bench_json
 from .networks import cached_suite, scales
 
 
 def run_all(
-    scale: str = "small", seed: int = 1, ilm: str = "per-pair", jobs: int = 1
+    scale: str = "small",
+    seed: int = 1,
+    ilm: str = "per-pair",
+    jobs: int = 1,
+    timer: StageTimer | None = None,
 ) -> str:
-    """Run every table and figure in paper order; returns the report."""
+    """Run every table and figure in paper order; returns the report.
+
+    With *timer* given, each section's wall-clock lands in a stage of
+    its own — the consolidated ``BENCH_runner.json`` is built from it.
+    """
+    if timer is None:
+        timer = StageTimer(prefix="runner")
     sections = []
-    for name, runner in (
-        ("Table 1", lambda: table1.render(table1.collect(cached_suite(scale=scale, seed=seed)))),
-        ("Table 2", lambda: table2.render(table2.run(scale=scale, seed=seed, ilm_accounting=ilm, jobs=jobs))),
-        ("Table 3", lambda: table3.render(table3.run(scale=scale, seed=seed, jobs=jobs))),
-        ("Figure 10", lambda: figure10.render(figure10.run(scale=scale, seed=seed, jobs=jobs))),
-        ("Figures 2-5", lambda: theory_figures.render(theory_figures.run())),
+    for name, stage, runner in (
+        ("Table 1", "table1", lambda: table1.render(table1.collect(cached_suite(scale=scale, seed=seed)))),
+        ("Table 2", "table2", lambda: table2.render(table2.run(scale=scale, seed=seed, ilm_accounting=ilm, jobs=jobs))),
+        ("Table 3", "table3", lambda: table3.render(table3.run(scale=scale, seed=seed, jobs=jobs))),
+        ("Figure 10", "figure10", lambda: figure10.render(figure10.run(scale=scale, seed=seed, jobs=jobs))),
+        ("Figures 2-5", "theory_figures", lambda: theory_figures.render(theory_figures.run())),
     ):
-        start = time.perf_counter()
-        body = runner()
-        elapsed = time.perf_counter() - start
-        sections.append(f"==== {name} ({elapsed:.1f}s) ====\n{body}")
+        with timer.stage(stage):
+            body = runner()
+        sections.append(f"==== {name} ({timer.as_dict()[stage]:.1f}s) ====\n{body}")
     return "\n\n".join(sections)
 
 
@@ -43,11 +54,43 @@ def main(argv: list[str] | None = None) -> str:
         "--jobs", type=int, default=1,
         help="worker processes for the experiment fan-outs (0 = auto)",
     )
+    parser.add_argument(
+        "--bench-json", type=str, default=None,
+        help="path for the consolidated BENCH JSON "
+             "(default BENCH_runner.json; '-' disables)",
+    )
+    add_obs_arguments(parser)
     args = parser.parse_args(argv)
-    report = run_all(scale=args.scale, seed=args.seed, ilm=args.ilm, jobs=args.jobs)
+    activate_from_args(args)
+    timer = StageTimer(prefix="runner")
+    before = COUNTERS.snapshot()
+    with TRACER.span("runner", scale=args.scale, seed=args.seed):
+        report = run_all(
+            scale=args.scale,
+            seed=args.seed,
+            ilm=args.ilm,
+            jobs=args.jobs,
+            timer=timer,
+        )
     print(report)
     if args.out:
         FilePath(args.out).write_text(report + "\n")
+    if args.bench_json != "-":
+        counters = COUNTERS.delta(before).as_dict()
+        payload = {
+            "name": "runner",
+            "scale": args.scale,
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "wall_clock_s": round(timer.total(), 4),
+            "sections": timer.as_dict(),
+            "stages": timer.as_dict(),
+            "counters": counters,
+        }
+        payload.update(bench_observability(args, counters))
+        write_bench_json("runner", payload, path=args.bench_json)
+    else:
+        bench_observability(args)
     return report
 
 

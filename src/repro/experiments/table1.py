@@ -7,7 +7,10 @@ from __future__ import annotations
 
 import argparse
 
+from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
+from ..perf import COUNTERS
 from ..topology.stats import TopologyStats, summarize
+from .bench import StageTimer, write_bench_json
 from .networks import ExperimentNetwork, scales, suite
 from .reporting import format_table
 
@@ -63,9 +66,39 @@ def main(argv: list[str] | None = None) -> str:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=scales(), default="small")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--bench-json", type=str, default=None,
+        help="path for the BENCH JSON (default BENCH_table1.json; "
+             "'-' disables)",
+    )
+    add_obs_arguments(parser)
     args = parser.parse_args(argv)
-    report = render(collect(suite(scale=args.scale, seed=args.seed)))
+    activate_from_args(args)
+    timer = StageTimer(prefix="table1")
+    before = COUNTERS.snapshot()
+    with TRACER.span("table1", scale=args.scale, seed=args.seed):
+        with timer.stage("topologies"):
+            networks = suite(scale=args.scale, seed=args.seed)
+        with timer.stage("stats"):
+            stats = collect(networks)
+        with timer.stage("render"):
+            report = render(stats)
     print(report)
+    if args.bench_json != "-":
+        counters = COUNTERS.delta(before).as_dict()
+        payload = {
+            "name": "table1",
+            "scale": args.scale,
+            "seed": args.seed,
+            "wall_clock_s": round(timer.total(), 4),
+            "stages": timer.as_dict(),
+            "networks": [s.name for s in stats],
+            "counters": counters,
+        }
+        payload.update(bench_observability(args, counters))
+        write_bench_json("table1", payload, path=args.bench_json)
+    else:
+        bench_observability(args)
     return report
 
 

@@ -23,6 +23,8 @@ from ..failures.sampler import FAILURE_MODES, FailureCase, cases_for_pair, sampl
 from ..graph.graph import Graph
 from ..graph.shortest_paths import shortest_path
 from ..graph.spt import ShortestPathDag
+from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
+from ..obs.metrics import DEPTH_EDGES, METRICS, STRETCH_EDGES
 from ..perf import COUNTERS
 from .bench import StageTimer, write_bench_json
 from .ilm_accounting import IlmAccountant, scenarios_from_cases
@@ -72,6 +74,8 @@ def run_case(
     try:
         backup = shortest_path(view, case.source, case.destination, weighted=weighted)
     except NoPath:
+        if METRICS.enabled:
+            METRICS.counter("table2.unrestorable_cases").inc()
         return CaseResult(
             source=case.source,
             destination=case.destination,
@@ -83,6 +87,15 @@ def run_case(
             decomposition=None,
         )
     decomposition = min_pieces_decompose(backup, base, allow_edges=True)
+    backup_cost = backup.cost(graph)
+    if METRICS.enabled:
+        if primary_cost:
+            METRICS.histogram("table2.path_stretch", STRETCH_EDGES).observe(
+                backup_cost / primary_cost
+            )
+        METRICS.histogram("table2.pc_length", DEPTH_EDGES).observe(
+            decomposition.num_pieces
+        )
     return CaseResult(
         source=case.source,
         destination=case.destination,
@@ -90,7 +103,7 @@ def run_case(
         primary=case.primary_path,
         primary_cost=primary_cost,
         backup=backup,
-        backup_cost=backup.cost(graph),
+        backup_cost=backup_cost,
         decomposition=decomposition,
     )
 
@@ -318,21 +331,24 @@ def main(argv: list[str] | None = None) -> str:
         help="path for the BENCH JSON (default BENCH_table2.json; "
              "'-' disables)",
     )
+    add_obs_arguments(parser)
     args = parser.parse_args(argv)
-    timer = StageTimer()
+    activate_from_args(args)
+    timer = StageTimer(prefix="table2")
     stats: dict = {}
     before = COUNTERS.snapshot()
-    all_rows = run(
-        scale=args.scale,
-        seed=args.seed,
-        modes=tuple(args.modes),
-        ilm_accounting=args.ilm,
-        jobs=args.jobs,
-        timer=timer,
-        stats=stats,
-    )
-    with timer.stage("render"):
-        report = render(all_rows)
+    with TRACER.span("table2", scale=args.scale, seed=args.seed):
+        all_rows = run(
+            scale=args.scale,
+            seed=args.seed,
+            modes=tuple(args.modes),
+            ilm_accounting=args.ilm,
+            jobs=args.jobs,
+            timer=timer,
+            stats=stats,
+        )
+        with timer.stage("render"):
+            report = render(all_rows)
     print(report)
     if args.bench_json != "-":
         counters = COUNTERS.delta(before).as_dict()
@@ -355,8 +371,11 @@ def main(argv: list[str] | None = None) -> str:
                 for mode, rows in all_rows.items()
             },
         }
+        payload.update(bench_observability(args, counters))
         out = write_bench_json("table2", payload, path=args.bench_json)
         print(f"[bench] wrote {out}")
+    else:
+        bench_observability(args)
     return report
 
 

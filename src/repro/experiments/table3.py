@@ -16,6 +16,8 @@ from typing import Optional
 from ..core.local_restoration import bypass_path
 from ..exceptions import NoRestorationPath
 from ..graph.graph import Graph
+from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
+from ..obs.metrics import DEPTH_EDGES, METRICS
 from ..perf import COUNTERS
 from .bench import StageTimer, write_bench_json
 from .networks import cached_suite, scales
@@ -66,11 +68,16 @@ def _aggregate(
         return {}, 0.0
     counts: dict[int, int] = {}
     bridges = 0
+    record = METRICS.enabled
     for hops in hops_list:
         if hops is None:
             bridges += 1
+            if record:
+                METRICS.counter("table3.bridges").inc()
         else:
             counts[hops] = counts.get(hops, 0) + 1
+            if record:
+                METRICS.histogram("table3.bypass_hops", DEPTH_EDGES).observe(hops)
     percents = {hops: 100.0 * n / total for hops, n in sorted(counts.items())}
     return percents, 100.0 * bridges / total
 
@@ -163,33 +170,37 @@ def main(argv: list[str] | None = None) -> str:
         help="path for the BENCH JSON (default BENCH_table3.json; "
              "'-' disables)",
     )
+    add_obs_arguments(parser)
     args = parser.parse_args(argv)
-    timer = StageTimer()
+    activate_from_args(args)
+    timer = StageTimer(prefix="table3")
     before = COUNTERS.snapshot()
-    with timer.stage("bypasses"):
-        results = run(
-            scale=args.scale,
-            seed=args.seed,
-            max_links=args.max_links,
-            jobs=args.jobs,
-        )
-    with timer.stage("render"):
-        report = render(results)
+    with TRACER.span("table3", scale=args.scale, seed=args.seed):
+        with timer.stage("bypasses"):
+            results = run(
+                scale=args.scale,
+                seed=args.seed,
+                max_links=args.max_links,
+                jobs=args.jobs,
+            )
+        with timer.stage("render"):
+            report = render(results)
     print(report)
     if args.bench_json != "-":
-        write_bench_json(
-            "table3",
-            {
-                "name": "table3",
-                "scale": args.scale,
-                "seed": args.seed,
-                "jobs": args.jobs,
-                "wall_clock_s": round(timer.total(), 4),
-                "stages": timer.as_dict(),
-                "counters": COUNTERS.delta(before).as_dict(),
-            },
-            path=args.bench_json,
-        )
+        counters = COUNTERS.delta(before).as_dict()
+        payload = {
+            "name": "table3",
+            "scale": args.scale,
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "wall_clock_s": round(timer.total(), 4),
+            "stages": timer.as_dict(),
+            "counters": counters,
+        }
+        payload.update(bench_observability(args, counters))
+        write_bench_json("table3", payload, path=args.bench_json)
+    else:
+        bench_observability(args)
     return report
 
 

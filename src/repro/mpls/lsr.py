@@ -5,25 +5,38 @@ the paper: switch labeled packets via the ILM, and classify unlabeled
 packets entering the cloud via the FEC map.  The router itself is
 deliberately dumb — all provisioning intelligence lives in
 :class:`~repro.mpls.network.MplsNetwork` and the restoration schemes.
+
+For observability, an LSR can carry an *observer* — a callable
+``(kind, router, detail)`` that the table-mutating methods
+(:meth:`install_ilm`, :meth:`remove_ilm`) notify.  The discrete-event
+orchestrator attaches one that timestamps each mutation into its
+structured event log (:mod:`repro.obs.events`); with no observer
+attached the hook costs a single ``is not None`` check.
 """
 
 from __future__ import annotations
 
+from typing import Any, Callable, Optional
+
 from ..graph.graph import Node
 from .fec import FecMap
-from .ilm import IncomingLabelMap
+from .ilm import IlmEntry, IncomingLabelMap
 from .labels import Label, LabelAllocator
+
+#: Observer callback signature: (event kind, router name, detail dict).
+LsrObserver = Callable[[str, Node, dict[str, Any]], None]
 
 
 class LabelSwitchRouter:
     """One router of the MPLS domain."""
 
-    __slots__ = ("name", "ilm", "fec", "allocator")
+    __slots__ = ("name", "ilm", "fec", "allocator", "observer")
 
     def __init__(self, name: Node, max_label: Label | None = None) -> None:
         self.name = name
         self.ilm = IncomingLabelMap()
         self.fec = FecMap()
+        self.observer: Optional[LsrObserver] = None
         if max_label is None:
             self.allocator = LabelAllocator()
         else:
@@ -36,6 +49,27 @@ class LabelSwitchRouter:
     def release_label(self, label: Label) -> None:
         """Return *label* to this router's pool."""
         self.allocator.release(label)
+
+    def install_ilm(self, label: Label, entry: IlmEntry) -> None:
+        """Install an ILM entry, notifying the observer (if any)."""
+        self.ilm.install(label, entry)
+        if self.observer is not None:
+            self.observer(
+                "ilm-install",
+                self.name,
+                {
+                    "label": label,
+                    "lsp_id": entry.lsp_id,
+                    "next_hop": entry.next_hop,
+                    "pushes": len(entry.push),
+                },
+            )
+
+    def remove_ilm(self, label: Label) -> None:
+        """Remove an ILM entry, notifying the observer (if any)."""
+        self.ilm.remove(label)
+        if self.observer is not None:
+            self.observer("ilm-remove", self.name, {"label": label})
 
     def ilm_size(self) -> int:
         """Current ILM occupancy — the paper's per-router table size."""

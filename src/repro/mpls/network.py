@@ -150,6 +150,15 @@ class MplsNetwork:
             and self.graph.has_edge(u, v)
         )
 
+    def set_observer(self, observer) -> None:
+        """Attach an LSR observer (see :mod:`repro.mpls.lsr`) to every router.
+
+        ``None`` detaches.  The discrete-event orchestrator uses this to
+        timestamp ILM mutations into its structured event log.
+        """
+        for router in self.routers.values():
+            router.observer = observer
+
     # -- LSP provisioning ------------------------------------------------------
 
     def provision_lsp(self, path: Path, php: bool = False) -> Lsp:
@@ -188,10 +197,10 @@ class MplsNetwork:
                 entry = IlmEntry(
                     push=(lsp.labels[next_hop],), next_hop=next_hop, lsp_id=lsp_id
                 )
-            router.ilm.install(incoming, entry)
+            router.install_ilm(incoming, entry)
         if not php:
             tail = self.routers[nodes[-1]]
-            tail.ilm.install(lsp.labels[nodes[-1]], IlmEntry(push=(), next_hop=None, lsp_id=lsp_id))
+            tail.install_ilm(lsp.labels[nodes[-1]], IlmEntry(push=(), next_hop=None, lsp_id=lsp_id))
 
         self._lsps[lsp_id] = lsp
         pair = (path.source, path.target)
@@ -205,7 +214,7 @@ class MplsNetwork:
         for router_name, label in lsp.labels.items():
             router = self.routers[router_name]
             if label in router.ilm and router.ilm.lookup(label).lsp_id == lsp_id:
-                router.ilm.remove(label)
+                router.remove_ilm(label)
             router.release_label(label)
         del self._lsps[lsp_id]
         pair = (lsp.head, lsp.tail)

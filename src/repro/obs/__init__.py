@@ -1,0 +1,112 @@
+"""Observability for the restoration pipeline: traces, events, metrics.
+
+The three instruments, and where they report:
+
+* :mod:`repro.obs.trace` — hierarchical span tracer (:data:`TRACER`).
+  Experiments open spans through
+  :class:`~repro.experiments.bench.StageTimer`; ``--trace-jsonl``
+  dumps the tree for ``python -m repro.obs tree``.
+* :mod:`repro.obs.events` — versioned structured event log
+  (:class:`EventLog`); the simulation's single timeline source of
+  truth, rendered by ``python -m repro.obs timeline``.
+* :mod:`repro.obs.metrics` — counters/gauges/histograms
+  (:data:`METRICS`), merged across ``--jobs`` workers like
+  :data:`repro.perf.COUNTERS` and published in ``BENCH_*.json``.
+
+Everything is off by default and costs one attribute check when off;
+experiment CLIs expose ``--obs`` / ``--trace-jsonl`` via
+:func:`add_obs_arguments` / :func:`activate_from_args`.
+
+See ``docs/observability.md`` for the span API, the event schema and
+its versioning policy, the metrics glossary, and CLI examples.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, Optional
+
+from .events import SCHEMA, SCHEMA_VERSION, Event, EventLog
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    METRICS,
+    MetricsRegistry,
+    rates_from_counters,
+)
+from .trace import NULL_SPAN, Span, TRACER, Tracer
+
+__all__ = [
+    "Counter",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "activate_from_args",
+    "add_obs_arguments",
+    "bench_observability",
+    "rates_from_counters",
+]
+
+
+def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--obs`` / ``--trace-jsonl`` CLI flags."""
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="enable span tracing and the metrics registry for this run",
+    )
+    parser.add_argument(
+        "--trace-jsonl", type=str, default=None, metavar="PATH",
+        help="write the span trace as JSONL to PATH (implies --obs; "
+             "render with `python -m repro.obs tree PATH`)",
+    )
+
+
+def activate_from_args(args: argparse.Namespace) -> bool:
+    """Enable :data:`TRACER`/:data:`METRICS` per the parsed flags.
+
+    Returns True when observability is on for this run.  The switch is
+    authoritative either way — an uninstrumented run turns the layer
+    off — and state is reset so one process can host several
+    instrumented runs.
+    """
+    enabled = bool(getattr(args, "obs", False) or getattr(args, "trace_jsonl", None))
+    if enabled:
+        TRACER.reset()
+        TRACER.enabled = True
+        METRICS.reset()
+        METRICS.enabled = True
+    else:
+        TRACER.enabled = False
+        METRICS.enabled = False
+    return enabled
+
+
+def bench_observability(
+    args: argparse.Namespace, counters: Optional[dict[str, int]] = None
+) -> dict[str, Any]:
+    """The ``BENCH_*.json`` extras for an instrumented run.
+
+    Writes the trace file when ``--trace-jsonl`` was given; returns the
+    payload keys to merge (``metrics`` and derived ``rates``).  Empty
+    when observability is off.
+    """
+    extras: dict[str, Any] = {}
+    if METRICS.enabled:
+        extras["metrics"] = METRICS.as_dict()
+    if counters is not None:
+        extras["rates"] = rates_from_counters(counters)
+    trace_path = getattr(args, "trace_jsonl", None)
+    if trace_path:
+        out = TRACER.write_jsonl(trace_path)
+        print(f"[obs] wrote trace {out}")
+    return extras

@@ -1,0 +1,275 @@
+"""``python -m repro.obs`` — render traces, timelines, and bench diffs.
+
+Subcommands:
+
+``tree TRACE.jsonl``
+    Render a span trace (written by ``--trace-jsonl``) as an indented
+    tree with durations and share-of-parent percentages.
+
+``timeline EVENTS.jsonl``
+    Render a structured event log (:mod:`repro.obs.events`) as a
+    time-ordered table; ``--kind`` filters.
+
+``summary BENCH.json``
+    Summarize the ``metrics`` section of a bench payload (or a bare
+    metrics dict): counters, gauges, histograms with ASCII bars, and
+    the derived oracle/kernel hit rates.
+
+``diff OLD.json NEW.json``
+    Compare two ``BENCH_*.json`` files.  Work-counter growth beyond
+    ``--max-counter-growth`` (default 10%) is a **hard** regression —
+    exit code 1 — because counters are deterministic; wall-clock growth
+    is a soft warning unless ``--fail-on-wall`` is given (clocks are
+    noisy on shared CI runners).  Exit code 2 means the two files are
+    not comparable (different experiment/scale/case count).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Optional
+
+from .events import EventLog
+from .metrics import rates_from_counters
+from .trace import read_jsonl as read_trace_jsonl
+
+
+def _load_json(path: str) -> dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000:.2f}ms"
+
+
+# -- tree ---------------------------------------------------------------------
+
+
+def cmd_tree(args: argparse.Namespace) -> int:
+    records = read_trace_jsonl(args.trace)
+    if not records:
+        print("(empty trace)")
+        return 0
+    by_id = {r["id"]: r for r in records}
+    for r in records:
+        t1 = r["t1"] if r["t1"] is not None else r["t0"]
+        duration = t1 - r["t0"]
+        if duration * 1000 < args.min_ms:
+            continue
+        parent = by_id.get(r["parent"]) if r["parent"] is not None else None
+        share = ""
+        if parent is not None and parent["t1"] is not None:
+            parent_duration = parent["t1"] - parent["t0"]
+            if parent_duration > 0:
+                share = f"  ({100.0 * duration / parent_duration:.1f}% of {parent['name']})"
+        indent = "  " * r["depth"]
+        meta = f"  {r['meta']}" if "meta" in r else ""
+        print(f"{indent}{r['name']}  {_fmt_seconds(duration)}{share}{meta}")
+    return 0
+
+
+# -- timeline -----------------------------------------------------------------
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    log = EventLog.read_jsonl(args.events)
+    events = log.filter(*args.kind) if args.kind else list(log)
+    if args.limit is not None:
+        events = events[: args.limit]
+    for e in events:
+        detail = " ".join(f"{k}={e.detail[k]!r}" for k in sorted(e.detail))
+        print(f"t={e.time:<12.6f} {str(e.actor):<16} {e.kind:<22} {detail}")
+    counts = ", ".join(f"{k}:{n}" for k, n in sorted(log.kinds().items()))
+    print(f"-- {len(log)} events ({counts})")
+    return 0
+
+
+# -- summary ------------------------------------------------------------------
+
+_BAR_WIDTH = 40
+
+
+def _render_histogram(name: str, hist: dict[str, Any]) -> None:
+    print(f"histogram {name}: count={hist['count']} sum={hist['sum']:.6g} "
+          f"min={hist['min']} max={hist['max']}")
+    total = sum(hist["counts"])
+    if not total:
+        return
+    edges = hist["edges"]
+    labels = [f"<= {e:g}" for e in edges] + [f"> {edges[-1]:g}"]
+    width = max(len(label) for label in labels)
+    for label, count in zip(labels, hist["counts"]):
+        bar = "#" * round(_BAR_WIDTH * count / total)
+        print(f"  {label:<{width}}  {count:>8}  {bar}")
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    payload = _load_json(args.bench)
+    metrics = payload.get("metrics", payload)
+    shown = False
+    for name, value in sorted(metrics.get("counters", {}).items()):
+        print(f"counter {name}: {value}")
+        shown = True
+    for name, value in sorted(metrics.get("gauges", {}).items()):
+        print(f"gauge {name}: {value}")
+        shown = True
+    for name, hist in sorted(metrics.get("histograms", {}).items()):
+        _render_histogram(name, hist)
+        shown = True
+    perf = payload.get("counters")
+    if isinstance(perf, dict):
+        print("derived rates (from perf counters):")
+        for name, value in rates_from_counters(perf).items():
+            rendered = "n/a" if value is None else f"{value:.4g}"
+            print(f"  {name}: {rendered}")
+        shown = True
+    if not shown:
+        print("(no metrics found)")
+    return 0
+
+
+# -- diff ---------------------------------------------------------------------
+
+
+def _growth(old: float, new: float) -> Optional[float]:
+    """Relative growth; None when the old value is zero and new is too."""
+    if old == 0:
+        return None if new == 0 else float("inf")
+    return (new - old) / old
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    old = _load_json(args.old)
+    new = _load_json(args.new)
+
+    for key in ("name", "scale", "seed", "cases"):
+        if key in old and key in new and old[key] != new[key]:
+            print(
+                f"NOT COMPARABLE: {key} differs "
+                f"({old[key]!r} vs {new[key]!r})"
+            )
+            return 2
+
+    exit_code = 0
+
+    # Work counters: deterministic, hence a hard gate.
+    old_counters = old.get("counters", {})
+    new_counters = new.get("counters", {})
+    regressions = []
+    for name in sorted(set(old_counters) | set(new_counters)):
+        o, n = old_counters.get(name, 0), new_counters.get(name, 0)
+        growth = _growth(o, n)
+        if growth is None or o == n:
+            continue
+        marker = ""
+        if growth > args.max_counter_growth:
+            marker = "  REGRESSION"
+            regressions.append(name)
+        pct = f"{growth * 100:+.1f}%" if growth != float("inf") else "+inf"
+        print(f"counter {name}: {o} -> {n} ({pct}){marker}")
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} counter(s) grew more than "
+            f"{args.max_counter_growth * 100:.0f}%: {', '.join(regressions)}"
+        )
+        exit_code = 1
+
+    # Wall clock: noisy, soft by default.
+    old_wall, new_wall = old.get("wall_clock_s"), new.get("wall_clock_s")
+    if old_wall and new_wall is not None:
+        growth = _growth(old_wall, new_wall) or 0.0
+        print(f"wall_clock_s: {old_wall} -> {new_wall} ({growth * 100:+.1f}%)")
+        if growth > args.max_wall_growth:
+            if args.fail_on_wall:
+                print(
+                    f"FAIL: wall clock grew more than "
+                    f"{args.max_wall_growth * 100:.0f}%"
+                )
+                exit_code = max(exit_code, 1)
+            else:
+                print(
+                    f"WARN: wall clock grew more than "
+                    f"{args.max_wall_growth * 100:.0f}% (soft; "
+                    f"pass --fail-on-wall to gate on it)"
+                )
+    for name in sorted(set(old.get("stages", {})) | set(new.get("stages", {}))):
+        o = old.get("stages", {}).get(name, 0.0)
+        n = new.get("stages", {}).get(name, 0.0)
+        growth = _growth(o, n)
+        pct = "" if growth in (None, float("inf")) else f" ({growth * 100:+.1f}%)"
+        print(f"stage {name}: {o} -> {n}{pct}")
+
+    if exit_code == 0:
+        print("OK: no hard regressions")
+    return exit_code
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tree = sub.add_parser("tree", help="render a span trace JSONL as a tree")
+    tree.add_argument("trace", help="path to a --trace-jsonl file")
+    tree.add_argument(
+        "--min-ms", type=float, default=0.0,
+        help="hide spans shorter than this many milliseconds",
+    )
+    tree.set_defaults(func=cmd_tree)
+
+    timeline = sub.add_parser(
+        "timeline", help="render a structured event log as a timeline"
+    )
+    timeline.add_argument("events", help="path to an events JSONL file")
+    timeline.add_argument(
+        "--kind", action="append", default=None,
+        help="only show events of this kind (repeatable)",
+    )
+    timeline.add_argument("--limit", type=int, default=None)
+    timeline.set_defaults(func=cmd_timeline)
+
+    summary = sub.add_parser(
+        "summary", help="summarize the metrics of a BENCH_*.json"
+    )
+    summary.add_argument("bench", help="path to a BENCH_*.json or metrics JSON")
+    summary.set_defaults(func=cmd_summary)
+
+    diff = sub.add_parser("diff", help="compare two BENCH_*.json files")
+    diff.add_argument("old", help="baseline BENCH_*.json")
+    diff.add_argument("new", help="fresh BENCH_*.json")
+    diff.add_argument(
+        "--max-counter-growth", type=float, default=0.10,
+        help="hard-fail when a work counter grows more than this fraction "
+             "(default 0.10)",
+    )
+    diff.add_argument(
+        "--max-wall-growth", type=float, default=0.50,
+        help="wall-clock growth fraction that triggers the warning/failure "
+             "(default 0.50)",
+    )
+    diff.add_argument(
+        "--fail-on-wall", action="store_true",
+        help="treat wall-clock growth beyond --max-wall-growth as a failure",
+    )
+    diff.set_defaults(func=cmd_diff)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Run a subcommand; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""Structured restoration event log — versioned JSONL timeline records.
+
+The paper's argument is about *time*: the local patch lands at
+detection, the source re-route one flood + SPF later.  The simulation
+used to record that story as an ad-hoc ``TimelineEntry`` list with a
+free-form detail string — good for eyeballing, useless for tooling.
+This module defines the single timeline format every emitter
+(:mod:`repro.sim.orchestrator`, :mod:`repro.routing.flooding`,
+:mod:`repro.mpls.lsr`) writes and every consumer
+(``python -m repro.obs timeline``, the determinism tests, the
+round-trip schema test) reads.
+
+Schema and versioning policy
+----------------------------
+
+Every serialized event carries ``"schema": "repro.obs.event/1"``.  The
+record shape of version 1 is pinned by
+``tests/test_obs_events.py``::
+
+    {"schema", "seq", "time", "actor", "kind", "detail"}
+
+* Adding a new ``kind`` or a new ``detail`` key is **not** a version
+  bump (consumers must ignore unknown kinds/keys).
+* Removing or renaming a top-level field, changing a field's type, or
+  changing the meaning of an existing ``detail`` key **is** a version
+  bump: increment :data:`SCHEMA_VERSION`, keep ``read_jsonl``
+  accepting the previous version.
+
+Determinism
+-----------
+
+``to_jsonl`` is byte-deterministic for a deterministic run: sorted
+keys, fixed separators, sequence numbers in emission order, and actor
+values canonicalized by :func:`jsonable` (tuples become lists, exotic
+objects their ``repr``).  The orchestrator determinism tests assert
+byte-identical logs across runs and across process boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Union
+
+#: Bump per the policy above.
+SCHEMA_VERSION = 1
+
+#: The tag stamped on (and required of) every serialized event.
+SCHEMA = f"repro.obs.event/{SCHEMA_VERSION}"
+
+
+def jsonable(value: Any) -> Any:
+    """Canonicalize *value* for deterministic JSON serialization.
+
+    Primitives pass through, tuples/lists/dicts recurse (dict keys are
+    stringified), anything else — graph nodes are often tuples but may
+    be arbitrary hashables — becomes its ``repr``.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (dict,)):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(jsonable(v) for v in value)
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped occurrence with a structured detail payload."""
+
+    seq: int
+    time: float
+    actor: Any
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def as_record(self) -> dict[str, Any]:
+        """The pinned version-1 wire shape."""
+        return {
+            "schema": SCHEMA,
+            "seq": self.seq,
+            "time": self.time,
+            "actor": jsonable(self.actor),
+            "kind": self.kind,
+            "detail": jsonable(self.detail),
+        }
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON (sorted keys, no whitespace)."""
+        return json.dumps(self.as_record(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "Event":
+        """Rebuild an event from a parsed wire record.
+
+        Raises :class:`ValueError` for unknown schema tags so readers
+        fail loudly on a future format rather than misparsing it.
+        """
+        schema = record.get("schema")
+        if schema != SCHEMA:
+            raise ValueError(
+                f"unsupported event schema {schema!r} (expected {SCHEMA!r})"
+            )
+        return cls(
+            seq=record["seq"],
+            time=record["time"],
+            actor=record["actor"],
+            kind=record["kind"],
+            detail=dict(record["detail"]),
+        )
+
+
+class EventLog:
+    """An append-only, order-preserving list of :class:`Event`.
+
+    >>> log = EventLog()
+    >>> _ = log.emit(1.0, "r1", "link-down", link=("a", "b"))
+    >>> [e.kind for e in log]
+    ['link-down']
+    """
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(self, time: float, actor: Any, kind: str, **detail: Any) -> Event:
+        """Append one event; returns it."""
+        event = Event(len(self.events), time, actor, kind, detail)
+        self.events.append(event)
+        return event
+
+    def filter(self, *kinds: str) -> list[Event]:
+        """Events whose kind is in *kinds*, in order."""
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def kinds(self) -> dict[str, int]:
+        """Occurrence count per kind (diagnostics, summaries)."""
+        counts: dict[str, int] = {}
+        for e in self.events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Byte-deterministic JSONL of the whole log."""
+        return "".join(e.to_json() + "\n" for e in self.events)
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write the log to *path*; returns the path written."""
+        out = Path(path)
+        out.write_text(self.to_jsonl())
+        return out
+
+    @classmethod
+    def read_jsonl(
+        cls, source: Union[str, Path, Iterable[str]]
+    ) -> "EventLog":
+        """Parse a log back from a path or an iterable of JSONL lines.
+
+        Actors and detail values come back in canonical (jsonable)
+        form — tuples as lists — which is exactly what serializing
+        again would produce, so read ∘ write round-trips bytes.
+        """
+        if isinstance(source, (str, Path)):
+            lines: Iterable[str] = Path(source).read_text().splitlines()
+        else:
+            lines = source
+        log = cls()
+        for line in lines:
+            line = line.strip()
+            if line:
+                log.events.append(Event.from_record(json.loads(line)))
+        return log

@@ -1,0 +1,270 @@
+"""Metrics registry — counters, gauges, and histograms for the pipeline.
+
+:mod:`repro.perf` counts *work* (Dijkstra relaxations, probe calls)
+with a fixed, hand-picked set of integer counters.  This registry is
+the open-ended companion for *measurements*: restoration latency
+breakdowns, path stretch, label-stack depth, flood convergence, and
+whatever the next perf PR needs — created by name on first use, merged
+across ``--jobs`` workers exactly like
+:class:`~repro.perf.PerfCounters`, and published in ``BENCH_*.json``
+under ``"metrics"``.
+
+The registry is **off by default** (:data:`METRICS` ``.enabled``); hot
+paths guard their observations with one attribute check, so disabled
+runs pay nothing measurable.  Experiment CLIs flip it on via
+``--obs``.
+
+Worker merge semantics (`merge`):
+
+* counters and histogram bucket counts/sums **add**;
+* gauges fold by **max** (they record high-water marks here — e.g.
+  flood convergence time — which is the only cross-process fold that
+  is order-independent and therefore deterministic);
+* histogram ``min``/``max`` fold by min/max.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Optional, Sequence
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time float; cross-process merge keeps the max."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Keep the high-water mark."""
+        if self.value is None or value > self.value:
+            self.value = value
+
+
+#: Bucket upper edges for latency-shaped histograms (seconds).
+LATENCY_EDGES = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0)
+
+#: Bucket upper edges for stretch-factor histograms.
+STRETCH_EDGES = (1.0, 1.1, 1.25, 1.5, 2.0, 3.0)
+
+#: Bucket upper edges for small-integer histograms (PC length, stack depth).
+DEPTH_EDGES = (1.0, 2.0, 3.0, 4.0, 5.0, 8.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``edges`` are inclusive upper bounds; values above the last edge
+    land in the implicit overflow bucket, so ``counts`` has
+    ``len(edges) + 1`` slots.
+    """
+
+    __slots__ = ("edges", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, edges: Sequence[float] = LATENCY_EDGES) -> None:
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError(f"histogram edges must be strictly increasing: {edges}")
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean of all samples, or None when empty."""
+        return self.sum / self.count if self.count else None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Name-addressed metric instruments with worker fan-in."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access (get-or-create) -------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = LATENCY_EDGES
+    ) -> Histogram:
+        """Get-or-create; *edges* only apply on first creation."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(edges)
+        return h
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- serialization / fan-in ------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict view, sorted by name for deterministic JSON."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.as_dict() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """A detached copy of the current state (for later :meth:`delta`)."""
+        return self.as_dict()
+
+    def delta(self, since: dict[str, Any]) -> dict[str, Any]:
+        """Increments accumulated after *since* (a :meth:`snapshot`).
+
+        Counters and histogram counts/sums subtract; gauges and
+        histogram min/max carry the current value (extremes are not
+        additive — they remain per-process observations).
+        """
+        current = self.as_dict()
+        old_counters = since.get("counters", {})
+        current["counters"] = {
+            name: value - old_counters.get(name, 0)
+            for name, value in current["counters"].items()
+        }
+        old_hists = since.get("histograms", {})
+        for name, hist in current["histograms"].items():
+            old = old_hists.get(name)
+            if old is None:
+                continue
+            pad = len(hist["counts"]) - len(old["counts"])
+            old_counts = list(old["counts"]) + [0] * max(0, pad)
+            hist["counts"] = [
+                c - o for c, o in zip(hist["counts"], old_counts)
+            ]
+            hist["count"] -= old["count"]
+            hist["sum"] -= old["sum"]
+        return current
+
+    def merge(self, data: Optional[dict[str, Any]]) -> None:
+        """Fold a worker's :meth:`delta`/:meth:`as_dict` into this registry."""
+        if not data:
+            return
+        for name, value in data.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in data.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set_max(float(value))
+        for name, hist in data.get("histograms", {}).items():
+            mine = self.histogram(name, hist["edges"])
+            if list(mine.edges) != list(hist["edges"]):
+                raise ValueError(
+                    f"histogram {name!r} edge mismatch: "
+                    f"{list(mine.edges)} vs {list(hist['edges'])}"
+                )
+            for i, n in enumerate(hist["counts"]):
+                mine.counts[i] += n
+            mine.count += hist["count"]
+            mine.sum += hist["sum"]
+            if hist["min"] is not None and (
+                mine.min is None or hist["min"] < mine.min
+            ):
+                mine.min = hist["min"]
+            if hist["max"] is not None and (
+                mine.max is None or hist["max"] > mine.max
+            ):
+                mine.max = hist["max"]
+
+
+def rates_from_counters(counters: dict[str, int]) -> dict[str, Optional[float]]:
+    """Derived hit/efficiency rates from a :class:`~repro.perf.PerfCounters` dict.
+
+    These are the steering numbers the perf docs quote: how often the
+    O(1) probe answered without a Path allocation, how much of the
+    oracle stayed truncated, how hard each Dijkstra worked.
+    """
+
+    def ratio(num: float, den: float) -> Optional[float]:
+        return num / den if den else None
+
+    probes = counters.get("probe_calls", 0)
+    rows = counters.get("oracle_rows_full", 0) + counters.get(
+        "oracle_rows_truncated", 0
+    )
+    return {
+        "o1_probe_rate": ratio(counters.get("o1_probes", 0), probes),
+        "path_probe_rate": ratio(counters.get("path_probes", 0), probes),
+        "oracle_truncated_share": ratio(
+            counters.get("oracle_rows_truncated", 0), rows
+        ),
+        "oracle_promotion_rate": ratio(
+            counters.get("oracle_promotions", 0),
+            counters.get("oracle_rows_truncated", 0),
+        ),
+        "relaxations_per_dijkstra": ratio(
+            counters.get("dijkstra_relaxations", 0),
+            counters.get("dijkstra_runs", 0),
+        ),
+        "settled_per_dijkstra": ratio(
+            counters.get("dijkstra_settled", 0),
+            counters.get("dijkstra_runs", 0),
+        ),
+    }
+
+
+#: The process-wide registry every instrumented path reports to.
+METRICS = MetricsRegistry()

@@ -1,0 +1,238 @@
+"""Hierarchical span tracing — *what happened when*, not just totals.
+
+The experiment pipeline used to answer "where did the time go?" with
+:class:`~repro.experiments.bench.StageTimer`'s flat per-stage sums.
+That hides the structure the perf work actually needs: one Table 2 run
+nests ``experiments → per-network evaluation → per-mode case loops →
+restoration → oracle/kernel calls``, and a regression in one leaf is
+invisible in a flat sum.  The tracer records that nesting as a tree of
+:class:`Span` objects and serializes it to JSONL for the
+``python -m repro.obs tree`` renderer.
+
+Design constraints, in order:
+
+* **Near-zero overhead when disabled.**  ``TRACER.span(...)`` on a
+  disabled tracer returns a shared no-op context manager — no ``Span``
+  allocation, no clock read, no string formatting.  Hot paths may
+  therefore call it unconditionally.
+* **Exception-safe.**  A span raised through still records its end
+  time and pops cleanly; partial timings are never lost.
+* **Flat compatibility.**  :meth:`Tracer.stage_totals` folds the tree
+  back into StageTimer-style per-name sums (outermost occurrence only,
+  so re-entrant spans are not double-counted), which is what
+  ``BENCH_*.json`` publishes.
+
+>>> tracer = Tracer(enabled=True)
+>>> with tracer.span("outer"):
+...     with tracer.span("inner"):
+...         pass
+>>> [root.name for root in tracer.roots]
+['outer']
+>>> [child.name for child in tracer.roots[0].children]
+['inner']
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Optional, Union
+
+#: Versioned schema tag stamped on every serialized span record.
+SPAN_SCHEMA = "repro.obs.span/1"
+
+
+class Span:
+    """One timed, named region; children are the spans opened inside it."""
+
+    __slots__ = ("name", "start", "end", "children", "meta")
+
+    def __init__(
+        self, name: str, start: float, meta: Optional[dict[str, Any]] = None
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.children: list[Span] = []
+        self.meta = meta
+
+    @property
+    def duration(self) -> float:
+        """Seconds spanned; still-open spans measure up to *now*."""
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return f"<Span {self.name!r} {self.duration * 1000:.3f}ms children={len(self.children)}>"
+
+
+class _NullSpanContext:
+    """The shared do-nothing context manager of a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+#: Singleton returned by ``span()`` while disabled — identity-stable so
+#: tests can assert the disabled path allocates nothing.
+NULL_SPAN = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one span on its tracer's stack."""
+
+    __slots__ = ("_tracer", "_name", "_meta", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, meta: Optional[dict]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._meta = meta
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = Span(self._name, time.perf_counter(), self._meta)
+        if tracer._stack:
+            tracer._stack[-1].children.append(span)
+        else:
+            tracer.roots.append(span)
+        tracer._stack.append(span)
+        self._span = span
+        return span
+
+    def __exit__(self, *exc: object) -> bool:
+        span = self._span
+        if span is not None:
+            span.end = time.perf_counter()
+            self._tracer._stack.pop()
+        return False
+
+
+class Tracer:
+    """A process-local span collector with an explicit on/off switch."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.epoch = time.perf_counter()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(
+        self, name: str, **meta: Any
+    ) -> Union[_SpanContext, _NullSpanContext]:
+        """A context manager timing *name* nested under the current span.
+
+        Disabled tracers return the shared :data:`NULL_SPAN` — callers
+        never need their own ``if enabled`` guard.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanContext(self, name, meta or None)
+
+    def reset(self) -> None:
+        """Drop all recorded spans (test isolation / fresh run)."""
+        self.roots = []
+        self._stack = []
+        self.epoch = time.perf_counter()
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Every recorded span, depth-first in recording order."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def stage_totals(self) -> dict[str, float]:
+        """Per-name wall-clock sums, StageTimer-compatible.
+
+        Only the *outermost* occurrence of each name contributes, so a
+        re-entrant span (``a`` inside ``a``) is counted once, not twice.
+        """
+        totals: dict[str, float] = {}
+
+        def fold(span: Span, active: frozenset[str]) -> None:
+            outermost = span.name not in active
+            if outermost:
+                totals[span.name] = totals.get(span.name, 0.0) + span.duration
+                active = active | {span.name}
+            for child in span.children:
+                fold(child, active)
+
+        for root in self.roots:
+            fold(root, frozenset())
+        return totals
+
+    # -- serialization ---------------------------------------------------------
+
+    def records(self, digits: int = 6) -> list[dict[str, Any]]:
+        """Flattened span records (depth-first, ids link the tree).
+
+        ``t0``/``t1`` are seconds relative to the tracer epoch so traces
+        from different runs line up at zero.
+        """
+        out: list[dict[str, Any]] = []
+
+        def emit(span: Span, parent_id: Optional[int], depth: int) -> None:
+            span_id = len(out)
+            record: dict[str, Any] = {
+                "schema": SPAN_SCHEMA,
+                "id": span_id,
+                "parent": parent_id,
+                "depth": depth,
+                "name": span.name,
+                "t0": round(span.start - self.epoch, digits),
+                "t1": (
+                    round(span.end - self.epoch, digits)
+                    if span.end is not None
+                    else None
+                ),
+            }
+            if span.meta:
+                record["meta"] = span.meta
+            out.append(record)
+            for child in span.children:
+                emit(child, span_id, depth + 1)
+
+        for root in self.roots:
+            emit(root, None, 0)
+        return out
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, one line per span."""
+        return "".join(
+            json.dumps(r, sort_keys=True, separators=(",", ":")) + "\n"
+            for r in self.records()
+        )
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write the trace to *path*; returns the path written."""
+        out = Path(path)
+        out.write_text(self.to_jsonl())
+        return out
+
+
+def read_jsonl(source: Union[str, Path, Iterable[str]]) -> list[dict[str, Any]]:
+    """Parse span records from a path or an iterable of JSONL lines."""
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text().splitlines()
+    else:
+        lines = source
+    records = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+#: The process-wide tracer; disabled by default so library use is free.
+TRACER = Tracer()

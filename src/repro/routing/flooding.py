@@ -22,9 +22,11 @@ whether a packet is routed by the local patch or the source re-route.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..graph.graph import Node
 from ..graph.heap import AddressableHeap
+from ..obs.events import EventLog
 
 
 @dataclass(frozen=True)
@@ -44,6 +46,7 @@ def flood_times(
     surviving_graph,
     origins: list[Node],
     model: FloodingModel = FloodingModel(),
+    events: Optional[EventLog] = None,
 ) -> dict[Node, float]:
     """Time at which each router *learns* of the failure.
 
@@ -51,6 +54,11 @@ def flood_times(
     a failed router's neighbors); flooding spreads over
     *surviving_graph*.  Unreached routers (partitioned away) are absent
     from the result — they never learn.
+
+    With *events* given, each learn instant is recorded as a
+    ``flood-learn`` event (see :mod:`repro.obs.events`) in settle
+    order, so the analytic flood front can be rendered on the same
+    timeline as the discrete-event simulation's ``lsa-hop`` records.
     """
     times: dict[Node, float] = {}
     heap: AddressableHeap[Node] = AddressableHeap()
@@ -60,6 +68,8 @@ def flood_times(
     while heap:
         router, t = heap.pop()
         times[router] = t  # type: ignore[assignment]
+        if events is not None:
+            events.emit(t, router, "flood-learn", origins=list(origins))
         for neighbor in surviving_graph.neighbors(router):
             if neighbor not in times:
                 heap.push_or_decrease(neighbor, t + model.per_hop_delay)  # type: ignore[operator]

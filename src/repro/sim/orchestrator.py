@@ -19,11 +19,24 @@ At any simulated instant, :meth:`inject` sends a real packet through
 the MPLS tables as they exist *right then* — the tests assert the
 exact delivery timeline (black hole → stretched local route →
 shortest restored route → primary again).
+
+Every control-plane action, LSA hop, ILM mutation, and packet
+injection is recorded in a structured, versioned event log
+(:attr:`RestorationSimulation.events`, a
+:class:`~repro.obs.events.EventLog`) — the single timeline source of
+truth, byte-deterministic for a given seed and schedule, serializable
+with ``events.write_jsonl()`` and rendered by
+``python -m repro.obs timeline``.  The legacy :attr:`timeline`
+property derives the old ``TimelineEntry`` view from it.  When the
+metrics registry (:data:`repro.obs.METRICS`) is enabled, the
+simulation also feeds it restoration-latency and flood-convergence
+measurements.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..core.base_paths import BaseSet
 from ..core.local_restoration import LocalRbpc, LocalStrategy, upstream_router
@@ -32,15 +45,40 @@ from ..exceptions import NoRestorationPath
 from ..graph.graph import Edge, Node, edge_key
 from ..graph.paths import Path
 from ..mpls.network import ForwardingResult, MplsNetwork
+from ..obs.events import EventLog
+from ..obs.metrics import DEPTH_EDGES, METRICS
 from ..routing.flooding import FloodingModel
 from ..routing.lsdb import LinkStateAd, LinkStateDatabase
 from ..routing.spf import SpfRouter
 from .event_queue import EventQueue
 
+#: Event kinds that constitute the legacy control-plane timeline (the
+#: :attr:`RestorationSimulation.timeline` view).  Data-plane probes
+#: (``delivery``), flood propagation (``lsa-hop``) and table mutations
+#: (``ilm-install``/``ilm-remove``) are part of the event log only.
+CONTROL_PLANE_KINDS = frozenset(
+    {
+        "link-down",
+        "link-up",
+        "detected",
+        "local-patch",
+        "local-patch-failed",
+        "local-revert",
+        "source-restore",
+        "source-restore-failed",
+        "source-recover",
+    }
+)
+
 
 @dataclass(frozen=True)
 class TimelineEntry:
-    """One control-plane action, for post-hoc inspection."""
+    """One control-plane action, for post-hoc inspection.
+
+    Legacy flat view; the structured record behind it is the
+    :class:`~repro.obs.events.Event` in
+    :attr:`RestorationSimulation.events`.
+    """
 
     time: float
     actor: Node
@@ -79,7 +117,7 @@ class RestorationSimulation:
         self.queue = EventQueue()
         self.local = LocalRbpc(network, base, lsp_registry, weighted=weighted)
         self.source_scheme = SourceRouterRbpc(network, base, lsp_registry, weighted=weighted)
-        self.timeline: list[TimelineEntry] = []
+        self.events = EventLog()
         self.demands: dict[tuple[Node, Node], Demand] = {}
         # Per-router routing processes over private LSDB copies.
         self.routers: dict[Node, SpfRouter] = {
@@ -87,6 +125,10 @@ class RestorationSimulation:
             for u in network.graph.nodes
         }
         self._sequence = 0
+        self._down_at: dict[Edge, float] = {}
+        # Timestamp ILM mutations (LSP provisioning, local patches,
+        # reverts) into the event log as they happen.
+        network.set_observer(self._mpls_event)
 
     # -- demand management -----------------------------------------------------
 
@@ -125,29 +167,63 @@ class RestorationSimulation:
         """Current simulation time."""
         return self.queue.now
 
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def timeline(self) -> list[TimelineEntry]:
+        """The control-plane actions as legacy ``TimelineEntry`` objects.
+
+        Derived from :attr:`events`; the structured log is the source
+        of truth (serialize *that*, not this).
+        """
+        return [
+            TimelineEntry(e.time, e.actor, e.kind, e.detail.get("text", ""))
+            for e in self.events
+            if e.kind in CONTROL_PLANE_KINDS
+        ]
+
+    def _emit(self, actor: Any, kind: str, **detail: Any) -> None:
+        self.events.emit(self.queue.now, actor, kind, **detail)
+
+    def _mpls_event(self, kind: str, actor: Node, detail: dict[str, Any]) -> None:
+        self.events.emit(self.queue.now, actor, kind, **detail)
+
     # -- data plane probe -------------------------------------------------------------
 
     def inject(self, source: Node, destination: Node) -> ForwardingResult:
-        """Forward one packet through the tables as they stand *now*."""
-        return self.network.inject(source, destination)
+        """Forward one packet through the tables as they stand *now*.
+
+        Each probe lands in the event log as a ``delivery`` event with
+        the terminal status and the walk, so the full delivery timeline
+        can be reconstructed from the log alone.
+        """
+        result = self.network.inject(source, destination)
+        self._emit(
+            source,
+            "delivery",
+            destination=destination,
+            status=result.status.name,
+            walk=result.walk,
+            hops=result.hops,
+        )
+        if METRICS.enabled:
+            METRICS.counter(f"sim.delivery.{result.status.name.lower()}").inc()
+        return result
 
     # -- internals: failure handling ---------------------------------------------------
 
-    def _log(self, actor: Node, action: str, detail: str = "") -> None:
-        self.timeline.append(
-            TimelineEntry(self.queue.now, actor, action, detail)
-        )
-
     def _link_failed(self, u: Node, v: Node) -> None:
         self.network.fail_link(u, v)
-        self._log("-", "link-down", f"{(u, v)}")
+        key = edge_key(u, v)
+        self._down_at[key] = self.queue.now
+        self._emit("-", "link-down", text=f"{(u, v)}", link=key)
         self.queue.schedule_in(
             self.model.detection_delay, lambda: self._detected(u, v, up=False)
         )
 
     def _link_recovered(self, u: Node, v: Node) -> None:
         self.network.restore_link(u, v)
-        self._log("-", "link-up", f"{(u, v)}")
+        self._emit("-", "link-up", text=f"{(u, v)}", link=edge_key(u, v))
         self.queue.schedule_in(
             self.model.detection_delay, lambda: self._detected(u, v, up=True)
         )
@@ -158,12 +234,20 @@ class RestorationSimulation:
             u, v, self.network.graph.weight(u, v), up=up, sequence=self._sequence
         )
         for detector in (u, v):
-            self._log(detector, "detected", f"{(u, v)} {'up' if up else 'down'}")
+            self._emit(
+                detector,
+                "detected",
+                text=f"{(u, v)} {'up' if up else 'down'}",
+                link=edge_key(u, v),
+                up=up,
+            )
             if not up:
                 self._apply_local_patches(detector, edge_key(u, v))
             else:
                 self._revert_local_patches(detector, edge_key(u, v))
             self._receive_ad(detector, ad)
+        if up:
+            self._down_at.pop(edge_key(u, v), None)
 
     def _apply_local_patches(self, router: Node, failed: Edge) -> None:
         for demand in self.demands.values():
@@ -177,22 +261,54 @@ class RestorationSimulation:
                     continue
                 self.local.patch(demand.lsp_id, failed, strategy=self.local_strategy)
             except NoRestorationPath:
-                self._log(router, "local-patch-failed", f"lsp {demand.lsp_id}")
+                self._emit(
+                    router,
+                    "local-patch-failed",
+                    text=f"lsp {demand.lsp_id}",
+                    lsp_id=demand.lsp_id,
+                )
                 continue
             demand.locally_patched = True
-            self._log(router, "local-patch", f"lsp {demand.lsp_id} around {failed}")
+            self._emit(
+                router,
+                "local-patch",
+                text=f"lsp {demand.lsp_id} around {failed}",
+                lsp_id=demand.lsp_id,
+                link=failed,
+            )
+            if METRICS.enabled:
+                down_at = self._down_at.get(failed)
+                if down_at is not None:
+                    METRICS.histogram("sim.local_patch_latency_s").observe(
+                        self.queue.now - down_at
+                    )
 
     def _revert_local_patches(self, router: Node, healed: Edge) -> None:
         for demand in self.demands.values():
             if demand.locally_patched and demand.primary.uses_edge(*healed):
                 self.local.revert(demand.lsp_id)
                 demand.locally_patched = False
-                self._log(router, "local-revert", f"lsp {demand.lsp_id}")
+                self._emit(
+                    router,
+                    "local-revert",
+                    text=f"lsp {demand.lsp_id}",
+                    lsp_id=demand.lsp_id,
+                )
 
     def _receive_ad(self, router: Node, ad: LinkStateAd) -> None:
         changed = self.routers[router].receive(ad)
         if not changed:
             return  # stale or duplicate: do not re-flood
+        link = edge_key(ad.u, ad.v)
+        self._emit(
+            router, "lsa-hop", link=link, up=ad.up, sequence=ad.sequence
+        )
+        if METRICS.enabled and not ad.up:
+            down_at = self._down_at.get(link)
+            if down_at is not None:
+                latency = self.queue.now - down_at
+                METRICS.histogram("sim.flood_learn_latency_s").observe(latency)
+                METRICS.gauge("sim.flood_convergence_s").set_max(latency)
         # Re-flood to all neighbors over surviving links.
         for neighbor in self.network.operational_view.neighbors(router):
             self.queue.schedule_in(
@@ -216,19 +332,41 @@ class RestorationSimulation:
                 if demand.source_restored:
                     self.source_scheme.recover(demand.source, demand.destination)
                     demand.source_restored = False
-                    self._log(router, "source-recover", f"-> {demand.destination!r}")
+                    self._emit(
+                        router,
+                        "source-recover",
+                        text=f"-> {demand.destination!r}",
+                        destination=demand.destination,
+                    )
                 continue
             try:
                 action = self.source_scheme.restore(demand.source, demand.destination)
             except NoRestorationPath:
-                self._log(router, "source-restore-failed", f"-> {demand.destination!r}")
+                self._emit(
+                    router,
+                    "source-restore-failed",
+                    text=f"-> {demand.destination!r}",
+                    destination=demand.destination,
+                )
                 continue
             demand.source_restored = True
-            self._log(
+            pieces = action.decomposition.num_pieces
+            self._emit(
                 router,
                 "source-restore",
-                f"-> {demand.destination!r} via {action.decomposition.num_pieces} pieces",
+                text=f"-> {demand.destination!r} via {pieces} pieces",
+                destination=demand.destination,
+                pieces=pieces,
             )
+            if METRICS.enabled:
+                down_at = self._down_at.get(edge_key(ad.u, ad.v))
+                if down_at is not None:
+                    METRICS.histogram("sim.source_restore_latency_s").observe(
+                        self.queue.now - down_at
+                    )
+                METRICS.histogram(
+                    "sim.label_stack_depth", DEPTH_EDGES
+                ).observe(pieces)
             # The local patch is superseded; retire it.
             if demand.locally_patched:
                 self.local.revert(demand.lsp_id)

@@ -7,16 +7,23 @@ paper-shaped content.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.experiments import ablation, figure10, runner, table1, table2, table3, theory_figures
 
 
-def test_table1_main(capsys):
-    report = table1.main(["--scale", "tiny"])
+def test_table1_main(capsys, tmp_path):
+    bench = tmp_path / "BENCH_table1.json"
+    report = table1.main(["--scale", "tiny", "--bench-json", str(bench)])
     assert "Table 1" in report
     assert "ISP" in report and "AS Graph" in report
     assert capsys.readouterr().out.strip()
+    payload = json.loads(bench.read_text())
+    assert payload["name"] == "table1"
+    assert set(payload["stages"]) == {"topologies", "stats", "render"}
+    assert "counters" in payload and "rates" in payload
 
 
 def test_table2_main_single_mode():
@@ -60,10 +67,47 @@ def test_theory_figures_main():
 
 def test_runner_writes_output(tmp_path):
     out = tmp_path / "report.txt"
-    report = runner.main(["--scale", "tiny", "--out", str(out)])
+    bench = tmp_path / "BENCH_runner.json"
+    report = runner.main(
+        ["--scale", "tiny", "--out", str(out), "--bench-json", str(bench)]
+    )
     assert out.exists()
     for section in ("Table 1", "Table 2", "Table 3", "Figure 10", "Figures 2-5"):
         assert section in report
+    payload = json.loads(bench.read_text())
+    assert payload["name"] == "runner"
+    assert set(payload["sections"]) == {
+        "table1", "table2", "table3", "figure10", "theory_figures",
+    }
+    assert payload["wall_clock_s"] >= sum(payload["sections"].values()) * 0.99
+
+
+def test_table2_obs_records_trace_and_metrics(tmp_path):
+    bench = tmp_path / "BENCH_table2.json"
+    trace = tmp_path / "trace.jsonl"
+    table2.main(
+        [
+            "--scale", "tiny", "--modes", "link",
+            "--bench-json", str(bench),
+            "--obs", "--trace-jsonl", str(trace),
+        ]
+    )
+    payload = json.loads(bench.read_text())
+    metrics = payload["metrics"]
+    assert metrics["histograms"]["table2.path_stretch"]["count"] == payload["cases"]
+    assert metrics["histograms"]["table2.pc_length"]["count"] > 0
+    records = [json.loads(line) for line in trace.read_text().splitlines()]
+    assert records[0]["name"] == "table2" and records[0]["parent"] is None
+    names = {r["name"] for r in records}
+    assert {"table2.cases", "table2.render"} <= names
+
+
+def test_obs_flags_default_off(tmp_path):
+    bench = tmp_path / "BENCH_table3.json"
+    table3.main(["--scale", "tiny", "--max-links", "5", "--bench-json", str(bench)])
+    payload = json.loads(bench.read_text())
+    assert "metrics" not in payload  # nothing recorded without --obs
+    assert "rates" in payload  # derived rates are always published
 
 
 def test_ablation_main():

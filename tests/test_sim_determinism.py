@@ -1,0 +1,64 @@
+"""Orchestrator timeline determinism: same seed + schedule ⇒ the event
+log serializes to byte-identical JSONL — across repeat in-process runs
+and across process boundaries (the ``--jobs`` fan-out situation)."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.base_paths import UniqueShortestPathsBase, provision_base_set
+from repro.mpls.network import MplsNetwork
+from repro.routing.flooding import FloodingModel
+from repro.sim.orchestrator import RestorationSimulation
+from repro.topology.isp import generate_isp_topology
+
+
+def run_scenario() -> str:
+    """One fixed failure/recovery scenario; returns the event log JSONL.
+
+    Module-level (picklable) so worker processes can run it verbatim.
+    Everything is derived from the seed: the topology, the demand pair
+    (longest primary among a sorted candidate set), and the schedule.
+    """
+    graph = generate_isp_topology(n=40, seed=7)
+    net = MplsNetwork(graph)
+    base = UniqueShortestPathsBase(graph)
+    nodes = sorted(graph.nodes, key=repr)
+    pair = max(
+        ((s, t) for s in nodes[:10] for t in nodes[-10:] if s != t),
+        key=lambda p: base.path_for(*p).hops,
+    )
+    registry = provision_base_set(net, base, pairs=[pair])
+    sim = RestorationSimulation(
+        net,
+        base,
+        dict(registry),
+        model=FloodingModel(
+            detection_delay=0.010, per_hop_delay=0.005, spf_delay=0.050
+        ),
+    )
+    demand = sim.add_demand(*pair)
+    failed = list(demand.primary.edges())[demand.primary.hops - 1]
+    sim.schedule_link_failure(1.0, *failed)
+    sim.schedule_link_recovery(3.0, *failed)
+    for t in (0.5, 1.005, 1.012, 2.0, 5.0):
+        sim.run_until(t)
+        sim.inject(*pair)
+    sim.run_until(10.0)
+    return sim.events.to_jsonl()
+
+
+def test_repeat_runs_are_byte_identical():
+    first = run_scenario()
+    second = run_scenario()
+    assert first  # non-trivial: the scenario actually produced events
+    assert first == second
+
+
+def test_runs_are_byte_identical_across_processes():
+    reference = run_scenario()
+    for workers in (1, 2):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = [pool.submit(run_scenario) for _ in range(workers)]
+            for future in results:
+                assert future.result() == reference
