@@ -28,6 +28,7 @@ import weakref
 from typing import Union
 
 from ..graph.graph import DiGraph, Graph
+from ..graph.incremental import SptCache
 from .base_paths import AllShortestPathsBase, UniqueShortestPathsBase
 
 #: graph -> {config key -> base set}.  Weak keys: dropping the last
@@ -73,14 +74,40 @@ def shared_all_sp_base(
     return base  # type: ignore[return-value]
 
 
+#: graph -> {weighted flag -> SptCache}.  Separate from the base-set
+#: cache because SPT caches exist for graphs that never get a base set
+#: (e.g. the bypass searches of Table 3).
+_SPT_CACHE: "weakref.WeakKeyDictionary[Graph, dict[bool, SptCache]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def shared_spt_cache(graph: Graph, weighted: bool = True) -> SptCache:
+    """The process-wide :class:`~repro.graph.incremental.SptCache`.
+
+    Keyed by graph identity + weighted flag, so every failure case of an
+    experiment repairs the *same* pre-failure rows instead of paying a
+    fresh search.  Workers of the parallel runner build their own per
+    process, exactly like the base-set cache.
+    """
+    per_graph = _SPT_CACHE.setdefault(graph, {})
+    cache = per_graph.get(weighted)
+    if cache is None:
+        cache = SptCache(graph, weighted=weighted)
+        per_graph[weighted] = cache
+    return cache
+
+
 def cache_stats() -> dict[str, int]:
     """Entry counts, for tests and BENCH output."""
     return {
         "graphs": len(_CACHE),
         "base_sets": sum(len(v) for v in _CACHE.values()),
+        "spt_caches": sum(len(v) for v in _SPT_CACHE.values()),
     }
 
 
 def clear_cache() -> None:
-    """Drop every cached base set (test isolation)."""
+    """Drop every cached base set and SPT cache (test isolation)."""
     _CACHE.clear()
+    _SPT_CACHE.clear()

@@ -23,6 +23,7 @@ from typing import Optional
 
 from ..exceptions import NoRestorationPath, NoPath
 from ..graph.graph import Edge, Graph, Node, edge_key
+from ..graph.incremental import fast_shortest_path
 from ..graph.paths import Path
 from ..graph.shortest_paths import shortest_path
 from ..mpls.ilm import IlmEntry
@@ -71,7 +72,9 @@ def bypass_path(
         failed_nodes = tuple(extra_failures.routers)
     view = graph.without(edges=failed_edges, nodes=failed_nodes)
     try:
-        return shortest_path(view, u, v, weighted=weighted)
+        # One-shot targeted query on 40k-node graphs: the heap-emulating
+        # CSR kernel with early target exit, never a full row.
+        return fast_shortest_path(view, u, v, weighted=weighted)
     except NoPath as exc:
         raise NoRestorationPath(f"link ({u!r}, {v!r}) is a bridge") from exc
 
@@ -93,7 +96,7 @@ def end_route_route(
     prefix = primary.subpath_between(primary.source, r1)
     view = graph.without(edges=[failed])
     try:
-        patch = shortest_path(view, r1, primary.target, weighted=weighted)
+        patch = fast_shortest_path(view, r1, primary.target, weighted=weighted)
     except NoPath as exc:
         raise NoRestorationPath(f"no surviving path {r1!r} -> {primary.target!r}") from exc
     return prefix.concat(patch)

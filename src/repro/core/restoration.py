@@ -19,8 +19,8 @@ from typing import Optional
 
 from ..exceptions import NoRestorationPath, NoPath
 from ..graph.graph import Node
+from ..graph.incremental import fast_shortest_path
 from ..graph.paths import Path
-from ..graph.shortest_paths import shortest_path
 from ..mpls.network import MplsNetwork
 from .base_paths import BaseSet, ExplicitBaseSet
 from .decomposition import (
@@ -71,7 +71,9 @@ def plan_restoration(
     if strategy != "shortest-path":
         raise ValueError(f"unknown strategy {strategy!r}")
     try:
-        backup = shortest_path(surviving_view, source, destination, weighted=weighted)
+        backup = fast_shortest_path(
+            surviving_view, source, destination, weighted=weighted
+        )
     except NoPath as exc:
         raise NoRestorationPath(
             f"{source!r} and {destination!r} are disconnected by the failures"

@@ -22,7 +22,7 @@ from ..core.local_restoration import edge_bypass_route, end_route_route
 from ..exceptions import NoPath, NoRestorationPath
 from ..failures.sampler import link_failure_cases, sample_pairs
 from ..graph.graph import Graph, Node
-from ..graph.shortest_paths import shortest_path
+from ..graph.incremental import fast_shortest_path
 from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
 from ..perf import COUNTERS
 from .bench import StageTimer, write_bench_json
@@ -89,7 +89,7 @@ def collect_pair_samples(
         failed = next(iter(case.scenario.links))
         view = case.scenario.apply(graph)
         try:
-            optimal = shortest_path(
+            optimal = fast_shortest_path(
                 view, case.source, case.destination, weighted=weighted
             )
         except NoPath:

@@ -16,12 +16,11 @@ from dataclasses import asdict, replace
 from typing import Optional
 
 from ..core.base_paths import UniqueShortestPathsBase
-from ..core.cache import shared_unique_base
+from ..core.cache import shared_spt_cache, shared_unique_base
 from ..core.decomposition import min_pieces_decompose
 from ..exceptions import NoPath
 from ..failures.sampler import FAILURE_MODES, FailureCase, cases_for_pair, sample_pairs
 from ..graph.graph import Graph
-from ..graph.shortest_paths import shortest_path
 from ..graph.spt import ShortestPathDag
 from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
 from ..obs.metrics import DEPTH_EDGES, METRICS, STRETCH_EDGES
@@ -68,11 +67,19 @@ def run_case(
     case: FailureCase,
     weighted: bool,
 ) -> CaseResult:
-    """Evaluate one (demand, scenario) unit: backup path + decomposition."""
-    view = case.scenario.apply(graph)
+    """Evaluate one (demand, scenario) unit: backup path + decomposition.
+
+    The backup search runs on the shared SPT cache: unweighted networks
+    repair the two cached pre-failure rows (decremental SPT repair, a
+    few dozen re-settled nodes per case); weighted networks run the
+    heap-emulating CSR kernel with early target exit.  Both return the
+    same path, node for node, as ``shortest_path`` on the filtered view.
+    """
     primary_cost = case.primary_path.cost(graph)
     try:
-        backup = shortest_path(view, case.source, case.destination, weighted=weighted)
+        backup = shared_spt_cache(graph, weighted).backup_path(
+            case.source, case.destination, case.scenario
+        )
     except NoPath:
         if METRICS.enabled:
             METRICS.counter("table2.unrestorable_cases").inc()

@@ -20,6 +20,7 @@ from typing import Iterable, Iterator, Optional
 
 from ..exceptions import NoPath
 from ..perf import COUNTERS
+from .csr import CsrView, dicts_from_arrays, dijkstra_csr_canonical, shared_csr
 from .graph import Node
 from .paths import Path
 from .shortest_paths import costs_equal, dijkstra, dijkstra_pruned, reconstruct_path
@@ -118,10 +119,11 @@ class LazyDistanceOracle:
 
     With *tie_free* the caller guarantees distinct paths have distinct
     costs (true for the infinitesimally padded graphs of Theorem 3's
-    construction), which lets full rows use the faster lazy-heap
-    Dijkstra too: without ties the predecessor tree is independent of
-    heap pop order, so :meth:`path` answers stay bit-identical to the
-    classic implementation's.
+    construction), which lets rows run on the flat-array CSR kernel
+    (:func:`~repro.graph.csr.dijkstra_csr_canonical`): without ties the
+    predecessor tree is independent of heap pop order, so :meth:`path`
+    answers stay bit-identical to the classic implementation's while the
+    row computation avoids dict-of-dicts adjacency walks entirely.
     """
 
     __slots__ = (
@@ -130,6 +132,7 @@ class LazyDistanceOracle:
         "_pred",
         "_complete",
         "_truncated",
+        "_csr",
         "break_ties_by_hops",
         "tie_free",
     )
@@ -142,8 +145,15 @@ class LazyDistanceOracle:
         self._pred: dict[Node, dict[Node, Node]] = {}
         self._complete: set[Node] = set()
         self._truncated: set[Node] = set()
+        self._csr: Optional[CsrView] = None
         self.break_ties_by_hops = break_ties_by_hops
         self.tie_free = tie_free
+
+    def _csr_view(self) -> CsrView:
+        """The (lazily interned) CSR snapshot the tie-free rows run on."""
+        if self._csr is None:
+            self._csr = CsrView(shared_csr(self._graph))
+        return self._csr
 
     def _ensure(self, source: Node) -> None:
         """Make the row for *source* a full row."""
@@ -153,7 +163,11 @@ class LazyDistanceOracle:
             COUNTERS.oracle_promotions += 1
             self._truncated.discard(source)
         if self.tie_free and not self.break_ties_by_hops:
-            dist, pred, _ = dijkstra_pruned(self._graph, source)
+            view = self._csr_view()
+            arr_dist, arr_pred, _ = dijkstra_csr_canonical(
+                view, view.csr.index[source]
+            )
+            dist, pred = dicts_from_arrays(view.csr, arr_dist, arr_pred)
             self._dist[source], self._pred[source] = dist, pred
         else:
             self._dist[source], self._pred[source] = dijkstra(
@@ -178,7 +192,15 @@ class LazyDistanceOracle:
                 return
             self._ensure(source)
             return
-        dist, pred, exhausted = dijkstra_pruned(self._graph, source, targets)
+        if self.tie_free and not self.break_ties_by_hops:
+            view = self._csr_view()
+            index = view.csr.index
+            arr_dist, arr_pred, exhausted = dijkstra_csr_canonical(
+                view, index[source], targets=[index[t] for t in targets]
+            )
+            dist, pred = dicts_from_arrays(view.csr, arr_dist, arr_pred)
+        else:
+            dist, pred, exhausted = dijkstra_pruned(self._graph, source, targets)
         self._dist[source], self._pred[source] = dist, pred
         if exhausted:
             self._complete.add(source)

@@ -1,0 +1,413 @@
+"""Flat-array (CSR) graph snapshots and array-based search kernels.
+
+The dict-of-dicts :class:`~repro.graph.graph.Graph` is the right
+*mutation* structure, but the experiment pipeline is read-dominated:
+thousands of failure cases run shortest-path searches over the same
+frozen topology.  This module interns a graph once into compressed
+sparse row form — ``indptr`` / ``indices`` / ``weights`` flat buffers
+plus a node ↔ int index bijection — and runs Dijkstra/BFS directly on
+the int arrays.  Failure scenarios become *masks* (small sets of dead
+edge slots / node indices) applied by :meth:`CsrGraph.with_edges_removed`,
+so removing k edges from a 40k-node graph costs O(k · degree), never a
+copy.
+
+Equivalence contract (pinned by ``tests/test_csr.py``):
+
+* :func:`dijkstra_csr` **emulates** :func:`repro.graph.shortest_paths.dijkstra`
+  exactly — it drives the same :class:`~repro.graph.heap.AddressableHeap`
+  algorithm over int indices.  The heap's behaviour depends only on the
+  sequence of (push/decrease, priority) operations, never on the items
+  themselves, and CSR preserves adjacency order; the settle order and
+  predecessor choices are therefore *identical* to the dict
+  implementation's, including on graphs with exact cost ties (the
+  ISP-Weighted topology has many).  This is what makes the kernel a
+  drop-in: every experiment row stays byte-identical.
+* :func:`dijkstra_csr_canonical` is the lazy-heap variant keyed by
+  ``(dist, node index)`` — the *canonical* tie order.  Its predecessor
+  of ``v`` is the tight parent minimizing ``(dist, index)``, a local
+  property that decremental repair (:mod:`repro.graph.incremental`) can
+  maintain without replaying heap history.  On tie-free graphs (the
+  padded oracles) it is bit-identical to both classic implementations.
+* :func:`bfs_csr` emulates :func:`~repro.graph.shortest_paths.bfs_shortest_paths`
+  (frontier order, first-discoverer predecessors, early exit at target
+  discovery).
+
+Kernels report to ``COUNTERS.csr_relaxations`` / ``csr_settled`` rather
+than the ``dijkstra_*`` counters, so ``repro.obs diff`` shows work
+*moving* from the dict kernels to the array kernels instead of silently
+vanishing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import weakref
+from array import array
+from typing import Iterable, Optional
+
+from ..exceptions import NodeNotFound
+from ..perf import COUNTERS
+from .graph import Edge, Node
+from .heap import AddressableHeap
+
+INF = float("inf")
+
+
+class CsrGraph:
+    """An immutable int-indexed CSR snapshot of an adjacency-protocol graph.
+
+    ``nodes[i]`` is the node interned at index ``i`` (in the source
+    graph's ``nodes`` iteration order, which also fixes tie-breaking);
+    slots ``indptr[i]:indptr[i+1]`` of ``indices`` / ``weights`` hold
+    ``i``'s neighbors in adjacency order.  The buffers are
+    :class:`array.array` instances (exposable as memoryviews) so a
+    future shared-memory or C-accelerated kernel can adopt them
+    unchanged.
+    """
+
+    __slots__ = (
+        "nodes",
+        "index",
+        "indptr",
+        "indices",
+        "weights",
+        "n",
+        "directed",
+        "source_version",
+    )
+
+    def __init__(self, graph) -> None:
+        self.directed = bool(getattr(graph, "directed", False))
+        self.source_version = getattr(graph, "version", None)
+        nodes = list(graph.nodes)
+        index = {node: i for i, node in enumerate(nodes)}
+        indptr = array("l", [0])
+        indices = array("l")
+        weights = array("d")
+        for node in nodes:
+            for neighbor, weight in graph.adjacency(node):
+                indices.append(index[neighbor])
+                weights.append(weight)
+            indptr.append(len(indices))
+        self.nodes = nodes
+        self.index = index
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.n = len(nodes)
+        COUNTERS.csr_builds += 1
+
+    # -- views --------------------------------------------------------------
+
+    def buffers(self) -> tuple[memoryview, memoryview, memoryview]:
+        """``(indptr, indices, weights)`` as memoryviews (zero-copy)."""
+        return (
+            memoryview(self.indptr),
+            memoryview(self.indices),
+            memoryview(self.weights),
+        )
+
+    def edge_slots(self, edges: Iterable[Edge]) -> frozenset[int]:
+        """CSR slot positions covering *edges* (both directions).
+
+        On an undirected snapshot each edge occupies two slots — one per
+        endpoint's adjacency run; masking both makes the failure
+        symmetric, exactly like :class:`~repro.graph.graph.FilteredView`
+        on an undirected base.  On a directed snapshot only the ``u→v``
+        slot is masked.  Edges whose endpoints are not interned are
+        ignored (a failed link elsewhere in a larger scenario).
+        """
+        slots: set[int] = set()
+        indptr, indices = self.indptr, self.indices
+        for u, v in edges:
+            iu, iv = self.index.get(u), self.index.get(v)
+            if iu is None or iv is None:
+                continue
+            directions = ((iu, iv),) if self.directed else ((iu, iv), (iv, iu))
+            for a, b in directions:
+                for slot in range(indptr[a], indptr[a + 1]):
+                    if indices[slot] == b:
+                        slots.add(slot)
+                        break
+        return frozenset(slots)
+
+    def node_indices(self, nodes: Iterable[Node]) -> frozenset[int]:
+        """Int indices of *nodes* (unknown nodes ignored)."""
+        return frozenset(
+            i for i in (self.index.get(node) for node in nodes) if i is not None
+        )
+
+    def with_edges_removed(
+        self, edges: Iterable[Edge] = (), nodes: Iterable[Node] = ()
+    ) -> "CsrView":
+        """A cheap masked view: same buffers, *edges*/*nodes* failed."""
+        return CsrView(self, self.edge_slots(edges), self.node_indices(nodes))
+
+    def view_of(self, scenario) -> "CsrView":
+        """Masked view for a :class:`~repro.failures.models.FailureScenario`."""
+        return self.with_edges_removed(scenario.links, scenario.routers)
+
+
+class CsrView:
+    """A :class:`CsrGraph` minus a set of dead edge slots / node indices.
+
+    The topology buffers are shared with the parent snapshot; only the
+    (typically tiny) masks are per-view.  ``EMPTY`` masks make this a
+    zero-cost pass-through, so kernels take a view unconditionally.
+    """
+
+    __slots__ = ("csr", "dead_edges", "dead_nodes")
+
+    def __init__(
+        self,
+        csr: CsrGraph,
+        dead_edges: frozenset[int] = frozenset(),
+        dead_nodes: frozenset[int] = frozenset(),
+    ) -> None:
+        self.csr = csr
+        self.dead_edges = dead_edges
+        self.dead_nodes = dead_nodes
+
+    def without(
+        self, edges: Iterable[Edge] = (), nodes: Iterable[Node] = ()
+    ) -> "CsrView":
+        """Stack further failures onto this view."""
+        return CsrView(
+            self.csr,
+            self.dead_edges | self.csr.edge_slots(edges),
+            self.dead_nodes | self.csr.node_indices(nodes),
+        )
+
+
+def as_view(csr_or_view) -> CsrView:
+    """Normalize a :class:`CsrGraph` to an unmasked :class:`CsrView`."""
+    if isinstance(csr_or_view, CsrView):
+        return csr_or_view
+    return CsrView(csr_or_view)
+
+
+#: graph -> CsrGraph, weakly keyed so snapshots die with their graphs.
+_CSR_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def shared_csr(graph) -> CsrGraph:
+    """The process-wide CSR snapshot for *graph* (built at most once).
+
+    A cached snapshot is transparently rebuilt when the graph's mutation
+    :attr:`~repro.graph.graph.Graph.version` has moved on — live-network
+    tests mutate topologies between queries.  Falls back to an uncached
+    build for objects that cannot be weakly referenced (e.g. a
+    :class:`~repro.graph.graph.FilteredView` — but prefer snapshotting
+    the view's *base* and masking).
+    """
+    try:
+        csr = _CSR_CACHE.get(graph)
+    except TypeError:
+        return CsrGraph(graph)
+    if csr is None or csr.source_version != getattr(graph, "version", None):
+        csr = CsrGraph(graph)
+        try:
+            _CSR_CACHE[graph] = csr
+        except TypeError:
+            pass
+    return csr
+
+
+def _require_alive(view: CsrView, src: int) -> None:
+    if src in view.dead_nodes:
+        raise NodeNotFound(f"node {view.csr.nodes[src]!r} has failed")
+
+
+def dijkstra_csr(
+    view: CsrView, source: int, target: int = -1
+) -> tuple[list[float], list[int]]:
+    """Classic-Dijkstra emulation on CSR buffers.
+
+    Drives the same :class:`AddressableHeap` relaxation sequence as
+    :func:`repro.graph.shortest_paths.dijkstra` (priorities and
+    operation order are identical), so settle order and predecessor
+    assignments match the dict implementation *exactly* — ties
+    included.  Returns ``(dist, pred)`` lists indexed by node index
+    (``inf`` / ``-1`` for unreached).  With ``target >= 0`` stops as
+    soon as the target settles.
+    """
+    csr = view.csr
+    _require_alive(view, source)
+    indptr, indices, weights = csr.indptr, csr.indices, csr.weights
+    dead_e, dead_n = view.dead_edges, view.dead_nodes
+    dist = [INF] * csr.n
+    pred = [-1] * csr.n
+    settled = 0
+    heap: AddressableHeap[int] = AddressableHeap()
+    heap.push(source, 0.0)
+    relaxations = 0
+    while heap:
+        u, d_u = heap.pop()
+        dist[u] = d_u  # type: ignore[assignment]
+        settled += 1
+        if u == target:
+            break
+        for slot in range(indptr[u], indptr[u + 1]):
+            v = indices[slot]
+            if v in dead_n or slot in dead_e:
+                continue
+            relaxations += 1
+            if dist[v] != INF:
+                continue
+            if heap.push_or_decrease(v, d_u + weights[slot]):
+                pred[v] = u
+    COUNTERS.csr_relaxations += relaxations
+    COUNTERS.csr_settled += settled
+    return dist, pred
+
+
+def dijkstra_csr_canonical(
+    view: CsrView,
+    source: int,
+    targets: Optional[Iterable[int]] = None,
+) -> tuple[list[float], list[int], bool]:
+    """Canonical-tie-order Dijkstra on CSR buffers.
+
+    A lazy binary heap keyed ``(dist, node index)``: among equal-cost
+    frontier nodes the smallest index settles first, and the recorded
+    predecessor of ``v`` is the tight parent minimizing
+    ``(dist[parent], parent index)`` — a *local* property of the final
+    distance labels, which is what makes this tree repairable by
+    :mod:`repro.graph.incremental` without heap-history replay.  On
+    tie-free graphs it is bit-identical to :func:`dijkstra_csr`.
+
+    With *targets*, stops once every live target is settled; returns
+    ``(dist, pred, exhausted)`` where *exhausted* mirrors
+    :func:`~repro.graph.shortest_paths.dijkstra_pruned`: only an
+    exhausted run proves unreached nodes unreachable.
+    """
+    csr = view.csr
+    _require_alive(view, source)
+    indptr, indices, weights = csr.indptr, csr.indices, csr.weights
+    dead_e, dead_n = view.dead_edges, view.dead_nodes
+    dist = [INF] * csr.n
+    pred = [-1] * csr.n
+    best = [INF] * csr.n
+    best[source] = 0.0
+    remaining: Optional[set[int]] = None
+    if targets is not None:
+        remaining = {t for t in targets if t != source and t not in dead_n}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    settled = 0
+    relaxations = 0
+    exhausted = True
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        d_u, u = pop(heap)
+        if dist[u] != INF:
+            continue
+        dist[u] = d_u
+        settled += 1
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                exhausted = not heap
+                break
+        for slot in range(indptr[u], indptr[u + 1]):
+            v = indices[slot]
+            if v in dead_n or slot in dead_e:
+                continue
+            relaxations += 1
+            if dist[v] != INF:
+                continue
+            candidate = d_u + weights[slot]
+            if candidate < best[v]:
+                best[v] = candidate
+                pred[v] = u
+                push(heap, (candidate, v))
+            # candidate == best[v] cannot name a better (dist, index)
+            # parent here: parents relax in settle order, which IS the
+            # (dist, index) order, so the first tight parent already won.
+    COUNTERS.csr_relaxations += relaxations
+    COUNTERS.csr_settled += settled
+    return dist, pred, exhausted
+
+
+def bfs_csr(
+    view: CsrView, source: int, target: int = -1
+) -> tuple[list[float], list[int]]:
+    """BFS emulation on CSR buffers (unweighted shortest paths).
+
+    Mirrors :func:`repro.graph.shortest_paths.bfs_shortest_paths`:
+    frontier-ordered expansion, predecessor = first discoverer, early
+    return the moment *target* is discovered.  The predecessor tree is
+    the lexicographically-minimal one (by adjacency order), identical
+    to the dict implementation's.  Distances are floats for
+    interchangeability with the Dijkstra kernels.
+    """
+    csr = view.csr
+    _require_alive(view, source)
+    indptr, indices = csr.indptr, csr.indices
+    dead_e, dead_n = view.dead_edges, view.dead_nodes
+    dist = [INF] * csr.n
+    pred = [-1] * csr.n
+    dist[source] = 0.0
+    settled = 1
+    relaxations = 0
+    if source == target:
+        COUNTERS.csr_relaxations += relaxations
+        COUNTERS.csr_settled += settled
+        return dist, pred
+    frontier = [source]
+    while frontier:
+        next_frontier = []
+        for u in frontier:
+            d_next = dist[u] + 1.0
+            for slot in range(indptr[u], indptr[u + 1]):
+                v = indices[slot]
+                if v in dead_n or slot in dead_e:
+                    continue
+                relaxations += 1
+                if dist[v] == INF:
+                    dist[v] = d_next
+                    pred[v] = u
+                    settled += 1
+                    if v == target:
+                        COUNTERS.csr_relaxations += relaxations
+                        COUNTERS.csr_settled += settled
+                        return dist, pred
+                    next_frontier.append(v)
+        frontier = next_frontier
+    COUNTERS.csr_relaxations += relaxations
+    COUNTERS.csr_settled += settled
+    return dist, pred
+
+
+def dicts_from_arrays(
+    csr: CsrGraph, dist: list[float], pred: list[int]
+) -> tuple[dict[Node, float], dict[Node, Node]]:
+    """Convert array results back to the dict shapes the library speaks."""
+    nodes = csr.nodes
+    dist_d: dict[Node, float] = {}
+    pred_d: dict[Node, Node] = {}
+    for i, d in enumerate(dist):
+        if d != INF:
+            dist_d[nodes[i]] = d
+            p = pred[i]
+            if p >= 0:
+                pred_d[nodes[i]] = nodes[p]
+    return dist_d, pred_d
+
+
+def path_nodes(csr: CsrGraph, pred: list[int], source: int, target: int) -> list[Node]:
+    """Node sequence source→target from a predecessor array."""
+    chain = [target]
+    node = target
+    while node != source:
+        node = pred[node]
+        chain.append(node)
+    chain.reverse()
+    return [csr.nodes[i] for i in chain]
+
+
+def mask_from_view(csr: CsrGraph, filtered_view) -> CsrView:
+    """CSR masked view equivalent to a :class:`FilteredView` over *csr*'s graph."""
+    return csr.with_edges_removed(
+        filtered_view.failed_edges, filtered_view.failed_nodes
+    )

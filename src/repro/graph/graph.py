@@ -75,11 +75,12 @@ class Graph:
 
     # __weakref__ lets the shared base-set/oracle cache key entries by
     # graph identity without pinning graphs in memory (repro.core.cache).
-    __slots__ = ("_adj", "_num_edges", "__weakref__")
+    __slots__ = ("_adj", "_num_edges", "_version", "__weakref__")
 
     def __init__(self) -> None:
         self._adj: dict[Node, dict[Node, float]] = {}
         self._num_edges = 0
+        self._version = 0
 
     # -- construction ------------------------------------------------------
 
@@ -102,6 +103,7 @@ class Graph:
         """Add node *u* (a no-op if already present)."""
         if u not in self._adj:
             self._adj[u] = {}
+            self._version += 1
 
     def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
         """Add (or re-weight) the undirected edge *(u, v)*.
@@ -119,6 +121,7 @@ class Graph:
             self._num_edges += 1
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge *(u, v)*; raises :class:`EdgeNotFound` if absent."""
@@ -127,6 +130,7 @@ class Graph:
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
+        self._version += 1
 
     def remove_node(self, u: Node) -> None:
         """Remove node *u* and all incident edges."""
@@ -135,8 +139,19 @@ class Graph:
         for v in list(self._adj[u]):
             self.remove_edge(u, v)
         del self._adj[u]
+        self._version += 1
 
     # -- queries -----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter — bumped by every structural/weight change.
+
+        Derived snapshots (e.g. the CSR interning cache in
+        :mod:`repro.graph.csr`) compare this to detect staleness in O(1)
+        instead of re-hashing the adjacency structure.
+        """
+        return self._version
 
     @property
     def nodes(self) -> Iterator[Node]:
@@ -263,6 +278,7 @@ class DiGraph(Graph):
         if u not in self._adj:
             self._adj[u] = {}
             self._pred[u] = {}
+            self._version += 1
 
     def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
         """Add (or re-weight) the directed edge *u → v*."""
@@ -276,6 +292,7 @@ class DiGraph(Graph):
             self._num_edges += 1
         self._adj[u][v] = weight
         self._pred[v][u] = weight
+        self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge; raises EdgeNotFound if absent."""
@@ -284,6 +301,7 @@ class DiGraph(Graph):
         del self._adj[u][v]
         del self._pred[v][u]
         self._num_edges -= 1
+        self._version += 1
 
     def remove_node(self, u: Node) -> None:
         """Remove node *u* and all incident edges."""
@@ -295,6 +313,7 @@ class DiGraph(Graph):
             self.remove_edge(w, u)
         del self._adj[u]
         del self._pred[u]
+        self._version += 1
 
     def predecessors(self, u: Node) -> Iterator[Node]:
         """Iterate over in-neighbors of *u*."""

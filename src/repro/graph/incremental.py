@@ -1,0 +1,564 @@
+"""Decremental shortest-path-tree repair (Ramalingam–Reps style).
+
+The experiments delete 1–2 edges (or 1–2 routers) from a big graph and
+ask for post-failure shortest paths.  Recomputing from scratch settles
+every node; but deleting k edges only invalidates the *subtree hanging
+below them* in the pre-failure SPT — usually a few dozen nodes.  This
+module repairs cached pre-failure distance/predecessor arrays instead:
+
+1. **Affected set** — walk the pre-failure predecessor tree (children
+   lists are rebuilt in O(n) from the pred array) and collect the
+   descendants of every deleted tree edge / failed node.  Nodes outside
+   this set keep their exact distance *and* canonical predecessor:
+   their old shortest path is untouched, and no distance anywhere ever
+   decreases under deletion, so no new parent can beat the old one.
+2. **Boundary offers** — every surviving edge from an unaffected node
+   into the affected set is a candidate re-attachment; seed a bounded
+   heap with those offers.
+3. **Re-settle** — run Dijkstra restricted to the affected set, keyed
+   ``(dist, node index)`` like
+   :func:`~repro.graph.csr.dijkstra_csr_canonical`, so the repaired
+   arrays are **bitwise identical** to a from-scratch canonical run
+   (distances are sums of the same floats in a different order — but
+   each label is a single ``parent + weight`` addition of already-final
+   values, so no reassociation occurs).
+4. **Fallback** — if the affected set exceeds
+   :data:`REPAIR_FALLBACK_FRACTION` of the reachable nodes, repair
+   would approach full-recompute cost while paying extra bookkeeping;
+   abandon it and recompute (counted in ``COUNTERS.spt_fallbacks``).
+
+:class:`SptCache` wraps the bookkeeping per graph: it owns the CSR
+snapshot, memoizes pre-failure rows per source, and exposes
+:meth:`SptCache.backup_path` — the restoration-path query the
+experiment hot loops use.  For **unweighted** graphs the backup path is
+extracted from two repaired distance rows (source side and target side)
+by a lexicographic greedy walk, which provably reproduces the dict BFS
+predecessor-chain path; for **weighted** graphs exact dict-equality of
+*paths* (not just distances) requires replaying classic heap order, so
+the cache runs the emulating :func:`~repro.graph.csr.dijkstra_csr`
+with early target exit instead — still on flat arrays, still
+mask-based, just not incremental.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Optional
+
+from ..exceptions import NoPath
+from ..perf import COUNTERS
+from .csr import (
+    INF,
+    CsrGraph,
+    CsrView,
+    bfs_csr,
+    dijkstra_csr,
+    dijkstra_csr_canonical,
+    shared_csr,
+)
+from .graph import Node
+from .paths import Path
+from .shortest_paths import shortest_path
+
+#: Repair aborts in favour of a full recompute once the affected set
+#: exceeds this fraction of the source's reachable nodes.  Repair does
+#: strictly more per-node work than a fresh run (children lists, offer
+#: scans), so past ~a quarter of the graph the fresh run wins; failure
+#: cases in the experiments are far below this, making the fallback a
+#: safety valve for pathological cuts (e.g. failing a hub router).
+REPAIR_FALLBACK_FRACTION = 0.25
+
+
+def _children_lists(pred: list[int], n: int) -> list[list[int]]:
+    """Invert a predecessor array into per-node children lists, O(n)."""
+    children: list[list[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        p = pred[v]
+        if p >= 0:
+            children[p].append(v)
+    return children
+
+
+def dead_edge_pairs(view: CsrView) -> list[tuple[int, int]]:
+    """Recover (tail, head) index pairs for a view's dead edge slots.
+
+    Tails are delimited by ``indptr``; slots are few (k failures), so a
+    binary search per slot is fine.
+    """
+    csr = view.csr
+    indptr, indices, n = csr.indptr, csr.indices, csr.n
+    pairs = []
+    for slot in view.dead_edges:
+        head = indices[slot]
+        lo, hi = 0, n
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if indptr[mid] <= slot:
+                lo = mid
+            else:
+                hi = mid
+        pairs.append((lo, head))
+    return pairs
+
+
+def affected_subtree(
+    dist: list[float],
+    pred: list[int],
+    n: int,
+    dead_edge_pairs: Iterable[tuple[int, int]],
+    dead_nodes: Iterable[int],
+    children: Optional[list[list[int]]] = None,
+) -> set[int]:
+    """Nodes whose pre-failure shortest path used a deleted edge/node.
+
+    *dead_edge_pairs* are (u, v) index pairs (either orientation);
+    a tree edge is cut when ``pred[v] == u`` or ``pred[u] == v``.  The
+    affected set is the union of subtrees rooted at the cut points plus
+    every failed node's subtree (failed nodes themselves are included so
+    callers can blank their labels).
+
+    *children* lets callers reuse a prebuilt children-list inversion of
+    *pred* (it depends only on the pre-failure tree, so per-source
+    caches amortize the O(n) inversion across failure cases).
+    """
+    if children is None:
+        children = _children_lists(pred, n)
+    roots: list[int] = []
+    for u, v in dead_edge_pairs:
+        if pred[v] == u:
+            roots.append(v)
+        if pred[u] == v:
+            roots.append(u)
+    for x in dead_nodes:
+        if dist[x] != INF:
+            roots.append(x)
+    affected: set[int] = set()
+    stack = [r for r in roots if r not in affected]
+    while stack:
+        x = stack.pop()
+        if x in affected:
+            continue
+        affected.add(x)
+        stack.extend(children[x])
+    return affected
+
+
+def _full_row(
+    view: CsrView, source: int, unit: bool
+) -> tuple[list[float], list[int]]:
+    """From-scratch post-failure row: canonical Dijkstra or BFS (*unit*)."""
+    if unit:
+        return bfs_csr(view, source)
+    full_dist, full_pred, _ = dijkstra_csr_canonical(view, source)
+    return full_dist, full_pred
+
+
+def repair_spt(
+    view: CsrView,
+    source: int,
+    dist: list[float],
+    pred: list[int],
+    fallback_fraction: float = REPAIR_FALLBACK_FRACTION,
+    affected: Optional[set[int]] = None,
+    unit: bool = False,
+) -> tuple[list[float], list[int]]:
+    """Repair a canonical pre-failure SPT after the deletions in *view*.
+
+    *dist* / *pred* must be the **pre-failure** arrays produced by
+    :func:`~repro.graph.csr.dijkstra_csr_canonical` (exhausted run) on
+    *view*'s underlying snapshot with no mask — or by
+    :func:`~repro.graph.csr.bfs_csr` with ``unit=True``, which makes the
+    repair relax hop counts instead of stored edge weights.  Returns
+    fresh ``(dist, pred)`` arrays for the masked graph — distances
+    bitwise identical to re-running from scratch on *view*.  The inputs
+    are never mutated.
+
+    *affected* may carry a precomputed :func:`affected_subtree` result;
+    the caller then guarantees *source* is not in it and has already
+    applied its own fallback policy (no threshold check happens here).
+
+    Each repair bumps ``COUNTERS.spt_repairs``; the number of re-settled
+    vertices (the honest per-failure work) accumulates into
+    ``COUNTERS.spt_nodes_resettled``; threshold aborts into
+    ``COUNTERS.spt_fallbacks`` before delegating to the full kernel.
+    """
+    csr = view.csr
+    n = csr.n
+    indptr, indices, weights = csr.indptr, csr.indices, csr.weights
+    dead_e, dead_n = view.dead_edges, view.dead_nodes
+
+    if affected is None:
+        affected = affected_subtree(
+            dist, pred, n, dead_edge_pairs(view), dead_n
+        )
+        if source in affected:
+            # The source itself failed; nothing to repair from.
+            return _full_row(view, source, unit)
+        reachable = sum(1 for d in dist if d != INF)
+        if affected and len(affected) > fallback_fraction * max(1, reachable):
+            COUNTERS.spt_fallbacks += 1
+            return _full_row(view, source, unit)
+
+    new_dist = list(dist)
+    new_pred = list(pred)
+    COUNTERS.spt_repairs += 1
+    if not affected:
+        # No deleted edge was a tree edge: the SPT survives as-is.
+        return new_dist, new_pred
+
+    for x in affected:
+        new_dist[x] = INF
+        new_pred[x] = -1
+
+    # Boundary offers: surviving edges from intact nodes into the
+    # affected region.  Scanning each affected node's adjacency finds
+    # them because the graphs are undirected (every in-edge is visible
+    # as an out-edge).  The equal-offer tie rule — parent minimizing
+    # ``(dist[parent], parent index)`` — reproduces the canonical
+    # kernel's "first tight parent in settle order" choice, so repaired
+    # predecessors match a from-scratch run exactly.
+    best: dict[int, tuple[float, int]] = {}
+    heap: list[tuple[float, int]] = []
+    relaxations = 0
+    for x in affected:
+        if x in dead_n:
+            continue
+        for slot in range(indptr[x], indptr[x + 1]):
+            u = indices[slot]
+            if u in affected or u in dead_n or slot in dead_e:
+                continue
+            relaxations += 1
+            candidate = new_dist[u] + (1.0 if unit else weights[slot])
+            old = best.get(x)
+            if (
+                old is None
+                or candidate < old[0]
+                or (
+                    candidate == old[0]
+                    and (new_dist[u], u) < (new_dist[old[1]], old[1])
+                )
+            ):
+                best[x] = (candidate, u)
+    for x, (candidate, _) in best.items():
+        heapq.heappush(heap, (candidate, x))
+
+    settled = 0
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        d_x, x = pop(heap)
+        if new_dist[x] != INF:
+            continue
+        if d_x != best[x][0]:
+            continue  # stale entry superseded by a better offer
+        new_dist[x] = d_x
+        new_pred[x] = best[x][1]
+        settled += 1
+        for slot in range(indptr[x], indptr[x + 1]):
+            v = indices[slot]
+            if v not in affected or v in dead_n or slot in dead_e:
+                continue
+            relaxations += 1
+            if new_dist[v] != INF:
+                continue
+            candidate = d_x + (1.0 if unit else weights[slot])
+            old = best.get(v)
+            if (
+                old is None
+                or candidate < old[0]
+                or (
+                    candidate == old[0]
+                    and (d_x, x) < (new_dist[old[1]], old[1])
+                )
+            ):
+                best[v] = (candidate, x)
+                push(heap, (candidate, v))
+    COUNTERS.spt_nodes_resettled += settled
+    COUNTERS.csr_relaxations += relaxations
+    return new_dist, new_pred
+
+
+class SptCache:
+    """Per-graph cache of pre-failure SPT rows with repair-based queries.
+
+    Owns the CSR snapshot of an (undirected) graph and memoizes one
+    canonical pre-failure ``(dist, pred)`` row per requested source.
+    Failure-case queries then cost one :func:`repair_spt` per cached
+    endpoint instead of a full search.  The cache holds rows for the
+    *unmasked* graph only — masks arrive per query.
+    """
+
+    __slots__ = ("csr", "weighted", "_rows", "_children", "_reachable")
+
+    def __init__(self, graph, weighted: bool = True) -> None:
+        self.csr = shared_csr(graph)
+        self.weighted = weighted
+        self._rows: dict[int, tuple[list[float], list[int]]] = {}
+        # Per-source inversions of the pre-failure pred array and
+        # reachable-node counts: both depend only on the cached row, so
+        # they amortize across every failure case touching that source.
+        self._children: dict[int, list[list[int]]] = {}
+        self._reachable: dict[int, int] = {}
+
+    def row(self, source: Node) -> tuple[list[float], list[int]]:
+        """The pre-failure canonical ``(dist, pred)`` arrays for *source*."""
+        return self._row(self.csr.index[source])
+
+    def _row(self, i: int) -> tuple[list[float], list[int]]:
+        row = self._rows.get(i)
+        if row is None:
+            base = CsrView(self.csr)
+            if self.weighted:
+                dist, pred, _ = dijkstra_csr_canonical(base, i)
+            else:
+                dist, pred = bfs_csr(base, i)
+            row = (dist, pred)
+            self._rows[i] = row
+        return row
+
+    def _affected(self, i: int, view: CsrView) -> set[int]:
+        """Affected subtree of *i*'s cached row under *view*'s mask."""
+        dist, pred = self._row(i)
+        children = self._children.get(i)
+        if children is None:
+            children = self._children[i] = _children_lists(pred, self.csr.n)
+        return affected_subtree(
+            dist, pred, self.csr.n, dead_edge_pairs(view), view.dead_nodes,
+            children=children,
+        )
+
+    def _repair_viable(self, i: int, affected: set[int]) -> bool:
+        """Apply the fallback policy: small-enough affected set, live source."""
+        if i in affected:
+            return False
+        reachable = self._reachable.get(i)
+        if reachable is None:
+            dist = self._row(i)[0]
+            reachable = self._reachable[i] = sum(
+                1 for d in dist if d != INF
+            )
+        if len(affected) > REPAIR_FALLBACK_FRACTION * max(1, reachable):
+            COUNTERS.spt_fallbacks += 1
+            return False
+        return True
+
+    def repaired_row(
+        self, source: Node, view: CsrView
+    ) -> tuple[list[float], list[int]]:
+        """Post-failure ``(dist, pred)`` for *source* under *view*'s mask.
+
+        Repairs the cached pre-failure row when the affected subtree is
+        small; recomputes from scratch when the source died or the
+        fallback threshold trips.
+        """
+        i = self.csr.index[source]
+        dist, pred = self._row(i)
+        if not view.dead_edges and not view.dead_nodes:
+            return dist, pred
+        affected = self._affected(i, view)
+        if not self._repair_viable(i, affected):
+            return _full_row(view, i, not self.weighted)
+        return repair_spt(
+            view, i, dist, pred, affected=affected, unit=not self.weighted
+        )
+
+    def view_for(self, scenario_or_view) -> CsrView:
+        """Masked view for a FailureScenario / FilteredView / (edges, nodes)."""
+        if isinstance(scenario_or_view, CsrView):
+            return scenario_or_view
+        links = getattr(scenario_or_view, "links", None)
+        if links is not None:  # FailureScenario
+            return self.csr.with_edges_removed(links, scenario_or_view.routers)
+        return self.csr.with_edges_removed(
+            scenario_or_view.failed_edges, scenario_or_view.failed_nodes
+        )
+
+    def backup_path(self, source: Node, target: Node, scenario_or_view) -> Path:
+        """Post-failure shortest path, identical to the dict pipeline's.
+
+        Equals ``shortest_path(graph.without(...), source, target,
+        weighted)`` node-for-node.  Raises
+        :class:`~repro.exceptions.NoPath` when the failure disconnects
+        the pair.
+        """
+        view = self.view_for(scenario_or_view)
+        s, t = self.csr.index[source], self.csr.index[target]
+        if s in view.dead_nodes or t in view.dead_nodes:
+            raise NoPath(f"no path from {source!r} to {target!r}")
+        if s == t:
+            return Path([source])
+        if self.weighted:
+            # Exact classic-heap emulation with early target exit: the
+            # dict implementation's tie-breaking depends on heap history,
+            # which repair cannot reproduce for weighted graphs.
+            dist, pred = dijkstra_csr(view, s, target=t)
+            if dist[t] == INF:
+                raise NoPath(f"no path from {source!r} to {target!r}")
+            return Path(_chain(self.csr, pred, s, t))
+        return self._bfs_backup(view, s, t, source, target)
+
+    def _walk_row(self, i: int, view: CsrView) -> Optional[list[float]]:
+        """Post-failure distances for the greedy walk, or None to punt.
+
+        Returns the repaired distance row when the affected subtree is
+        small enough that repairing beats searching; ``None`` signals
+        the caller to run one targeted early-exit search instead (which
+        is cheaper than the two full rows the walk needs whenever a
+        large subtree — or the endpoint itself — was knocked out).
+        """
+        affected = self._affected(i, view)
+        if not self._repair_viable(i, affected):
+            return None
+        dist, pred = self._row(i)
+        if not affected:
+            # Tree untouched by the mask: the cached row is the answer.
+            COUNTERS.spt_repairs += 1
+            return dist
+        return repair_spt(
+            view, i, dist, pred, affected=affected, unit=not self.weighted
+        )[0]
+
+    def _bfs_backup(
+        self, view: CsrView, s: int, t: int, source: Node, target: Node
+    ) -> Path:
+        """Unweighted backup path from two repaired distance rows.
+
+        The dict BFS predecessor of ``v`` is its first discoverer — the
+        adjacency-order-least neighbor one level up — so the BFS
+        pred-chain path is the lexicographically-least shortest path
+        under adjacency order, read source→target.  That path can be
+        re-extracted greedily from the distance labels alone: standing
+        at position ``i`` with labels ``dist_s`` (from the source) and
+        ``dist_t`` (from the target; the graphs are undirected), step to
+        the first surviving neighbor ``u`` with ``dist_s[u] == i + 1``
+        and ``dist_t[u] == D - i - 1``.  Both rows come from
+        :func:`repair_spt`, so a failure case costs two subtree repairs
+        instead of two BFS runs.
+
+        When either endpoint's affected subtree trips the fallback
+        threshold the method degrades to a single targeted
+        :func:`~repro.graph.csr.bfs_csr` with early exit — repairing
+        would then cost two near-full recomputes where one partial
+        search suffices.  Both strategies produce the identical path.
+        """
+        dist_s = self._walk_row(s, view)
+        if dist_s is None:
+            return self._targeted_bfs(view, s, t, source, target)
+        if dist_s[t] == INF:
+            raise NoPath(f"no path from {source!r} to {target!r}")
+        dist_t = self._walk_row(t, view)
+        if dist_t is None:
+            return self._targeted_bfs(view, s, t, source, target)
+        total = dist_s[t]
+        csr = self.csr
+        indptr, indices = csr.indptr, csr.indices
+        dead_e, dead_n = view.dead_edges, view.dead_nodes
+        chain = [s]
+        x = s
+        d = 0.0
+        while x != t:
+            for slot in range(indptr[x], indptr[x + 1]):
+                v = indices[slot]
+                if v in dead_n or slot in dead_e:
+                    continue
+                if dist_s[v] == d + 1.0 and dist_t[v] == total - d - 1.0:
+                    chain.append(v)
+                    x = v
+                    d += 1.0
+                    break
+            else:  # pragma: no cover - labels guarantee progress
+                raise NoPath(f"no path from {source!r} to {target!r}")
+        return Path([csr.nodes[i] for i in chain])
+
+    def _targeted_bfs(
+        self, view: CsrView, s: int, t: int, source: Node, target: Node
+    ) -> Path:
+        """One early-exit BFS — the non-incremental unweighted fallback."""
+        dist, pred = bfs_csr(view, s, target=t)
+        if dist[t] == INF:
+            raise NoPath(f"no path from {source!r} to {target!r}")
+        return Path(_chain(self.csr, pred, s, t))
+
+    def distances(
+        self, source: Node, scenario_or_view=None
+    ) -> dict[Node, float]:
+        """Dict of post-failure distances from *source* (repair-based)."""
+        view = (
+            CsrView(self.csr)
+            if scenario_or_view is None
+            else self.view_for(scenario_or_view)
+        )
+        dist, _ = self.repaired_row(source, view)
+        nodes = self.csr.nodes
+        return {nodes[i]: d for i, d in enumerate(dist) if d != INF}
+
+
+def _chain(csr: CsrGraph, pred: list[int], s: int, t: int) -> list[Node]:
+    chain = [t]
+    x = t
+    while x != s:
+        x = pred[x]
+        chain.append(x)
+    chain.reverse()
+    return [csr.nodes[i] for i in chain]
+
+
+def csr_shortest_path(
+    graph, source: Node, target: Node, weighted: bool = True
+) -> Optional[Path]:
+    """CSR-backed drop-in for :func:`repro.graph.shortest_paths.shortest_path`.
+
+    Dispatches on the argument: a :class:`FilteredView` over an
+    undirected base becomes a mask on the base's shared snapshot; a bare
+    undirected :class:`Graph` is snapshotted directly.  Returns ``None``
+    when the argument is outside the fast path (directed graphs,
+    non-weakref-able objects) so the caller can fall back to the dict
+    implementation.  Raises :class:`~repro.exceptions.NoPath` exactly
+    like the original.
+    """
+    base = getattr(graph, "base", None)
+    if base is not None:
+        if getattr(base, "directed", False):
+            return None
+        try:
+            csr = shared_csr(base)
+        except TypeError:  # pragma: no cover - Graph is weakref-able
+            return None
+        view = csr.with_edges_removed(graph.failed_edges, graph.failed_nodes)
+    else:
+        if getattr(graph, "directed", False):
+            return None
+        try:
+            csr = shared_csr(graph)
+        except TypeError:  # pragma: no cover
+            return None
+        view = CsrView(csr)
+    s = csr.index.get(source)
+    t = csr.index.get(target)
+    if s is None or t is None:
+        return None  # node added after the snapshot; stay on dict path
+    if s in view.dead_nodes or t in view.dead_nodes:
+        raise NoPath(f"no path from {source!r} to {target!r}")
+    if s == t:
+        return Path([source])
+    if weighted:
+        dist, pred = dijkstra_csr(view, s, target=t)
+    else:
+        dist, pred = bfs_csr(view, s, target=t)
+    if dist[t] == INF:
+        raise NoPath(f"no path from {source!r} to {target!r}")
+    return Path(_chain(csr, pred, s, t))
+
+
+def fast_shortest_path(
+    graph, source: Node, target: Node, weighted: bool = True
+) -> Path:
+    """:func:`~repro.graph.shortest_paths.shortest_path` on flat arrays.
+
+    Same results, same exceptions; falls back to the dict implementation
+    transparently whenever the argument is outside the CSR fast path.
+    """
+    path = csr_shortest_path(graph, source, target, weighted=weighted)
+    if path is None:
+        return shortest_path(graph, source, target, weighted=weighted)
+    return path

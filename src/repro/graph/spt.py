@@ -19,7 +19,8 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from ..exceptions import NoPath
-from .graph import Node
+from .csr import INF, CsrView, dijkstra_csr_canonical, shared_csr
+from .graph import Graph, Node
 from .paths import Path
 from .shortest_paths import costs_equal, dijkstra
 
@@ -43,8 +44,22 @@ class ShortestPathDag:
 
     @classmethod
     def compute(cls, graph, source: Node) -> "ShortestPathDag":
-        """Run Dijkstra from *source* and collect *all* tight predecessors."""
-        dist, _ = dijkstra(graph, source)
+        """Run Dijkstra from *source* and collect *all* tight predecessors.
+
+        The distance labels come from the flat-array CSR kernel when the
+        graph supports snapshotting; distances are tie-invariant (each
+        label is the same minimal parent-plus-weight sum whatever the
+        heap order), so the DAG — built from epsilon-tolerant tightness
+        tests — is identical to the dict kernel's.
+        """
+        if isinstance(graph, Graph):
+            csr = shared_csr(graph)
+            arr_dist, _, _ = dijkstra_csr_canonical(CsrView(csr), csr.index[source])
+            dist = {
+                csr.nodes[i]: d for i, d in enumerate(arr_dist) if d != INF
+            }
+        else:
+            dist, _ = dijkstra(graph, source)
         parents: dict[Node, list[Node]] = {v: [] for v in dist}
         for v in dist:
             if v == source:

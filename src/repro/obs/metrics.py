@@ -263,6 +263,18 @@ def rates_from_counters(counters: dict[str, int]) -> dict[str, Optional[float]]:
             counters.get("dijkstra_settled", 0),
             counters.get("dijkstra_runs", 0),
         ),
+        "resettled_per_repair": ratio(
+            counters.get("spt_nodes_resettled", 0),
+            counters.get("spt_repairs", 0),
+        ),
+        "repair_fallback_rate": ratio(
+            counters.get("spt_fallbacks", 0),
+            counters.get("spt_repairs", 0) + counters.get("spt_fallbacks", 0),
+        ),
+        "relaxations_per_csr_settled": ratio(
+            counters.get("csr_relaxations", 0),
+            counters.get("csr_settled", 0),
+        ),
     }
 
 

@@ -33,6 +33,19 @@ Counter meanings:
 ``probe_calls`` / ``o1_probes`` / ``path_probes``
     Decomposition membership probes: total, answered by O(1)
     prefix-sum arithmetic, answered by the Path-allocating fallback.
+``csr_builds`` / ``csr_relaxations`` / ``csr_settled``
+    Flat-array (CSR) kernel work (:mod:`repro.graph.csr`): snapshots
+    interned, edges scanned, nodes settled.  Kept separate from the
+    ``dijkstra_*`` / ``bfs_*`` families on purpose: the dict-based
+    counters keep measuring exactly the dict-based algorithms, so a
+    ``repro.obs diff`` shows *where* the work went, not just that it
+    moved.
+``spt_repairs`` / ``spt_nodes_resettled`` / ``spt_fallbacks``
+    Decremental shortest-path-tree repair
+    (:mod:`repro.graph.incremental`): repairs performed, vertices
+    re-settled across them (the affected subtrees — the honest
+    per-failure work), and repairs abandoned for a full recompute
+    because the affected region exceeded the threshold.
 """
 
 from __future__ import annotations
@@ -56,6 +69,12 @@ class PerfCounters:
     probe_calls: int = 0
     o1_probes: int = 0
     path_probes: int = 0
+    csr_builds: int = 0
+    csr_relaxations: int = 0
+    csr_settled: int = 0
+    spt_repairs: int = 0
+    spt_nodes_resettled: int = 0
+    spt_fallbacks: int = 0
 
     def snapshot(self) -> "PerfCounters":
         """An immutable copy of the current values."""

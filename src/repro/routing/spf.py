@@ -13,10 +13,23 @@ from __future__ import annotations
 from typing import Optional
 
 from ..exceptions import NoPath
+from ..graph.csr import CsrView, dicts_from_arrays, dijkstra_csr, shared_csr
 from ..graph.graph import Graph, Node
 from ..graph.paths import Path
-from ..graph.shortest_paths import dijkstra, reconstruct_path
+from ..graph.shortest_paths import reconstruct_path
 from .lsdb import LinkStateAd, LinkStateDatabase
+
+
+def _spf_run(graph: Graph, root: Node) -> tuple[dict[Node, float], dict[Node, Node]]:
+    """One full SPF: the heap-emulating CSR kernel, dict-shaped results.
+
+    :func:`~repro.graph.csr.dijkstra_csr` replays the classic
+    implementation's relaxation sequence exactly, so OSPF tie-breaking
+    (first-learned equal-cost route wins) is preserved.
+    """
+    csr = shared_csr(graph)
+    dist, pred = dijkstra_csr(CsrView(csr), csr.index[root])
+    return dicts_from_arrays(csr, dist, pred)
 
 
 class SpfRouter:
@@ -41,7 +54,7 @@ class SpfRouter:
     def _recompute(self) -> None:
         graph = self.lsdb.to_graph()
         if graph.has_node(self.name):
-            self._dist, self._pred = dijkstra(graph, self.name)
+            self._dist, self._pred = _spf_run(graph, self.name)
         else:
             self._dist, self._pred = {self.name: 0.0}, {}
         self._dirty = False
@@ -74,5 +87,5 @@ class SpfRouter:
 
 def spf_tree(graph: Graph, root: Node) -> dict[Node, Path]:
     """Convenience: full shortest-path tree of *graph* from *root* as paths."""
-    dist, pred = dijkstra(graph, root)
+    dist, pred = _spf_run(graph, root)
     return {t: reconstruct_path(pred, root, t) for t in dist}
