@@ -9,8 +9,10 @@ Times the pieces the fast restoration pipeline is built from:
   now make per failure case.
 
 Also runnable directly — ``python benchmarks/bench_csr.py`` — to emit
-``BENCH_csr.json`` in the established BENCH schema (timings + the
-work-counter delta) without the pytest-benchmark harness.
+``results/BENCH_csr.json`` in the established BENCH schema (timings +
+the work-counter delta) without the pytest-benchmark harness.
+``--smoke`` shrinks the graph and repeat count to a CI-friendly
+seconds-long run that still asserts repair == from-scratch rows.
 """
 
 from __future__ import annotations
@@ -112,10 +114,20 @@ def main(argv=None) -> None:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--repeat", type=int, default=5)
     parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke mode: tiny graph, fewer repeats; the repair == "
+             "from-scratch equivalence assertions still run",
+    )
+    parser.add_argument(
         "--bench-json", type=str, default=None,
-        help="path for the BENCH JSON (default BENCH_csr.json; '-' disables)",
+        help="path for the BENCH JSON (default results/BENCH_csr.json; "
+             "'-' disables; legacy root BENCH_csr.json still read by "
+             "consumers for one release)",
     )
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.n = min(args.n, 60)
+        args.repeat = min(args.repeat, 2)
 
     graph = generate_isp_topology(n=args.n, seed=args.seed)
     source = sorted(graph.nodes, key=repr)[0]
@@ -159,6 +171,7 @@ def main(argv=None) -> None:
         "n": args.n,
         "seed": args.seed,
         "repeat": args.repeat,
+        "smoke": bool(args.smoke),
         "wall_clock_s": round(time.perf_counter() - wall_start, 4),
         "results": {k: round(v, 6) for k, v in results.items()},
         "speedups": {

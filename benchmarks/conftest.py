@@ -7,8 +7,9 @@ scale with ``python -m repro.experiments.runner --scale paper``.
 
 Every benchmark session also emits a machine-readable summary —
 per-benchmark timing stats plus the global perf counters — to
-``BENCH_benchmarks.json`` at the repository root by default.  Point it
-elsewhere with ``--json-out PATH``; disable with ``--json-out -``.
+``results/BENCH_benchmarks.json`` under the repository root by
+default.  Point it elsewhere with ``--json-out PATH``; disable with
+``--json-out -``.
 """
 
 from __future__ import annotations
@@ -34,7 +35,8 @@ def pytest_addoption(parser):
         default=None,
         help=(
             "where to write the machine-readable benchmark summary "
-            "(default: BENCH_benchmarks.json at the repo root; '-' disables)"
+            "(default: results/BENCH_benchmarks.json under the repo root; "
+            "'-' disables)"
         ),
     )
 
@@ -78,7 +80,11 @@ def pytest_sessionfinish(session, exitstatus):
     }
     from repro.experiments.bench import write_bench_json
 
-    out = Path(target) if target else REPO_ROOT / "BENCH_benchmarks.json"
+    if target:
+        out = Path(target)
+    else:
+        (REPO_ROOT / "results").mkdir(exist_ok=True)
+        out = REPO_ROOT / "results" / "BENCH_benchmarks.json"
     write_bench_json("benchmarks", payload, path=out)
     print(f"\n[bench] wrote {out}")
 

@@ -92,6 +92,11 @@ def shared_spt_cache(graph: Graph, weighted: bool = True) -> SptCache:
     """
     per_graph = _SPT_CACHE.setdefault(graph, {})
     cache = per_graph.get(weighted)
+    if cache is not None and cache.csr.source_version != getattr(
+        graph, "version", None
+    ):
+        # Graph mutated since the snapshot: stale rows are wrong answers.
+        cache = None
     if cache is None:
         cache = SptCache(graph, weighted=weighted)
         per_graph[weighted] = cache

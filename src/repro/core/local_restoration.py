@@ -72,8 +72,10 @@ def bypass_path(
         failed_nodes = tuple(extra_failures.routers)
     view = graph.without(edges=failed_edges, nodes=failed_nodes)
     try:
-        # One-shot targeted query on 40k-node graphs: the heap-emulating
-        # CSR kernel with early target exit, never a full row.
+        # Routed through the shared SPT cache: repeated bypass queries
+        # for the same endpoint amortize one cached pre-failure row
+        # (non-tree failures repair for free; tree failures re-settle
+        # only the affected subtree).
         return fast_shortest_path(view, u, v, weighted=weighted)
     except NoPath as exc:
         raise NoRestorationPath(f"link ({u!r}, {v!r}) is a bridge") from exc

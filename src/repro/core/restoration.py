@@ -71,6 +71,8 @@ def plan_restoration(
     if strategy != "shortest-path":
         raise ValueError(f"unknown strategy {strategy!r}")
     try:
+        # Shared-SPT-cache dispatch: failure cases of the same pair
+        # repair one cached pre-failure row (canonical tie contract).
         backup = fast_shortest_path(
             surviving_view, source, destination, weighted=weighted
         )

@@ -4,9 +4,17 @@ Every experiment CLI and benchmark writes one JSON document per run so
 the performance trajectory of the pipeline is tracked from PR to PR:
 wall-clock, per-stage timings, case counts, and the global work
 counters (:mod:`repro.perf`).  The driver convention is a file named
-``BENCH_<name>.json`` in the current working directory (the repo root
-in CI), overridable per CLI via ``--bench-json``.  Two bench files are
-compared — with thresholds and exit codes — by
+``BENCH_<name>.json`` under ``results/`` in the current working
+directory (created on demand; the repo root in CI), overridable per
+CLI via ``--bench-json``.  Historic runs wrote to the working
+directory itself — readers (``python -m repro.obs diff``, the CI
+obs-gate) keep resolving those legacy root paths for one release.
+
+Every payload carries two header fields recording the policy the run
+measured under: ``tie_order`` (``"canonical"`` — the library-wide path
+contract) and ``repair_fallback`` (the active
+:func:`~repro.graph.incremental.repair_fallback_fraction`).  Two bench
+files are compared — with thresholds and exit codes — by
 ``python -m repro.obs diff``.
 """
 
@@ -80,10 +88,57 @@ class StageTimer:
         return {name: round(secs, digits) for name, secs in self.stages.items()}
 
 
+def add_repair_fallback_argument(parser: Any) -> None:
+    """Attach the documented ``--repair-fallback`` knob to a CLI parser."""
+    parser.add_argument(
+        "--repair-fallback", type=float, default=None, metavar="FRACTION",
+        help="override the repair fallback threshold (fraction of reachable "
+             "nodes an affected subtree may cover before SPT repair degrades "
+             "to a targeted search; default: env REPRO_REPAIR_FALLBACK or "
+             "0.5; > 1 disables the fallback)",
+    )
+
+
+def apply_repair_fallback(args: Any) -> None:
+    """Install ``--repair-fallback`` process-wide (call before forking)."""
+    value = getattr(args, "repair_fallback", None)
+    if value is not None:
+        from ..graph.incremental import set_repair_fallback_fraction
+
+        set_repair_fallback_fraction(value)
+
+
+#: Tie-order mode every production kernel runs under (see the path
+#: contract in DESIGN.md); recorded in each BENCH header so the
+#: obs-gate never diffs rows produced under different tie rules.
+TIE_ORDER = "canonical"
+
+
+def bench_header() -> dict[str, Any]:
+    """Policy fields stamped into every ``BENCH_*.json`` payload."""
+    from ..graph.incremental import repair_fallback_fraction
+
+    return {
+        "tie_order": TIE_ORDER,
+        "repair_fallback": repair_fallback_fraction(),
+    }
+
+
 def write_bench_json(
     name: str, payload: dict[str, Any], path: Optional[str] = None
 ) -> Path:
-    """Write ``BENCH_<name>.json`` (or *path*); returns the path written."""
-    out = Path(path) if path else Path.cwd() / f"BENCH_{name}.json"
+    """Write ``results/BENCH_<name>.json`` (or *path*); returns the path.
+
+    The policy header (:func:`bench_header`) is merged into *payload*
+    unless the caller already set those keys.
+    """
+    if path:
+        out = Path(path)
+    else:
+        results = Path.cwd() / "results"
+        results.mkdir(exist_ok=True)
+        out = results / f"BENCH_{name}.json"
+    for key, value in bench_header().items():
+        payload.setdefault(key, value)
     out.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
     return out

@@ -25,7 +25,12 @@ from ..graph.graph import Graph, Node
 from ..graph.incremental import fast_shortest_path
 from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
 from ..perf import COUNTERS
-from .bench import StageTimer, write_bench_json
+from .bench import (
+    StageTimer,
+    add_repair_fallback_argument,
+    apply_repair_fallback,
+    write_bench_json,
+)
 from .networks import cached_suite, scales
 from .parallel import (
     figure10_stretch_chunk,
@@ -89,6 +94,9 @@ def collect_pair_samples(
         failed = next(iter(case.scenario.links))
         view = case.scenario.apply(graph)
         try:
+            # Dispatches to the shared SPT cache: the pair's pre-failure
+            # row is computed once and repaired per failure case, like
+            # table2 — not one full search per case.
             optimal = fast_shortest_path(
                 view, case.source, case.destination, weighted=weighted
             )
@@ -191,11 +199,13 @@ def main(argv: list[str] | None = None) -> str:
     )
     parser.add_argument(
         "--bench-json", type=str, default=None,
-        help="path for the BENCH JSON (default BENCH_figure10.json; "
+        help="path for the BENCH JSON (default results/BENCH_figure10.json; "
              "'-' disables)",
     )
+    add_repair_fallback_argument(parser)
     add_obs_arguments(parser)
     args = parser.parse_args(argv)
+    apply_repair_fallback(args)  # before any worker fork
     activate_from_args(args)
     timer = StageTimer(prefix="figure10")
     before = COUNTERS.snapshot()

@@ -18,10 +18,14 @@ demand:
 The stretch factor at a router is numerator/denominator; Table 2
 reports the minimum and mean over routers the naive scheme touches.
 
-:class:`IlmAccountant` batches the computation per (scenario, source)
-so one Dijkstra serves all affected demands of one source, which is
-what makes all-pairs demand universes tractable on the ISP and
-sampled-source universes tractable on the large graphs.
+:class:`IlmAccountant` batches the computation per scenario: all
+touched sources go through one
+:meth:`~repro.graph.incremental.SptCache.repair_batch` call — the
+scenario's dead edges are decoded once, each source's cached
+pre-failure row is repaired (not recomputed), and every affected
+demand of that source reads its backup off the repaired predecessor
+array.  That is what makes all-pairs demand universes tractable on the
+ISP and sampled-source universes tractable on the large graphs.
 """
 
 from __future__ import annotations
@@ -29,12 +33,13 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ..core.base_paths import BaseSet
+from ..core.cache import shared_spt_cache
 from ..core.decomposition import min_pieces_decompose
 from ..exceptions import DecompositionError
 from ..failures.models import FailureScenario
+from ..graph.csr import INF
 from ..graph.graph import Graph, Node
 from ..graph.paths import Path
-from ..graph.shortest_paths import dijkstra, reconstruct_path
 
 
 class IlmAccountant:
@@ -131,19 +136,33 @@ class IlmAccountant:
 
     def process_scenario(self, scenario: FailureScenario) -> int:
         """Account one failure scenario; returns affected-demand count."""
-        view = scenario.apply(self.graph)
+        grouped = self._affected_by(scenario)
+        cache = shared_spt_cache(self.graph, weighted=self.weighted)
+        # Multi-source batched repair: one scenario decode, every
+        # touched source re-settled via its cached pre-failure row.
+        rows = cache.repair_batch(grouped, scenario)
+        csr = cache.csr
+        index, nodes = csr.index, csr.nodes
         affected_total = 0
-        for source, targets in self._affected_by(scenario).items():
+        for source, targets in grouped.items():
             primaries = self.primaries_from(source)
             affected = [(target, primaries[target]) for target in targets]
             affected_total += len(affected)
-            dist, pred = dijkstra(view, source)
+            row = rows.get(source)
+            dist, pred = row if row is not None else (None, None)
+            si = index[source]
             for target, primary in affected:
                 self._count_primary_once(primary)
-                if target not in dist:
+                ti = index.get(target)
+                if dist is None or ti is None or dist[ti] == INF:
                     self.demands_unrestorable += 1
                     continue
-                backup = reconstruct_path(pred, source, target)
+                chain = [ti]
+                x = ti
+                while x != si:
+                    x = pred[x]
+                    chain.append(x)
+                backup = Path([nodes[i] for i in reversed(chain)])
                 self._count_path(self._naive_counter, backup)
                 try:
                     decomposition = min_pieces_decompose(

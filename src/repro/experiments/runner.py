@@ -11,7 +11,12 @@ from pathlib import Path as FilePath
 from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
 from ..perf import COUNTERS
 from . import figure10, table1, table2, table3, theory_figures
-from .bench import StageTimer, write_bench_json
+from .bench import (
+    StageTimer,
+    add_repair_fallback_argument,
+    apply_repair_fallback,
+    write_bench_json,
+)
 from .networks import cached_suite, scales
 
 
@@ -57,10 +62,12 @@ def main(argv: list[str] | None = None) -> str:
     parser.add_argument(
         "--bench-json", type=str, default=None,
         help="path for the consolidated BENCH JSON "
-             "(default BENCH_runner.json; '-' disables)",
+             "(default results/BENCH_runner.json; '-' disables)",
     )
+    add_repair_fallback_argument(parser)
     add_obs_arguments(parser)
     args = parser.parse_args(argv)
+    apply_repair_fallback(args)  # before any worker fork
     activate_from_args(args)
     timer = StageTimer(prefix="runner")
     before = COUNTERS.snapshot()

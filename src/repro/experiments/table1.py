@@ -68,7 +68,7 @@ def main(argv: list[str] | None = None) -> str:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
         "--bench-json", type=str, default=None,
-        help="path for the BENCH JSON (default BENCH_table1.json; "
+        help="path for the BENCH JSON (default results/BENCH_table1.json; "
              "'-' disables)",
     )
     add_obs_arguments(parser)

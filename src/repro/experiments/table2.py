@@ -25,7 +25,12 @@ from ..graph.spt import ShortestPathDag
 from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
 from ..obs.metrics import DEPTH_EDGES, METRICS, STRETCH_EDGES
 from ..perf import COUNTERS
-from .bench import StageTimer, write_bench_json
+from .bench import (
+    StageTimer,
+    add_repair_fallback_argument,
+    apply_repair_fallback,
+    write_bench_json,
+)
 from .ilm_accounting import IlmAccountant, scenarios_from_cases
 from .metrics import CaseResult, TableTwoRow, build_row
 from .networks import ExperimentNetwork, cached_suite, scales
@@ -69,11 +74,14 @@ def run_case(
 ) -> CaseResult:
     """Evaluate one (demand, scenario) unit: backup path + decomposition.
 
-    The backup search runs on the shared SPT cache: unweighted networks
-    repair the two cached pre-failure rows (decremental SPT repair, a
-    few dozen re-settled nodes per case); weighted networks run the
-    heap-emulating CSR kernel with early target exit.  Both return the
-    same path, node for node, as ``shortest_path`` on the filtered view.
+    The backup search runs on the shared SPT cache under the canonical
+    tie contract: weighted and unweighted networks alike repair the
+    cached pre-failure source row (decremental SPT repair, a few dozen
+    re-settled nodes per case) and read the backup off its predecessor
+    chain; a targeted canonical search takes over only when the
+    fallback threshold trips.  The result is node-identical to a
+    from-scratch canonical kernel run and cost-identical to
+    ``shortest_path`` on the filtered view.
     """
     primary_cost = case.primary_path.cost(graph)
     try:
@@ -335,11 +343,13 @@ def main(argv: list[str] | None = None) -> str:
     )
     parser.add_argument(
         "--bench-json", type=str, default=None,
-        help="path for the BENCH JSON (default BENCH_table2.json; "
+        help="path for the BENCH JSON (default results/BENCH_table2.json; "
              "'-' disables)",
     )
+    add_repair_fallback_argument(parser)
     add_obs_arguments(parser)
     args = parser.parse_args(argv)
+    apply_repair_fallback(args)  # before any worker fork
     activate_from_args(args)
     timer = StageTimer(prefix="table2")
     stats: dict = {}

@@ -19,7 +19,12 @@ from ..graph.graph import Graph
 from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
 from ..obs.metrics import DEPTH_EDGES, METRICS
 from ..perf import COUNTERS
-from .bench import StageTimer, write_bench_json
+from .bench import (
+    StageTimer,
+    add_repair_fallback_argument,
+    apply_repair_fallback,
+    write_bench_json,
+)
 from .networks import cached_suite, scales
 from .parallel import (
     make_executor,
@@ -167,11 +172,13 @@ def main(argv: list[str] | None = None) -> str:
     )
     parser.add_argument(
         "--bench-json", type=str, default=None,
-        help="path for the BENCH JSON (default BENCH_table3.json; "
+        help="path for the BENCH JSON (default results/BENCH_table3.json; "
              "'-' disables)",
     )
+    add_repair_fallback_argument(parser)
     add_obs_arguments(parser)
     args = parser.parse_args(argv)
+    apply_repair_fallback(args)  # before any worker fork
     activate_from_args(args)
     timer = StageTimer(prefix="table3")
     before = COUNTERS.snapshot()

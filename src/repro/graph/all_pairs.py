@@ -20,7 +20,7 @@ from typing import Iterable, Iterator, Optional
 
 from ..exceptions import NoPath
 from ..perf import COUNTERS
-from .csr import CsrView, dicts_from_arrays, dijkstra_csr_canonical, shared_csr
+from .csr import INF, CsrView, dijkstra_csr_canonical, shared_csr
 from .graph import Node
 from .paths import Path
 from .shortest_paths import costs_equal, dijkstra, dijkstra_pruned, reconstruct_path
@@ -98,32 +98,42 @@ class ApspDistances:
 
 
 class LazyDistanceOracle:
-    """Distance oracle computing per-source Dijkstra rows on demand.
+    """Distance oracle computing per-source canonical rows on demand.
 
     Suitable for Internet-scale graphs where only sampled sources are
     queried.  The cache is unbounded by design — an experiment's working
     set is its sample of sources.
 
+    Rows are stored **array-native**: one flat ``(dist, pred)`` pair of
+    int-indexed buffers per source, straight from the canonical CSR
+    kernel (:func:`~repro.graph.csr.dijkstra_csr_canonical`) — the same
+    shape :class:`~repro.graph.incremental.SptCache` caches, so rows
+    flow between the graph, cache, and experiment layers without
+    dict conversion.  Dict views (:meth:`distances_from`) are built on
+    demand, restricted to the requested targets.
+
     Two row flavors coexist:
 
-    * **full rows** — the whole component settled; absence from the row
+    * **full rows** — the whole component settled; ``INF`` in the row
       proves unreachability (what :meth:`distance` / :meth:`path` use);
     * **truncated rows** — computed by :meth:`warm` with a target set,
       stopping as soon as every requested target settles.  This is the
       decomposition kernel's access pattern: a restoration path's O(1)
       membership probes only ever compare against distances *between
       nodes of that path*, so settling the rest of a 40k-node graph is
-      wasted work.  A truncated row later queried beyond its settled
-      frontier is transparently promoted to a full row (counted in
+      wasted work.  On a truncated row, ``INF`` is ambiguous (unsettled
+      or unreachable); a query beyond the settled frontier transparently
+      promotes the row to a full one (counted in
       ``COUNTERS.oracle_promotions``).
 
-    With *tie_free* the caller guarantees distinct paths have distinct
-    costs (true for the infinitesimally padded graphs of Theorem 3's
-    construction), which lets rows run on the flat-array CSR kernel
-    (:func:`~repro.graph.csr.dijkstra_csr_canonical`): without ties the
-    predecessor tree is independent of heap pop order, so :meth:`path`
-    answers stay bit-identical to the classic implementation's while the
-    row computation avoids dict-of-dicts adjacency walks entirely.
+    Predecessors follow the library-wide canonical ``(dist, index)``
+    tie order, so :meth:`path` answers match every other canonical
+    consumer (SptCache backups, routing SPF) node-for-node.  *tie_free*
+    is retained for API compatibility but inert: it used to gate the
+    CSR kernel behind a no-ties guarantee; under the canonical contract
+    the kernel is deterministic with or without ties.  With
+    *break_ties_by_hops* the oracle keeps the dict pipeline (the CSR
+    kernels do not implement the hop-count tie rule).
     """
 
     __slots__ = (
@@ -141,8 +151,10 @@ class LazyDistanceOracle:
         self, graph, break_ties_by_hops: bool = False, tie_free: bool = False
     ) -> None:
         self._graph = graph
-        self._dist: dict[Node, dict[Node, float]] = {}
-        self._pred: dict[Node, dict[Node, Node]] = {}
+        # Array mode: source -> flat buffers (list[float], list[int]).
+        # Hops mode: source -> dict rows, as produced by dijkstra().
+        self._dist: dict[Node, object] = {}
+        self._pred: dict[Node, object] = {}
         self._complete: set[Node] = set()
         self._truncated: set[Node] = set()
         self._csr: Optional[CsrView] = None
@@ -150,10 +162,22 @@ class LazyDistanceOracle:
         self.tie_free = tie_free
 
     def _csr_view(self) -> CsrView:
-        """The (lazily interned) CSR snapshot the tie-free rows run on."""
+        """The (lazily interned) CSR snapshot the canonical rows run on."""
         if self._csr is None:
             self._csr = CsrView(shared_csr(self._graph))
         return self._csr
+
+    def row_arrays(self, source: Node) -> tuple[list[float], list[int]]:
+        """The full canonical ``(dist, pred)`` buffers for *source*.
+
+        The zero-conversion hand-off other layers consume; indices are
+        positions in ``shared_csr(graph).nodes``.  Unavailable in
+        hop-count tie mode.
+        """
+        if self.break_ties_by_hops:
+            raise ValueError("array rows unavailable with break_ties_by_hops")
+        self._ensure(source)
+        return self._dist[source], self._pred[source]  # type: ignore[return-value]
 
     def _ensure(self, source: Node) -> None:
         """Make the row for *source* a full row."""
@@ -162,45 +186,52 @@ class LazyDistanceOracle:
         if source in self._truncated:
             COUNTERS.oracle_promotions += 1
             self._truncated.discard(source)
-        if self.tie_free and not self.break_ties_by_hops:
+        if self.break_ties_by_hops:
+            self._dist[source], self._pred[source] = dijkstra(
+                self._graph, source, break_ties_by_hops=True
+            )
+        else:
             view = self._csr_view()
             arr_dist, arr_pred, _ = dijkstra_csr_canonical(
                 view, view.csr.index[source]
             )
-            dist, pred = dicts_from_arrays(view.csr, arr_dist, arr_pred)
-            self._dist[source], self._pred[source] = dist, pred
-        else:
-            self._dist[source], self._pred[source] = dijkstra(
-                self._graph, source, break_ties_by_hops=self.break_ties_by_hops
-            )
+            self._dist[source], self._pred[source] = arr_dist, arr_pred
         self._complete.add(source)
         COUNTERS.oracle_rows_full += 1
+
+    def _covered(self, row, t: Node) -> bool:
+        """Is *t*'s label in this (possibly truncated) row final?"""
+        if self.break_ties_by_hops:
+            return t in row
+        it = self._csr.csr.index.get(t)
+        return it is not None and row[it] != INF
 
     def warm(self, source: Node, targets: Iterable[Node]) -> None:
         """Guarantee each target is settled or provably unreachable.
 
-        First request for a source runs a target-pruned Dijkstra; a
-        later request outrunning the settled frontier promotes the row
-        to a full one (re-running truncated searches per query would
-        forfeit the cross-case caching the experiments rely on).
+        First request for a source runs a target-pruned search; a later
+        request outrunning the settled frontier promotes the row to a
+        full one (re-running truncated searches per query would forfeit
+        the cross-case caching the experiments rely on).
         """
         if source in self._complete:
             return
         row = self._dist.get(source)
         if row is not None:
-            if all(t in row for t in targets):
+            if all(self._covered(row, t) for t in targets):
                 return
             self._ensure(source)
             return
-        if self.tie_free and not self.break_ties_by_hops:
+        if self.break_ties_by_hops:
+            dist, pred, exhausted = dijkstra_pruned(
+                self._graph, source, targets
+            )
+        else:
             view = self._csr_view()
             index = view.csr.index
-            arr_dist, arr_pred, exhausted = dijkstra_csr_canonical(
+            dist, pred, exhausted = dijkstra_csr_canonical(
                 view, index[source], targets=[index[t] for t in targets]
             )
-            dist, pred = dicts_from_arrays(view.csr, arr_dist, arr_pred)
-        else:
-            dist, pred, exhausted = dijkstra_pruned(self._graph, source, targets)
         self._dist[source], self._pred[source] = dist, pred
         if exhausted:
             self._complete.add(source)
@@ -213,42 +244,70 @@ class LazyDistanceOracle:
         """Exact distances to *targets*; a missing key means unreachable.
 
         The decomposition kernel's bulk accessor: one call warms the
-        row, and the returned plain dict makes every subsequent probe a
-        dictionary lookup plus one float comparison.
+        row, and the returned plain dict — the on-demand dict view of
+        the flat buffers, restricted to the probe's targets — makes
+        every subsequent probe a dictionary lookup plus one float
+        comparison.
         """
         targets = list(targets)
         self.warm(source, targets)
         row = self._dist[source]
-        return {t: row[t] for t in targets if t in row}
+        if self.break_ties_by_hops:
+            return {t: row[t] for t in targets if t in row}
+        index = self._csr.csr.index
+        out: dict[Node, float] = {}
+        for t in targets:
+            it = index.get(t)
+            if it is not None and row[it] != INF:
+                out[t] = row[it]
+        return out
 
     def distance(self, u: Node, v: Node) -> float:
         """Shortest distance source->target; raises NoPath if unreachable."""
         row = self._dist.get(u)
-        if row is not None and v in row:
-            return row[v]
-        if u in self._complete:
-            raise NoPath(f"no path from {u!r} to {v!r}")
-        self._ensure(u)
-        if v not in self._dist[u]:
-            raise NoPath(f"no path from {u!r} to {v!r}")
-        return self._dist[u][v]
+        if row is not None and self._covered(row, v):
+            return row[v] if self.break_ties_by_hops else row[self._csr.csr.index[v]]
+        if u not in self._complete:
+            self._ensure(u)
+            row = self._dist[u]
+            if self._covered(row, v):
+                return (
+                    row[v]
+                    if self.break_ties_by_hops
+                    else row[self._csr.csr.index[v]]
+                )
+        raise NoPath(f"no path from {u!r} to {v!r}")
 
     def has_path(self, u: Node, v: Node) -> bool:
         """True if a path exists (and the source is covered)."""
         row = self._dist.get(u)
-        if row is not None and v in row:
+        if row is not None and self._covered(row, v):
             return True
         if u in self._complete:
             return False
         self._ensure(u)
-        return v in self._dist[u]
+        return self._covered(self._dist[u], v)
 
     def path(self, u: Node, v: Node) -> Path:
-        """One shortest path for the pair, reconstructed from the cache."""
+        """One shortest path for the pair, from the cached pred buffers."""
         if u not in self._complete:
             self._ensure(u)
-        return reconstruct_path(self._pred[u], u, v)
+        if self.break_ties_by_hops:
+            return reconstruct_path(self._pred[u], u, v)
+        csr = self._csr.csr
+        dist, pred = self._dist[u], self._pred[u]
+        iv = csr.index.get(v)
+        if iv is None or dist[iv] == INF:
+            raise NoPath(f"no path from {u!r} to {v!r}")
+        iu = csr.index[u]
+        chain = [iv]
+        x = iv
+        while x != iu:
+            x = pred[x]
+            chain.append(x)
+        chain.reverse()
+        return Path([csr.nodes[i] for i in chain])
 
     def cached_sources(self) -> list[Node]:
-        """Sources whose Dijkstra results are currently cached."""
+        """Sources whose rows are currently cached."""
         return list(self._dist)

@@ -11,26 +11,26 @@ edge slots / node indices) applied by :meth:`CsrGraph.with_edges_removed`,
 so removing k edges from a 40k-node graph costs O(k · degree), never a
 copy.
 
-Equivalence contract (pinned by ``tests/test_csr.py``):
+Path contract (pinned by ``tests/test_csr.py`` and
+``tests/test_canonical_contract.py``):
 
-* :func:`dijkstra_csr` **emulates** :func:`repro.graph.shortest_paths.dijkstra`
-  exactly — it drives the same :class:`~repro.graph.heap.AddressableHeap`
-  algorithm over int indices.  The heap's behaviour depends only on the
-  sequence of (push/decrease, priority) operations, never on the items
-  themselves, and CSR preserves adjacency order; the settle order and
-  predecessor choices are therefore *identical* to the dict
-  implementation's, including on graphs with exact cost ties (the
-  ISP-Weighted topology has many).  This is what makes the kernel a
-  drop-in: every experiment row stays byte-identical.
-* :func:`dijkstra_csr_canonical` is the lazy-heap variant keyed by
-  ``(dist, node index)`` — the *canonical* tie order.  Its predecessor
-  of ``v`` is the tight parent minimizing ``(dist, index)``, a local
-  property that decremental repair (:mod:`repro.graph.incremental`) can
-  maintain without replaying heap history.  On tie-free graphs (the
-  padded oracles) it is bit-identical to both classic implementations.
-* :func:`bfs_csr` emulates :func:`~repro.graph.shortest_paths.bfs_shortest_paths`
-  (frontier order, first-discoverer predecessors, early exit at target
-  discovery).
+* :func:`dijkstra_csr_canonical` is **the** production kernel: a lazy
+  heap keyed by ``(dist, node index)`` — the *canonical* tie order.
+  The predecessor of ``v`` is the tight parent minimizing
+  ``(dist, index)``, a local property of the final distance labels and
+  therefore independent of heap insertion history.  That locality is
+  what licenses decremental repair (:mod:`repro.graph.incremental`)
+  and weighted repaired rows — the restorable-tiebreaking property of
+  Bodwin–Parter (arXiv:2102.10174).
+* :func:`dijkstra_csr` and :func:`bfs_csr` route to the canonical
+  order by default.  With ``legacy=True`` they instead **emulate** the
+  classic dict kernels (:func:`repro.graph.shortest_paths.dijkstra` /
+  ``bfs_shortest_paths``) operation-for-operation — heap-history tie
+  behaviour included — as an audit mode for the equivalence suites:
+  it proves the refactor changed the tie contract deliberately, not
+  accidentally.  Canonical BFS processes each frontier in index order,
+  so its predecessor of ``v`` is the least-index neighbor one level
+  up — exactly what canonical Dijkstra produces on unit weights.
 
 Kernels report to ``COUNTERS.csr_relaxations`` / ``csr_settled`` rather
 than the ``dijkstra_*`` counters, so ``repro.obs diff`` shows work
@@ -219,18 +219,30 @@ def _require_alive(view: CsrView, src: int) -> None:
 
 
 def dijkstra_csr(
-    view: CsrView, source: int, target: int = -1
+    view: CsrView, source: int, target: int = -1, legacy: bool = False
 ) -> tuple[list[float], list[int]]:
-    """Classic-Dijkstra emulation on CSR buffers.
+    """Dijkstra on CSR buffers — canonical tie order by default.
 
-    Drives the same :class:`AddressableHeap` relaxation sequence as
-    :func:`repro.graph.shortest_paths.dijkstra` (priorities and
-    operation order are identical), so settle order and predecessor
-    assignments match the dict implementation *exactly* — ties
-    included.  Returns ``(dist, pred)`` lists indexed by node index
-    (``inf`` / ``-1`` for unreached).  With ``target >= 0`` stops as
-    soon as the target settles.
+    Returns ``(dist, pred)`` lists indexed by node index (``inf`` /
+    ``-1`` for unreached).  With ``target >= 0`` stops as soon as the
+    target settles; the settled prefix (and hence the source→target
+    predecessor chain) is identical to an exhaustive run's.
+
+    By default this is a thin façade over
+    :func:`dijkstra_csr_canonical` — one kernel, one tie order, across
+    the whole library.  ``legacy=True`` switches to the classic-heap
+    **audit mode**: it drives the same :class:`AddressableHeap`
+    relaxation sequence as :func:`repro.graph.shortest_paths.dijkstra`
+    (priorities and operation order are identical), so settle order
+    and predecessor assignments match the dict implementation exactly,
+    ties included.  Production code never passes ``legacy=True``; the
+    equivalence suites do, to pin the historical contract.
     """
+    if not legacy:
+        dist, pred, _ = dijkstra_csr_canonical(
+            view, source, targets=None if target < 0 else (target,)
+        )
+        return dist, pred
     csr = view.csr
     _require_alive(view, source)
     indptr, indices, weights = csr.indptr, csr.indices, csr.weights
@@ -266,7 +278,7 @@ def dijkstra_csr_canonical(
     source: int,
     targets: Optional[Iterable[int]] = None,
 ) -> tuple[list[float], list[int], bool]:
-    """Canonical-tie-order Dijkstra on CSR buffers.
+    """Canonical-tie-order Dijkstra on CSR buffers — the production kernel.
 
     A lazy binary heap keyed ``(dist, node index)``: among equal-cost
     frontier nodes the smallest index settles first, and the recorded
@@ -274,7 +286,8 @@ def dijkstra_csr_canonical(
     ``(dist[parent], parent index)`` — a *local* property of the final
     distance labels, which is what makes this tree repairable by
     :mod:`repro.graph.incremental` without heap-history replay.  On
-    tie-free graphs it is bit-identical to :func:`dijkstra_csr`.
+    tie-free graphs it is bit-identical to the classic audit mode
+    (``dijkstra_csr(..., legacy=True)``).
 
     With *targets*, stops once every live target is settled; returns
     ``(dist, pred, exhausted)`` where *exhausted* mirrors
@@ -330,16 +343,26 @@ def dijkstra_csr_canonical(
 
 
 def bfs_csr(
-    view: CsrView, source: int, target: int = -1
+    view: CsrView, source: int, target: int = -1, legacy: bool = False
 ) -> tuple[list[float], list[int]]:
-    """BFS emulation on CSR buffers (unweighted shortest paths).
+    """BFS on CSR buffers (unweighted shortest paths), canonical order.
 
-    Mirrors :func:`repro.graph.shortest_paths.bfs_shortest_paths`:
-    frontier-ordered expansion, predecessor = first discoverer, early
-    return the moment *target* is discovered.  The predecessor tree is
-    the lexicographically-minimal one (by adjacency order), identical
-    to the dict implementation's.  Distances are floats for
-    interchangeability with the Dijkstra kernels.
+    By default each frontier is processed in **index order**, so the
+    predecessor of ``v`` is the least-index neighbor one level up —
+    exactly the tree :func:`dijkstra_csr_canonical` produces on unit
+    weights, and the tree decremental repair maintains with
+    ``unit=True``.  Early return the moment *target* is discovered
+    (the predecessor chain back to the source is already final: every
+    earlier level was fully assigned, and within the current level
+    parents are scanned in index order, so the first discoverer is the
+    canonical one).
+
+    ``legacy=True`` emulates
+    :func:`repro.graph.shortest_paths.bfs_shortest_paths` instead —
+    discovery-ordered frontier, predecessor = first discoverer in
+    adjacency order — the audit mode the equivalence suite pins.
+    Distances are floats for interchangeability with the Dijkstra
+    kernels.
     """
     csr = view.csr
     _require_alive(view, source)
@@ -356,6 +379,8 @@ def bfs_csr(
         return dist, pred
     frontier = [source]
     while frontier:
+        if not legacy:
+            frontier.sort()
         next_frontier = []
         for u in frontier:
             d_next = dist[u] + 1.0

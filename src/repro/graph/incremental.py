@@ -30,19 +30,25 @@ module repairs cached pre-failure distance/predecessor arrays instead:
 :class:`SptCache` wraps the bookkeeping per graph: it owns the CSR
 snapshot, memoizes pre-failure rows per source, and exposes
 :meth:`SptCache.backup_path` — the restoration-path query the
-experiment hot loops use.  For **unweighted** graphs the backup path is
-extracted from two repaired distance rows (source side and target side)
-by a lexicographic greedy walk, which provably reproduces the dict BFS
-predecessor-chain path; for **weighted** graphs exact dict-equality of
-*paths* (not just distances) requires replaying classic heap order, so
-the cache runs the emulating :func:`~repro.graph.csr.dijkstra_csr`
-with early target exit instead — still on flat arrays, still
-mask-based, just not incremental.
+experiment hot loops use.  Under the canonical ``(dist, index)`` tie
+contract (:mod:`repro.graph.csr`), repaired rows are exact for
+**weighted and unweighted** graphs alike — the canonical predecessor
+is a local property of the final labels, so repair needs no heap
+history to replay (the restorable-tiebreaking insight of Bodwin–Parter,
+arXiv:2102.10174).  A backup path is therefore just the predecessor
+chain of one repaired source row; when the fallback threshold trips,
+one targeted early-exit canonical search yields the identical chain
+(tight parents settle before their children, so the settled prefix is
+final).  :meth:`SptCache.repair_batch` amortizes one failure scenario
+across every source it touches: the dead-edge slots are decoded once
+and every affected source is re-settled in the same pass — the
+multi-source consumer is the per-scenario ILM accounting.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Iterable, Optional
 
 from ..exceptions import NoPath
@@ -52,7 +58,6 @@ from .csr import (
     CsrGraph,
     CsrView,
     bfs_csr,
-    dijkstra_csr,
     dijkstra_csr_canonical,
     shared_csr,
 )
@@ -63,10 +68,38 @@ from .shortest_paths import shortest_path
 #: Repair aborts in favour of a full recompute once the affected set
 #: exceeds this fraction of the source's reachable nodes.  Repair does
 #: strictly more per-node work than a fresh run (children lists, offer
-#: scans), so past ~a quarter of the graph the fresh run wins; failure
-#: cases in the experiments are far below this, making the fallback a
-#: safety valve for pathological cuts (e.g. failing a hub router).
-REPAIR_FALLBACK_FRACTION = 0.25
+#: scans), and the targeted alternative may exit early, so past ~half
+#: the graph the fresh run wins; typical failure cases are far below
+#: this, making the fallback a safety valve for pathological cuts
+#: (e.g. failing a hub router).  The default was re-tuned from 0.25
+#: when weighted repair became legal under the canonical tie contract
+#: (sweep in docs/performance.md).
+#:
+#: This is a documented knob: set the ``REPRO_REPAIR_FALLBACK``
+#: environment variable (a float in (0, 1], or > 1 to disable the
+#: fallback entirely) or pass ``--repair-fallback`` to the experiment
+#: CLIs (which calls :func:`set_repair_fallback_fraction`).  The active
+#: value is recorded in every ``BENCH_*.json`` header.
+REPAIR_FALLBACK_FRACTION = float(os.environ.get("REPRO_REPAIR_FALLBACK", 0.5))
+
+
+def repair_fallback_fraction() -> float:
+    """The active fallback threshold (env default, CLI-overridable)."""
+    return REPAIR_FALLBACK_FRACTION
+
+
+def set_repair_fallback_fraction(value: float) -> float:
+    """Override the fallback threshold process-wide; returns the old value.
+
+    Called by the ``--repair-fallback`` CLI flag before any worker
+    processes fork, so the whole fan-out shares one policy.
+    """
+    global REPAIR_FALLBACK_FRACTION
+    if value <= 0:
+        raise ValueError(f"repair fallback fraction must be > 0, got {value}")
+    old = REPAIR_FALLBACK_FRACTION
+    REPAIR_FALLBACK_FRACTION = value
+    return old
 
 
 def _children_lists(pred: list[int], n: int) -> list[list[int]]:
@@ -158,7 +191,7 @@ def repair_spt(
     source: int,
     dist: list[float],
     pred: list[int],
-    fallback_fraction: float = REPAIR_FALLBACK_FRACTION,
+    fallback_fraction: Optional[float] = None,
     affected: Optional[set[int]] = None,
     unit: bool = False,
 ) -> tuple[list[float], list[int]]:
@@ -176,6 +209,8 @@ def repair_spt(
     *affected* may carry a precomputed :func:`affected_subtree` result;
     the caller then guarantees *source* is not in it and has already
     applied its own fallback policy (no threshold check happens here).
+    *fallback_fraction* defaults to the process-wide
+    :data:`REPAIR_FALLBACK_FRACTION` knob, read at call time.
 
     Each repair bumps ``COUNTERS.spt_repairs``; the number of re-settled
     vertices (the honest per-failure work) accumulates into
@@ -188,6 +223,8 @@ def repair_spt(
     dead_e, dead_n = view.dead_edges, view.dead_nodes
 
     if affected is None:
+        if fallback_fraction is None:
+            fallback_fraction = REPAIR_FALLBACK_FRACTION
         affected = affected_subtree(
             dist, pred, n, dead_edge_pairs(view), dead_n
         )
@@ -288,7 +325,9 @@ class SptCache:
     *unmasked* graph only — masks arrive per query.
     """
 
-    __slots__ = ("csr", "weighted", "_rows", "_children", "_reachable")
+    __slots__ = (
+        "csr", "weighted", "_rows", "_children", "_reachable", "_spent"
+    )
 
     def __init__(self, graph, weighted: bool = True) -> None:
         self.csr = shared_csr(graph)
@@ -299,6 +338,9 @@ class SptCache:
         # they amortize across every failure case touching that source.
         self._children: dict[int, list[list[int]]] = {}
         self._reachable: dict[int, int] = {}
+        # Rent-to-buy ledger for backup_path: settle work spent on
+        # targeted searches per source *before* its row exists.
+        self._spent: dict[int, int] = {}
 
     def row(self, source: Node) -> tuple[list[float], list[int]]:
         """The pre-failure canonical ``(dist, pred)`` arrays for *source*."""
@@ -316,14 +358,25 @@ class SptCache:
             self._rows[i] = row
         return row
 
-    def _affected(self, i: int, view: CsrView) -> set[int]:
-        """Affected subtree of *i*'s cached row under *view*'s mask."""
+    def _affected(
+        self,
+        i: int,
+        view: CsrView,
+        pairs: Optional[list[tuple[int, int]]] = None,
+    ) -> set[int]:
+        """Affected subtree of *i*'s cached row under *view*'s mask.
+
+        *pairs* lets batched callers reuse one ``dead_edge_pairs``
+        decode of the scenario across every source it touches.
+        """
         dist, pred = self._row(i)
         children = self._children.get(i)
         if children is None:
             children = self._children[i] = _children_lists(pred, self.csr.n)
+        if pairs is None:
+            pairs = dead_edge_pairs(view)
         return affected_subtree(
-            dist, pred, self.csr.n, dead_edge_pairs(view), view.dead_nodes,
+            dist, pred, self.csr.n, pairs, view.dead_nodes,
             children=children,
         )
 
@@ -349,18 +402,51 @@ class SptCache:
 
         Repairs the cached pre-failure row when the affected subtree is
         small; recomputes from scratch when the source died or the
-        fallback threshold trips.
+        fallback threshold trips.  Either way the arrays are bitwise
+        identical to a from-scratch canonical run on *view*.
         """
-        i = self.csr.index[source]
+        return self._repaired_row_idx(self.csr.index[source], view)
+
+    def _repaired_row_idx(
+        self,
+        i: int,
+        view: CsrView,
+        pairs: Optional[list[tuple[int, int]]] = None,
+    ) -> tuple[list[float], list[int]]:
         dist, pred = self._row(i)
         if not view.dead_edges and not view.dead_nodes:
             return dist, pred
-        affected = self._affected(i, view)
+        affected = self._affected(i, view, pairs=pairs)
         if not self._repair_viable(i, affected):
             return _full_row(view, i, not self.weighted)
         return repair_spt(
             view, i, dist, pred, affected=affected, unit=not self.weighted
         )
+
+    def repair_batch(
+        self, sources: Iterable[Node], scenario_or_view
+    ) -> dict[Node, tuple[list[float], list[int]]]:
+        """Post-failure rows for every source touched by one scenario.
+
+        The multi-source batched entry point: the scenario's dead edge
+        slots are decoded **once** and shared across every source's
+        affected-subtree computation, then all touched sources are
+        re-settled in the same pass.  Each returned row is bitwise
+        identical to :meth:`repaired_row` for that source (the repairs
+        are independent — they only share the scenario decode and the
+        per-source children/reachable caches).  Dead sources are
+        omitted from the result.
+        """
+        view = self.view_for(scenario_or_view)
+        pairs = dead_edge_pairs(view)
+        index = self.csr.index
+        rows: dict[Node, tuple[list[float], list[int]]] = {}
+        for source in sources:
+            i = index[source]
+            if i in view.dead_nodes:
+                continue
+            rows[source] = self._repaired_row_idx(i, view, pairs=pairs)
+        return rows
 
     def view_for(self, scenario_or_view) -> CsrView:
         """Masked view for a FailureScenario / FilteredView / (edges, nodes)."""
@@ -374,10 +460,18 @@ class SptCache:
         )
 
     def backup_path(self, source: Node, target: Node, scenario_or_view) -> Path:
-        """Post-failure shortest path, identical to the dict pipeline's.
+        """Post-failure shortest path under the canonical tie contract.
 
-        Equals ``shortest_path(graph.without(...), source, target,
-        weighted)`` node-for-node.  Raises
+        The predecessor chain of the repaired source row — **one**
+        subtree repair per failure case, weighted or not, instead of a
+        full search.  When repair is not viable (dead source, or the
+        affected subtree trips the fallback threshold) the query
+        degrades to a single targeted early-exit canonical search,
+        which produces the identical chain: tight parents settle before
+        their children in ``(dist, index)`` order, so the settled
+        prefix of a pruned run is final.  Equals the path of a
+        from-scratch canonical kernel run node-for-node (and
+        ``shortest_path`` on the filtered view cost-for-cost).  Raises
         :class:`~repro.exceptions.NoPath` when the failure disconnects
         the pair.
         """
@@ -387,97 +481,56 @@ class SptCache:
             raise NoPath(f"no path from {source!r} to {target!r}")
         if s == t:
             return Path([source])
-        if self.weighted:
-            # Exact classic-heap emulation with early target exit: the
-            # dict implementation's tie-breaking depends on heap history,
-            # which repair cannot reproduce for weighted graphs.
-            dist, pred = dijkstra_csr(view, s, target=t)
-            if dist[t] == INF:
-                raise NoPath(f"no path from {source!r} to {target!r}")
-            return Path(_chain(self.csr, pred, s, t))
-        return self._bfs_backup(view, s, t, source, target)
-
-    def _walk_row(self, i: int, view: CsrView) -> Optional[list[float]]:
-        """Post-failure distances for the greedy walk, or None to punt.
-
-        Returns the repaired distance row when the affected subtree is
-        small enough that repairing beats searching; ``None`` signals
-        the caller to run one targeted early-exit search instead (which
-        is cheaper than the two full rows the walk needs whenever a
-        large subtree — or the endpoint itself — was knocked out).
-        """
-        affected = self._affected(i, view)
-        if not self._repair_viable(i, affected):
-            return None
-        dist, pred = self._row(i)
-        if not affected:
-            # Tree untouched by the mask: the cached row is the answer.
-            COUNTERS.spt_repairs += 1
-            return dist
-        return repair_spt(
-            view, i, dist, pred, affected=affected, unit=not self.weighted
-        )[0]
-
-    def _bfs_backup(
-        self, view: CsrView, s: int, t: int, source: Node, target: Node
-    ) -> Path:
-        """Unweighted backup path from two repaired distance rows.
-
-        The dict BFS predecessor of ``v`` is its first discoverer — the
-        adjacency-order-least neighbor one level up — so the BFS
-        pred-chain path is the lexicographically-least shortest path
-        under adjacency order, read source→target.  That path can be
-        re-extracted greedily from the distance labels alone: standing
-        at position ``i`` with labels ``dist_s`` (from the source) and
-        ``dist_t`` (from the target; the graphs are undirected), step to
-        the first surviving neighbor ``u`` with ``dist_s[u] == i + 1``
-        and ``dist_t[u] == D - i - 1``.  Both rows come from
-        :func:`repair_spt`, so a failure case costs two subtree repairs
-        instead of two BFS runs.
-
-        When either endpoint's affected subtree trips the fallback
-        threshold the method degrades to a single targeted
-        :func:`~repro.graph.csr.bfs_csr` with early exit — repairing
-        would then cost two near-full recomputes where one partial
-        search suffices.  Both strategies produce the identical path.
-        """
-        dist_s = self._walk_row(s, view)
-        if dist_s is None:
-            return self._targeted_bfs(view, s, t, source, target)
-        if dist_s[t] == INF:
-            raise NoPath(f"no path from {source!r} to {target!r}")
-        dist_t = self._walk_row(t, view)
-        if dist_t is None:
-            return self._targeted_bfs(view, s, t, source, target)
-        total = dist_s[t]
-        csr = self.csr
-        indptr, indices = csr.indptr, csr.indices
-        dead_e, dead_n = view.dead_edges, view.dead_nodes
-        chain = [s]
-        x = s
-        d = 0.0
-        while x != t:
-            for slot in range(indptr[x], indptr[x + 1]):
-                v = indices[slot]
-                if v in dead_n or slot in dead_e:
-                    continue
-                if dist_s[v] == d + 1.0 and dist_t[v] == total - d - 1.0:
-                    chain.append(v)
-                    x = v
-                    d += 1.0
-                    break
-            else:  # pragma: no cover - labels guarantee progress
-                raise NoPath(f"no path from {source!r} to {target!r}")
-        return Path([csr.nodes[i] for i in chain])
-
-    def _targeted_bfs(
-        self, view: CsrView, s: int, t: int, source: Node, target: Node
-    ) -> Path:
-        """One early-exit BFS — the non-incremental unweighted fallback."""
-        dist, pred = bfs_csr(view, s, target=t)
+        dist, pred = self._backup_row(s, t, view)
         if dist[t] == INF:
             raise NoPath(f"no path from {source!r} to {target!r}")
         return Path(_chain(self.csr, pred, s, t))
+
+    def _backup_row(
+        self, s: int, t: int, view: CsrView
+    ) -> tuple[list[float], list[int]]:
+        """Repaired source row, or one targeted search when not viable.
+
+        Rent-to-buy: while *s* has no cached row, targeted early-exit
+        searches answer (renting); their settle work accrues in
+        ``_spent``, and only once a source has paid about one full
+        row's worth does the cache build the row and switch to repair
+        (buying).  One-shot sources — table3 bypasses each edge of the
+        graph once, every source ~degree times — never pay for a full
+        row, while table2's sources (hundreds of failure cases each)
+        cross the threshold almost immediately.  Total work is within
+        2x of the better strategy either way, without knowing the
+        query distribution in advance.
+        """
+        if not view.dead_edges and not view.dead_nodes:
+            return self._row(s)
+        if s not in self._rows and self._spent.get(s, 0) < 2 * self.csr.n:
+            before = COUNTERS.csr_settled
+            row = self._targeted_row(s, t, view)
+            self._spent[s] = self._spent.get(s, 0) + (
+                COUNTERS.csr_settled - before
+            )
+            return row
+        affected = self._affected(s, view)
+        if self._repair_viable(s, affected):
+            dist, pred = self._row(s)
+            if not affected:
+                # Tree untouched by the mask: the cached row answers.
+                COUNTERS.spt_repairs += 1
+                return dist, pred
+            return repair_spt(
+                view, s, dist, pred, affected=affected, unit=not self.weighted
+            )
+        return self._targeted_row(s, t, view)
+
+    def _targeted_row(
+        self, s: int, t: int, view: CsrView
+    ) -> tuple[list[float], list[int]]:
+        """One early-exit canonical search toward *t* (no caching)."""
+        if self.weighted:
+            dist, pred, _ = dijkstra_csr_canonical(view, s, targets=(t,))
+            return dist, pred
+        return bfs_csr(view, s, target=t)
 
     def distances(
         self, source: Node, scenario_or_view=None
@@ -509,45 +562,35 @@ def csr_shortest_path(
     """CSR-backed drop-in for :func:`repro.graph.shortest_paths.shortest_path`.
 
     Dispatches on the argument: a :class:`FilteredView` over an
-    undirected base becomes a mask on the base's shared snapshot; a bare
-    undirected :class:`Graph` is snapshotted directly.  Returns ``None``
-    when the argument is outside the fast path (directed graphs,
-    non-weakref-able objects) so the caller can fall back to the dict
+    undirected base becomes a mask on the base's **shared
+    per-process** :class:`SptCache` (so one-shot callers like figure10,
+    table3 bypasses and the restoration planners amortize pre-failure
+    rows across the many failure cases of the same pair, exactly like
+    table2); a bare undirected :class:`Graph` queries the same cache
+    with an empty mask.  Returns ``None`` when the argument is outside
+    the fast path (directed graphs, non-weakref-able objects, nodes
+    added after the snapshot) so the caller can fall back to the dict
     implementation.  Raises :class:`~repro.exceptions.NoPath` exactly
     like the original.
     """
     base = getattr(graph, "base", None)
-    if base is not None:
-        if getattr(base, "directed", False):
-            return None
-        try:
-            csr = shared_csr(base)
-        except TypeError:  # pragma: no cover - Graph is weakref-able
-            return None
-        view = csr.with_edges_removed(graph.failed_edges, graph.failed_nodes)
-    else:
-        if getattr(graph, "directed", False):
-            return None
-        try:
-            csr = shared_csr(graph)
-        except TypeError:  # pragma: no cover
-            return None
-        view = CsrView(csr)
-    s = csr.index.get(source)
-    t = csr.index.get(target)
-    if s is None or t is None:
+    filtered = base is not None
+    if not filtered:
+        base = graph
+    if getattr(base, "directed", False):
+        return None
+    # Lazy import: repro.core.cache imports SptCache from this module.
+    from ..core.cache import shared_spt_cache
+
+    try:
+        cache = shared_spt_cache(base, weighted=weighted)
+    except TypeError:  # pragma: no cover - Graph is weakref-able
+        return None
+    csr = cache.csr
+    if source not in csr.index or target not in csr.index:
         return None  # node added after the snapshot; stay on dict path
-    if s in view.dead_nodes or t in view.dead_nodes:
-        raise NoPath(f"no path from {source!r} to {target!r}")
-    if s == t:
-        return Path([source])
-    if weighted:
-        dist, pred = dijkstra_csr(view, s, target=t)
-    else:
-        dist, pred = bfs_csr(view, s, target=t)
-    if dist[t] == INF:
-        raise NoPath(f"no path from {source!r} to {target!r}")
-    return Path(_chain(csr, pred, s, t))
+    view = cache.view_for(graph) if filtered else CsrView(csr)
+    return cache.backup_path(source, target, view)
 
 
 def fast_shortest_path(

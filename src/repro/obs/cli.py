@@ -38,7 +38,24 @@ from .trace import read_jsonl as read_trace_jsonl
 
 
 def _load_json(path: str) -> dict[str, Any]:
-    return json.loads(Path(path).read_text())
+    """Read a JSON payload, resolving moved ``BENCH_*.json`` locations.
+
+    Bench outputs moved from the working directory into ``results/``;
+    when the given path does not exist, its basename is retried under
+    ``results/`` and at the root (one-release compatibility shim so
+    older scripts and baselines keep resolving).
+    """
+    p = Path(path)
+    if not p.exists():
+        for candidate in (
+            p.parent / "results" / p.name,
+            Path(p.name),
+            Path("results") / p.name,
+        ):
+            if candidate.exists():
+                p = candidate
+                break
+    return json.loads(p.read_text())
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -147,7 +164,11 @@ def cmd_diff(args: argparse.Namespace) -> int:
     old = _load_json(args.old)
     new = _load_json(args.new)
 
-    for key in ("name", "scale", "seed", "cases"):
+    # tie_order / repair_fallback: policy fields stamped by
+    # write_bench_json — runs under different tie rules or fallback
+    # thresholds do different work, so their counters must not be
+    # diffed (files predating the fields compare as before).
+    for key in ("name", "scale", "seed", "cases", "tie_order", "repair_fallback"):
         if key in old and key in new and old[key] != new[key]:
             print(
                 f"NOT COMPARABLE: {key} differs "

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..exceptions import NoPath
-from ..graph.csr import CsrView, dicts_from_arrays, dijkstra_csr, shared_csr
+from ..graph.csr import CsrView, dicts_from_arrays, dijkstra_csr_canonical, shared_csr
 from ..graph.graph import Graph, Node
 from ..graph.paths import Path
 from ..graph.shortest_paths import reconstruct_path
@@ -21,14 +21,17 @@ from .lsdb import LinkStateAd, LinkStateDatabase
 
 
 def _spf_run(graph: Graph, root: Node) -> tuple[dict[Node, float], dict[Node, Node]]:
-    """One full SPF: the heap-emulating CSR kernel, dict-shaped results.
+    """One full SPF: the canonical CSR kernel, dict-shaped results.
 
-    :func:`~repro.graph.csr.dijkstra_csr` replays the classic
-    implementation's relaxation sequence exactly, so OSPF tie-breaking
-    (first-learned equal-cost route wins) is preserved.
+    :func:`~repro.graph.csr.dijkstra_csr_canonical` breaks equal-cost
+    ties by ``(dist, node index)`` — the library-wide path contract —
+    so every router deterministically picks the same equal-cost route
+    regardless of the order LSAs arrived (real OSPF's first-learned
+    tie-breaking is history-dependent; a deterministic rule is what the
+    restoration proofs need).
     """
     csr = shared_csr(graph)
-    dist, pred = dijkstra_csr(CsrView(csr), csr.index[root])
+    dist, pred, _ = dijkstra_csr_canonical(CsrView(csr), csr.index[root])
     return dicts_from_arrays(csr, dist, pred)
 
 

@@ -1,11 +1,16 @@
 """CSR snapshot + array-kernel equivalence vs. the dict implementations.
 
-The contract the experiment pipeline leans on: :func:`dijkstra_csr`
-and :func:`bfs_csr` *emulate* the classic dict kernels exactly (settle
-order, predecessor choices, ties included), and
-:func:`dijkstra_csr_canonical` matches them wherever results are
-tie-invariant (distances always; full trees on tie-free graphs).
-Every topology family in :mod:`repro.topology` is exercised.
+Two contracts are pinned here.  The **legacy audit mode**
+(``dijkstra_csr(..., legacy=True)`` / ``bfs_csr(..., legacy=True)``)
+still emulates the classic dict kernels exactly (settle order,
+predecessor choices, ties included) — proving the canonical switch
+changed the contract deliberately, not accidentally.  The **production
+canonical kernels** (``dijkstra_csr_canonical``, and the default
+``dijkstra_csr`` / ``bfs_csr`` which now route to the canonical tie
+order) match the dict kernels wherever results are tie-invariant
+(distances always; full trees on tie-free graphs) and are themselves
+pinned by :mod:`tests.test_canonical_contract`.  Every topology family
+in :mod:`repro.topology` is exercised.
 """
 
 from __future__ import annotations
@@ -156,27 +161,57 @@ class TestSharedCsrCache:
 
 
 class TestKernelEquivalence:
-    def test_dijkstra_exact_match(self, topo):
+    def test_legacy_dijkstra_exact_match(self, topo):
+        """legacy=True still reproduces the dict kernel byte-identically."""
         csr = CsrGraph(topo)
         view = as_view(csr)
         for src in sources_of(topo):
             dist_d, pred_d = dijkstra(topo, src)
-            dist, pred = dijkstra_csr(view, csr.index[src])
+            dist, pred = dijkstra_csr(view, csr.index[src], legacy=True)
             got_dist, got_pred = dicts_from_arrays(csr, dist, pred)
             assert got_dist == dist_d
             assert got_pred == pred_d
 
-    def test_bfs_exact_match(self, topo):
+    def test_legacy_bfs_exact_match(self, topo):
         if topo.directed:
             pytest.skip("bfs_shortest_paths is undirected-only here")
         csr = CsrGraph(topo)
         view = as_view(csr)
         for src in sources_of(topo):
             dist_d, pred_d = bfs_shortest_paths(topo, src)
-            dist, pred = bfs_csr(view, csr.index[src])
+            dist, pred = bfs_csr(view, csr.index[src], legacy=True)
             got_dist, got_pred = dicts_from_arrays(csr, dist, pred)
             assert got_dist == dist_d
             assert got_pred == pred_d
+
+    def test_default_dijkstra_is_canonical(self, topo):
+        """The undecorated entry point routes to the canonical kernel."""
+        csr = CsrGraph(topo)
+        view = as_view(csr)
+        for src in sources_of(topo, k=3):
+            dist, pred = dijkstra_csr(view, csr.index[src])
+            c_dist, c_pred, _ = dijkstra_csr_canonical(view, csr.index[src])
+            assert dist == c_dist
+            assert pred == c_pred
+
+    def test_default_bfs_is_canonical(self, topo):
+        """Default BFS picks the min-index parent one level up."""
+        if topo.directed:
+            pytest.skip("canonical BFS contract is for undirected graphs")
+        csr = CsrGraph(topo)
+        view = as_view(csr)
+        indptr, indices = csr.indptr, csr.indices
+        for src in sources_of(topo, k=3):
+            dist, pred = bfs_csr(view, csr.index[src])
+            for v in range(csr.n):
+                if pred[v] < 0:
+                    continue
+                candidates = [
+                    indices[s]
+                    for s in range(indptr[v], indptr[v + 1])
+                    if dist[indices[s]] == dist[v] - 1.0
+                ]
+                assert pred[v] == min(candidates)
 
     def test_canonical_distances_match(self, topo):
         csr = CsrGraph(topo)
@@ -199,8 +234,10 @@ class TestKernelEquivalence:
             view = mask_from_view(csr, fv)
             src = next(n for n in topo.nodes if fv.has_node(n))
             dist_d, _ = dijkstra(fv, src)
-            dist, _ = dijkstra_csr(view, csr.index[src])
+            dist, _ = dijkstra_csr(view, csr.index[src], legacy=True)
             assert dicts_from_arrays(csr, dist, [-1] * csr.n)[0] == dist_d
+            c_dist, _ = dijkstra_csr(view, csr.index[src])
+            assert dicts_from_arrays(csr, c_dist, [-1] * csr.n)[0] == dist_d
 
     def test_early_exit_settles_target_prefix(self):
         g = generate_isp_topology(n=60, seed=7)

@@ -21,8 +21,36 @@ from repro.experiments.metrics import CaseResult, build_row
 from repro.experiments.networks import cached_suite
 from repro.experiments.parallel import chunk_bounds, resolve_jobs
 from repro.failures.sampler import FAILURE_MODES, cases_for_pair, sample_pairs
-from repro.graph.shortest_paths import shortest_path
+from repro.graph.csr import (
+    INF,
+    CsrGraph,
+    bfs_csr,
+    dijkstra_csr_canonical,
+    mask_from_view,
+)
+from repro.graph.paths import Path
 from repro.graph.spt import ShortestPathDag
+
+
+def reference_canonical_backup(csr: CsrGraph, view, s, t, weighted: bool) -> Path:
+    """Independent re-derivation of a backup under the path contract:
+    one from-scratch canonical run per case, no repair, no row cache."""
+    cv = mask_from_view(csr, view)
+    si, ti = csr.index[s], csr.index[t]
+    if si in cv.dead_nodes or ti in cv.dead_nodes:
+        raise NoPath(f"no path from {s!r} to {t!r}")
+    if weighted:
+        dist, pred, _ = dijkstra_csr_canonical(cv, si)
+    else:
+        dist, pred = bfs_csr(cv, si)
+    if dist[ti] == INF:
+        raise NoPath(f"no path from {s!r} to {t!r}")
+    chain = [ti]
+    x = ti
+    while x != si:
+        x = pred[x]
+        chain.append(x)
+    return Path([csr.nodes[i] for i in reversed(chain)])
 
 
 class TestChunking:
@@ -65,9 +93,11 @@ class TestAcceptanceRowIdentity:
 
         optimized = table2.evaluate_network(network, seed=1)
 
-        # The seed pipeline: fresh (uncached) base set, per-target
-        # multiplicity counting, Path-allocating decomposition.
+        # The reference pipeline: fresh (uncached) base set, per-target
+        # multiplicity counting, Path-allocating decomposition, and a
+        # from-scratch canonical search per backup (no repair).
         base = UniqueShortestPathsBase(graph)
+        reference_csr = CsrGraph(graph)
         pairs = sample_pairs(graph, network.sample_pairs, seed=1)
         primaries = {pair: base.path_for(*pair) for pair in pairs}
         max_multiplicity = 0
@@ -85,11 +115,12 @@ class TestAcceptanceRowIdentity:
                     view = case.scenario.apply(graph)
                     primary_cost = case.primary_path.cost(graph)
                     try:
-                        backup = shortest_path(
+                        backup = reference_canonical_backup(
+                            reference_csr,
                             view,
                             case.source,
                             case.destination,
-                            weighted=network.weighted,
+                            network.weighted,
                         )
                     except NoPath:
                         results.append(
