@@ -121,8 +121,7 @@ def main(argv=None) -> None:
     parser.add_argument(
         "--bench-json", type=str, default=None,
         help="path for the BENCH JSON (default results/BENCH_csr.json; "
-             "'-' disables; legacy root BENCH_csr.json still read by "
-             "consumers for one release)",
+             "'-' disables)",
     )
     args = parser.parse_args(argv)
     if args.smoke:

@@ -1,0 +1,201 @@
+"""Shared-memory CSR fan-out benchmark: attach vs. per-worker rebuild.
+
+Measures what the zero-copy publication layer (:mod:`repro.graph.shm`)
+buys the ``--jobs`` fan-out:
+
+* in-process: segment publish time, attach time, and the CSR snapshot
+  build it replaces (the cost every worker used to pay after fork);
+* per-worker: setup time and post-setup memory (VmRSS, plus PSS when
+  ``/proc/self/smaps_rollup`` exists) for a worker that *attaches* the
+  published segment vs. one that *rebuilds* topology + CSR from the
+  work reference, each in its own single-worker pool.
+
+Emits ``results/BENCH_shm.json`` in the established BENCH schema.
+``--smoke`` shrinks the graph and repeat count to a CI-friendly run
+that still asserts attach == in-process buffers and zero residual
+segments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.graph.csr import CsrGraph
+from repro.graph.shm import attach_csr, publish_csr, residual_segments
+from repro.perf import COUNTERS
+from repro.topology.isp import generate_isp_topology
+
+
+def _timed(fn, *args, repeat: int = 5):
+    """Median wall seconds over *repeat* calls (first call warms caches)."""
+    fn(*args)
+    samples = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn(*args)
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def _memory_kb() -> dict:
+    """Resident (and, when available, proportional) set size in kB."""
+    out: dict = {}
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    out["rss_kb"] = int(line.split()[1])
+                    break
+    except OSError:
+        pass
+    try:
+        with open("/proc/self/smaps_rollup") as fh:
+            for line in fh:
+                if line.startswith("Pss:"):
+                    out["pss_kb"] = int(line.split()[1])
+                    break
+    except OSError:
+        pass
+    return out
+
+
+def _attach_then_close(name: str) -> None:
+    csr, seg = attach_csr(name)
+    try:
+        assert csr.n >= 0
+    finally:
+        seg.close()
+
+
+def _worker_attach(name: str) -> dict:
+    """Worker body: attach the published segment, report setup cost."""
+    from repro.graph.shm import attach_csr_cached
+
+    t0 = time.perf_counter()
+    csr = attach_csr_cached(name)
+    setup_s = time.perf_counter() - t0
+    return {"setup_s": setup_s, "n": csr.n, **_memory_kb()}
+
+
+def _worker_rebuild(n: int, seed: int) -> dict:
+    """Worker body: the displaced path — regenerate topology, build CSR."""
+    t0 = time.perf_counter()
+    graph = generate_isp_topology(n=n, seed=seed)
+    csr = CsrGraph(graph)
+    setup_s = time.perf_counter() - t0
+    return {"setup_s": setup_s, "n": csr.n, **_memory_kb()}
+
+
+def _one_worker(fn, *args) -> dict:
+    """Run *fn* once in a fresh single-worker pool and return its report."""
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        return pool.submit(fn, *args).result()
+
+
+def main(argv=None) -> None:
+    from repro.experiments.bench import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=200, help="ISP size")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeat", type=int, default=5)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke mode: tiny graph, fewer repeats; the attach == "
+             "in-process buffer assertions and the leak check still run",
+    )
+    parser.add_argument(
+        "--bench-json", type=str, default=None,
+        help="path for the BENCH JSON (default results/BENCH_shm.json; "
+             "'-' disables)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n = min(args.n, 60)
+        args.repeat = min(args.repeat, 2)
+
+    graph = generate_isp_topology(n=args.n, seed=args.seed)
+    before = COUNTERS.snapshot()
+    wall_start = time.perf_counter()
+
+    results: dict[str, float] = {
+        "csr_build_s": _timed(CsrGraph, graph, repeat=args.repeat),
+    }
+    csr = CsrGraph(graph)
+    seg = publish_csr(csr)
+    if seg is None:
+        raise SystemExit(
+            "shared memory unavailable (or REPRO_SHM=0); nothing to measure"
+        )
+    try:
+        results["publish_s"] = _timed(
+            lambda: publish_csr(csr).__exit__(None, None, None),
+            repeat=args.repeat,
+        )
+        results["attach_s"] = _timed(
+            _attach_then_close, seg.name, repeat=args.repeat
+        )
+
+        attached, handle = attach_csr(seg.name)
+        try:
+            assert attached.nodes == csr.nodes
+            assert bytes(attached.indptr) == bytes(csr.indptr)
+            assert bytes(attached.indices) == bytes(csr.indices)
+            assert bytes(attached.weights) == bytes(csr.weights)
+        finally:
+            handle.close()
+
+        workers = {
+            "attach": _one_worker(_worker_attach, seg.name),
+            "rebuild": _one_worker(_worker_rebuild, args.n, args.seed),
+        }
+    finally:
+        seg.close()
+        seg.unlink()
+    assert residual_segments() == [], residual_segments()
+
+    payload = {
+        "name": "shm",
+        "n": args.n,
+        "seed": args.seed,
+        "repeat": args.repeat,
+        "smoke": bool(args.smoke),
+        "segment_bytes": (
+            len(csr.indptr) * csr.indptr.itemsize
+            + len(csr.indices) * csr.indices.itemsize
+            + len(csr.weights) * csr.weights.itemsize
+        ),
+        "wall_clock_s": round(time.perf_counter() - wall_start, 4),
+        "results": {k: round(v, 6) for k, v in results.items()},
+        "workers": workers,
+        "speedups": {
+            "attach_vs_rebuild_inproc": round(
+                results["csr_build_s"] / max(results["attach_s"], 1e-12), 2
+            ),
+            "worker_attach_vs_rebuild": round(
+                workers["rebuild"]["setup_s"]
+                / max(workers["attach"]["setup_s"], 1e-12),
+                2,
+            ),
+        },
+        "counters": COUNTERS.delta(before).as_dict(),
+    }
+    if args.bench_json != "-":
+        out = write_bench_json("shm", payload, path=args.bench_json)
+        print(f"[bench] wrote {out}")
+    print(
+        "attach {attach_s:.6f}s vs rebuild {csr_build_s:.6f}s in-process; "
+        "worker setup attach {wa:.4f}s vs rebuild {wr:.4f}s".format(
+            attach_s=results["attach_s"],
+            csr_build_s=results["csr_build_s"],
+            wa=workers["attach"]["setup_s"],
+            wr=workers["rebuild"]["setup_s"],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

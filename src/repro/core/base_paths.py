@@ -181,6 +181,17 @@ class UniqueShortestPathsBase(BaseSet):
         """The padded graph the unique choice is defined on."""
         return self._padded
 
+    @property
+    def oracle(self) -> LazyDistanceOracle:
+        """The padded-graph distance oracle the unique choice lives in.
+
+        Its flat rows are indexed by ``shared_csr(padded).nodes``, which
+        matches ``shared_csr(graph).nodes`` because padding preserves
+        the node insertion order — array consumers (e.g. the ILM
+        accountant's primary-chain fast path) rely on that alignment.
+        """
+        return self._oracle
+
     def is_base_path(self, path: Path) -> bool:
         """True if *path* may be one pre-provisioned base LSP."""
         if path.is_trivial:

@@ -7,15 +7,20 @@ counters (:mod:`repro.perf`).  The driver convention is a file named
 ``BENCH_<name>.json`` under ``results/`` in the current working
 directory (created on demand; the repo root in CI), overridable per
 CLI via ``--bench-json``.  Historic runs wrote to the working
-directory itself — readers (``python -m repro.obs diff``, the CI
-obs-gate) keep resolving those legacy root paths for one release.
+directory itself; that layout's deprecation window is over — readers
+(``python -m repro.obs diff``, the CI obs-gate) now reject root-level
+paths with a pointer to ``results/``.
 
-Every payload carries two header fields recording the policy the run
+Every payload carries header fields recording the policy the run
 measured under: ``tie_order`` (``"canonical"`` — the library-wide path
-contract) and ``repair_fallback`` (the active
-:func:`~repro.graph.incremental.repair_fallback_fraction`).  Two bench
-files are compared — with thresholds and exit codes — by
-``python -m repro.obs diff``.
+contract), ``repair_fallback`` (the active
+:func:`~repro.graph.incremental.repair_fallback_fraction`),
+``shm_enabled`` (whether the shared-memory CSR substrate of
+:mod:`repro.graph.shm` was available and not disabled via
+``REPRO_SHM=0``), and ``jobs`` (worker fan-out width; ``1`` unless the
+emitting CLI recorded its own).  Runs under different policies do
+different work, so ``python -m repro.obs diff`` — the threshold/exit-
+code comparator — refuses to diff across them.
 """
 
 from __future__ import annotations
@@ -115,12 +120,20 @@ TIE_ORDER = "canonical"
 
 
 def bench_header() -> dict[str, Any]:
-    """Policy fields stamped into every ``BENCH_*.json`` payload."""
+    """Policy fields stamped into every ``BENCH_*.json`` payload.
+
+    ``jobs`` here is the sequential default — CLIs with a ``--jobs``
+    knob set their own value in the payload and win (``setdefault``
+    merge in :func:`write_bench_json`).
+    """
     from ..graph.incremental import repair_fallback_fraction
+    from ..graph.shm import shm_enabled
 
     return {
         "tie_order": TIE_ORDER,
         "repair_fallback": repair_fallback_fraction(),
+        "shm_enabled": shm_enabled(),
+        "jobs": 1,
     }
 
 

@@ -35,6 +35,7 @@ from .networks import cached_suite, scales
 from .parallel import (
     figure10_stretch_chunk,
     make_executor,
+    publish_suite,
     resolve_jobs,
     run_chunked,
 )
@@ -181,10 +182,18 @@ def run(
     if executor is None:
         return collect(isp.graph, isp.weighted, isp.sample_pairs, seed=seed)
     pairs = sample_pairs(isp.graph, isp.sample_pairs, seed=seed)
-    with executor:
-        items = run_chunked(
-            executor, figure10_stretch_chunk, (scale, seed), len(pairs), jobs
-        )
+    publication = publish_suite([isp], with_base=True)
+    try:
+        with executor:
+            items = run_chunked(
+                executor,
+                figure10_stretch_chunk,
+                (scale, seed, publication.ref(0)),
+                len(pairs),
+                jobs,
+            )
+    finally:
+        publication.release()
     return _assemble(items)
 
 

@@ -20,16 +20,35 @@ reports the minimum and mean over routers the naive scheme touches.
 
 :class:`IlmAccountant` batches the computation per scenario: all
 touched sources go through one
-:meth:`~repro.graph.incremental.SptCache.repair_batch` call — the
+:meth:`~repro.graph.incremental.SptCache.repair_batch_idx` call — the
 scenario's dead edges are decoded once, each source's cached
 pre-failure row is repaired (not recomputed), and every affected
 demand of that source reads its backup off the repaired predecessor
 array.  That is what makes all-pairs demand universes tractable on the
 ISP and sampled-source universes tractable on the large graphs.
+
+**Flat-array bookkeeping.**  All per-scenario mutation state lives in
+CSR index space (``shared_csr(graph).nodes`` positions): primaries are
+integer chains read straight off the base oracle's flat predecessor
+rows, the reverse link/router indices are keyed by ``(min, max)``
+index pairs, per-router naive counts accumulate into one
+``array('l')``, and repeated backup chains skip the decomposition DP
+through a chain-keyed memo.  Node/:class:`~repro.graph.paths.Path`
+objects are materialized only on a decomposition-memo miss.
+
+**Parallel fan-out.**  The accumulated state is a pure function of the
+*set* of processed scenarios — counts are additive, primaries/pieces
+dedup by set union, and the derived counters (:meth:`stretch_factors`,
+:meth:`table_sizes`, :meth:`base_lsp_count`) are finalized from that
+state in node-index order.  Workers therefore process disjoint
+scenario chunks and ship :meth:`export_state`; the parent
+:meth:`merge_state`-s them and gets results byte-identical to the
+sequential run, independent of chunking or merge order.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, Optional
 
 from ..core.base_paths import BaseSet
@@ -37,9 +56,14 @@ from ..core.cache import shared_spt_cache
 from ..core.decomposition import min_pieces_decompose
 from ..exceptions import DecompositionError
 from ..failures.models import FailureScenario
-from ..graph.csr import INF
+from ..graph.csr import INF, shared_csr
 from ..graph.graph import Graph, Node
 from ..graph.paths import Path
+from ..graph.shortest_paths import costs_equal
+from ..perf import COUNTERS
+
+#: A path in CSR index space: the node-index sequence, source first.
+Chain = tuple[int, ...]
 
 
 class IlmAccountant:
@@ -55,84 +79,247 @@ class IlmAccountant:
         self.graph = graph
         self.base = base
         self.weighted = weighted
+        self.csr = shared_csr(graph)
         if demand_sources is None:
             demand_sources = sorted(graph.nodes, key=repr)
-        self.demand_sources = demand_sources
-        self._primaries: dict[Node, dict[Node, Path]] = {}
+        self.demand_sources = list(demand_sources)
+        index = self.csr.index
+        self._source_idx = [index[source] for source in self.demand_sources]
+        self._oracle = self._aligned_oracle()
+        # source idx -> {target idx: primary chain}, built lazily per
+        # source (the parent of a parallel run only ever materializes
+        # chains for demands its workers actually touched).
+        self._chains: dict[int, dict[int, Chain]] = {}
         # Reverse indices over the demand universe: which demands a
         # failed link / router disturbs.  Built on first use; makes
         # process_scenario O(affected) instead of O(universe).
-        self._by_edge: Optional[dict] = None
-        self._by_router: Optional[dict] = None
-        # Counters over the whole accounting run.
-        self._base_paths: set[Path] = set()
-        self._base_counter: dict[Node, int] = {}
-        self._naive_counter: dict[Node, int] = {}
-        self._primaries_counted: set[Path] = set()
+        self._by_edge: Optional[dict[tuple[int, int], list]] = None
+        self._by_router: Optional[dict[int, list]] = None
+        # Mergeable accounting state (see the module docstring).
+        self._probe_weights: Optional[dict[tuple[int, int], float]] = None
+        self._backup_naive = array("l", bytes(array("l").itemsize * self.csr.n))
+        self._primaries_touched: set[tuple[int, int]] = set()
+        self._pieces: set[Chain] = set()
+        self._decomp_memo: dict[Chain, Optional[tuple[Chain, ...]]] = {}
+        self._final: Optional[tuple[list[int], list[int], int]] = None
         self.scenarios_processed = 0
         self.demands_restored = 0
         self.demands_unrestorable = 0
 
-    # -- demand universe -------------------------------------------------------
+    # -- demand universe ------------------------------------------------------
 
-    def primaries_from(self, source: Node) -> dict[Node, Path]:
-        """Primary (base canonical) path to every reachable target."""
-        cached = self._primaries.get(source)
-        if cached is None:
-            cached = {}
-            for target in self.graph.nodes:
-                if target != source and self.base.has_pair(source, target):
-                    cached[target] = self.base.path_for(source, target)
-            self._primaries[source] = cached
-        return cached
+    def _aligned_oracle(self):
+        """The base set's oracle, iff its flat rows share our index space."""
+        oracle = getattr(self.base, "oracle", None)
+        if oracle is None or getattr(oracle, "break_ties_by_hops", False):
+            return None
+        try:
+            aligned = oracle.csr().nodes == self.csr.nodes
+        except Exception:
+            return None
+        return oracle if aligned else None
 
-    # -- accounting ----------------------------------------------------------------
+    def _chains_for(self, si: int) -> dict[int, Chain]:
+        """Primary chains from source *si* to every reachable target.
 
-    def _count_path(self, counter: dict[Node, int], path: Path) -> None:
-        for node in path.nodes:
-            counter[node] = counter.get(node, 0) + 1
+        Fast path: one flat oracle row; every node's chain is built
+        exactly once by extending its predecessor's chain (total work
+        proportional to the sum of chain lengths, no Path objects).
+        Fallback (explicit or index-misaligned base sets): one
+        ``path_for`` per covered pair.
+        """
+        chains = self._chains.get(si)
+        if chains is not None:
+            return chains
+        nodes, index = self.csr.nodes, self.csr.index
+        if self._oracle is not None:
+            dist, pred = self._oracle.row_arrays(nodes[si])
+            built: dict[int, Chain] = {si: (si,)}
+            for ti, d in enumerate(dist):
+                if d == INF or ti in built:
+                    continue
+                stack = []
+                x = ti
+                while x not in built:
+                    stack.append(x)
+                    x = pred[x]
+                prefix = built[x]
+                for x in reversed(stack):
+                    prefix = prefix + (x,)
+                    built[x] = prefix
+            del built[si]
+            chains = built
+        else:
+            chains = {}
+            source = nodes[si]
+            for ti, target in enumerate(nodes):
+                if ti != si and self.base.has_pair(source, target):
+                    chains[ti] = tuple(
+                        index[node]
+                        for node in self.base.path_for(source, target).nodes
+                    )
+        self._chains[si] = chains
+        return chains
 
-    def _count_primary_once(self, primary: Path) -> None:
-        if primary in self._primaries_counted:
-            return
-        self._primaries_counted.add(primary)
-        self._count_path(self._naive_counter, primary)
-        if primary not in self._base_paths:
-            self._base_paths.add(primary)
-            self._count_path(self._base_counter, primary)
+    # -- accounting -----------------------------------------------------------
 
     def _ensure_indices(self) -> None:
         if self._by_edge is not None:
             return
-        by_edge: dict = {}
-        by_router: dict = {}
-        for source in self.demand_sources:
-            for target, primary in self.primaries_from(source).items():
-                for key in primary.edge_keys():
-                    by_edge.setdefault(key, []).append((source, target))
-                for node in primary.nodes:
-                    by_router.setdefault(node, []).append((source, target))
+        by_edge: dict[tuple[int, int], list] = {}
+        by_router: dict[int, list] = {}
+        for si in self._source_idx:
+            for ti, chain in self._chains_for(si).items():
+                demand = (si, ti)
+                prev = chain[0]
+                for x in chain[1:]:
+                    key = (prev, x) if prev < x else (x, prev)
+                    by_edge.setdefault(key, []).append(demand)
+                    prev = x
+                for x in chain:
+                    by_router.setdefault(x, []).append(demand)
         self._by_edge = by_edge
         self._by_router = by_router
 
-    def _affected_by(self, scenario: FailureScenario) -> dict[Node, list[Node]]:
-        """``source -> [targets]`` of disturbed demands (indexed lookup)."""
+    def _affected_by(self, scenario: FailureScenario) -> dict[int, list[int]]:
+        """``source idx -> [target idxs]`` of disturbed demands."""
         self._ensure_indices()
         assert self._by_edge is not None and self._by_router is not None
-        hit: set[tuple[Node, Node]] = set()
-        for key in scenario.links:
-            hit.update(self._by_edge.get(key, ()))
+        index = self.csr.index
+        hit: set[tuple[int, int]] = set()
+        for u, v in scenario.links:
+            iu, iv = index.get(u), index.get(v)
+            if iu is None or iv is None:
+                continue
+            hit.update(self._by_edge.get((iu, iv) if iu < iv else (iv, iu), ()))
+        dead_routers: set[int] = set()
         for router in scenario.routers:
-            hit.update(self._by_router.get(router, ()))
-        grouped: dict[Node, list[Node]] = {}
-        for source, target in hit:
-            if source in scenario.routers or target in scenario.routers:
-                # Endpoint down: no flow to restore (the source-down
-                # case) or nothing to reach (handled as unrestorable).
-                if source in scenario.routers:
-                    continue
-            grouped.setdefault(source, []).append(target)
+            ri = index.get(router)
+            if ri is None:
+                continue
+            dead_routers.add(ri)
+            hit.update(self._by_router.get(ri, ()))
+        grouped: dict[int, list[int]] = {}
+        for si, ti in hit:
+            if si in dead_routers:
+                # Source down: no flow to restore.  (A dead *target* is
+                # kept and lands in unrestorable — nothing to reach.)
+                continue
+            grouped.setdefault(si, []).append(ti)
         return grouped
+
+    def _decompose(self, chain: Chain) -> Optional[tuple[Chain, ...]]:
+        """Min-pieces decomposition of a backup chain (memoized); None
+        when the backup admits no base-path decomposition."""
+        memo = self._decomp_memo
+        try:
+            return memo[chain]
+        except KeyError:
+            pass
+        if self._oracle is not None and getattr(
+            self.base, "include_all_edges", False
+        ):
+            result = self._decompose_flat(chain)
+        else:
+            result = self._decompose_path(chain)
+        memo[chain] = result
+        return result
+
+    def _probe_weight_map(self) -> dict[tuple[int, int], float]:
+        """Directed ``(u idx, v idx) -> weight`` over the probe graph.
+
+        The probe graph is whatever the base oracle's snapshot covers —
+        the padded graph for the unique base set, the original for the
+        all-shortest-paths one — so prefix sums land in the same cost
+        space as the oracle's distances.
+        """
+        weights = self._probe_weights
+        if weights is None:
+            pcsr = self._oracle.csr()
+            indptr, indices, warr = pcsr.indptr, pcsr.indices, pcsr.weights
+            weights = {}
+            for u in range(pcsr.n):
+                for k in range(indptr[u], indptr[u + 1]):
+                    weights[(u, indices[k])] = warr[k]
+            self._probe_weights = weights
+        return weights
+
+    def _decompose_flat(self, chain: Chain) -> tuple[Chain, ...]:
+        """All-array :func:`min_pieces_decompose` for index-aligned
+        implicit base sets with every edge admitted.
+
+        Mirrors the DP cell-for-cell — same lexicographic objective,
+        same first-minimal-``j`` tie-break, same probe arithmetic as
+        :class:`~repro.core.decomp_kernel.PrefixSumProbe` — so the
+        returned pieces are identical to the Path-based kernel's; only
+        the Path/dict materialization is gone.  Every 1-hop piece is a
+        base path here (``include_all_edges``), so a decomposition
+        always exists and ``extra_edges`` stays 0.
+        """
+        weight = self._probe_weight_map()
+        cum = [0.0]
+        total = 0.0
+        for u, v in zip(chain, chain[1:]):
+            total += weight[(u, v)]
+            cum.append(total)
+        n = len(chain)
+        unset = n + 1
+        best = [unset] * n
+        choice = [0] * n
+        best[0] = 0
+        rows: dict[int, list[float]] = {}
+        probes = 0
+        nodes = self.csr.nodes
+        for i in range(1, n):
+            ci = chain[i]
+            cum_i = cum[i]
+            bi = unset
+            cj = 0
+            for j in range(i):
+                bj = best[j]
+                if bj == unset:
+                    continue
+                probes += 1
+                if i - j > 1:
+                    row = rows.get(j)
+                    if row is None:
+                        row = rows[j] = self._oracle.row_arrays(
+                            nodes[chain[j]]
+                        )[0]
+                    d = row[ci]
+                    if d == INF or not costs_equal(cum_i - cum[j], d):
+                        continue
+                candidate = bj + 1
+                if candidate < bi:
+                    bi = candidate
+                    cj = j
+            best[i] = bi
+            choice[i] = cj
+        COUNTERS.probe_calls += probes
+        COUNTERS.o1_probes += probes
+        pieces: list[Chain] = []
+        i = n - 1
+        while i > 0:
+            j = choice[i]
+            pieces.append(chain[j : i + 1])
+            i = j
+        pieces.reverse()
+        return tuple(pieces)
+
+    def _decompose_path(self, chain: Chain) -> Optional[tuple[Chain, ...]]:
+        """Path-based decomposition fallback (explicit/unaligned bases)."""
+        nodes, index = self.csr.nodes, self.csr.index
+        backup = Path(nodes[i] for i in chain)
+        try:
+            decomposition = min_pieces_decompose(
+                backup, self.base, allow_edges=True
+            )
+        except DecompositionError:
+            return None
+        return tuple(
+            tuple(index[node] for node in piece.nodes)
+            for piece in decomposition.pieces
+        )
 
     def process_scenario(self, scenario: FailureScenario) -> int:
         """Account one failure scenario; returns affected-demand count."""
@@ -140,21 +327,16 @@ class IlmAccountant:
         cache = shared_spt_cache(self.graph, weighted=self.weighted)
         # Multi-source batched repair: one scenario decode, every
         # touched source re-settled via its cached pre-failure row.
-        rows = cache.repair_batch(grouped, scenario)
-        csr = cache.csr
-        index, nodes = csr.index, csr.nodes
+        rows = cache.repair_batch_idx(grouped, scenario)
+        backup_naive = self._backup_naive
         affected_total = 0
-        for source, targets in grouped.items():
-            primaries = self.primaries_from(source)
-            affected = [(target, primaries[target]) for target in targets]
-            affected_total += len(affected)
-            row = rows.get(source)
+        for si, targets in grouped.items():
+            row = rows.get(si)
             dist, pred = row if row is not None else (None, None)
-            si = index[source]
-            for target, primary in affected:
-                self._count_primary_once(primary)
-                ti = index.get(target)
-                if dist is None or ti is None or dist[ti] == INF:
+            affected_total += len(targets)
+            for ti in targets:
+                self._primaries_touched.add((si, ti))
+                if dist is None or dist[ti] == INF:
                     self.demands_unrestorable += 1
                     continue
                 chain = [ti]
@@ -162,21 +344,18 @@ class IlmAccountant:
                 while x != si:
                     x = pred[x]
                     chain.append(x)
-                backup = Path([nodes[i] for i in reversed(chain)])
-                self._count_path(self._naive_counter, backup)
-                try:
-                    decomposition = min_pieces_decompose(
-                        backup, self.base, allow_edges=True
-                    )
-                except DecompositionError:
+                chain.reverse()
+                backup = tuple(chain)
+                for x in backup:
+                    backup_naive[x] += 1
+                pieces = self._decompose(backup)
+                if pieces is None:
                     self.demands_unrestorable += 1
                     continue
                 self.demands_restored += 1
-                for piece in decomposition.pieces:
-                    if piece not in self._base_paths:
-                        self._base_paths.add(piece)
-                        self._count_path(self._base_counter, piece)
+                self._pieces.update(pieces)
         self.scenarios_processed += 1
+        self._final = None
         return affected_total
 
     def process_scenarios(self, scenarios: Iterable[FailureScenario]) -> None:
@@ -184,14 +363,78 @@ class IlmAccountant:
         for scenario in scenarios:
             self.process_scenario(scenario)
 
-    # -- results --------------------------------------------------------------------
+    # -- parallel fan-out -----------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Mergeable accounting state (picklable; see :meth:`merge_state`).
+
+        Sets are exported sorted so the payload bytes are deterministic
+        for a given scenario chunk regardless of processing order.
+        """
+        return {
+            "backup_naive": self._backup_naive.tobytes(),
+            "primaries": sorted(self._primaries_touched),
+            "pieces": sorted(self._pieces),
+            "scenarios": self.scenarios_processed,
+            "restored": self.demands_restored,
+            "unrestorable": self.demands_unrestorable,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a worker's :meth:`export_state` into this accountant.
+
+        Counts add, primaries/pieces union; since the derived results
+        are a pure function of that state, merging per-chunk exports in
+        any order reproduces the sequential run byte-for-byte.
+        """
+        incoming = array("l")
+        incoming.frombytes(state["backup_naive"])
+        backup_naive = self._backup_naive
+        for i, count in enumerate(incoming):
+            if count:
+                backup_naive[i] += count
+        self._primaries_touched.update(
+            tuple(demand) for demand in state["primaries"]
+        )
+        self._pieces.update(tuple(chain) for chain in state["pieces"])
+        self.scenarios_processed += state["scenarios"]
+        self.demands_restored += state["restored"]
+        self.demands_unrestorable += state["unrestorable"]
+        self._final = None
+
+    # -- results --------------------------------------------------------------
+
+    def _finalize(self) -> tuple[list[int], list[int], int]:
+        """``(base counts, naive counts, base LSP count)`` per node index.
+
+        Primaries enter both sides here rather than in the scenario
+        loop: each touched primary is counted once globally (never per
+        scenario), which is also what makes worker exports mergeable.
+        """
+        final = self._final
+        if final is not None:
+            return final
+        naive = list(self._backup_naive)
+        base_paths: set[Chain] = set(self._pieces)
+        for si, ti in self._primaries_touched:
+            chain = self._chains_for(si)[ti]
+            for x in chain:
+                naive[x] += 1
+            base_paths.add(chain)
+        base_counter = [0] * self.csr.n
+        for chain in base_paths:
+            for x in chain:
+                base_counter[x] += 1
+        self._final = (base_counter, naive, len(base_paths))
+        return self._final
 
     def stretch_factors(self) -> tuple[float, float]:
         """``(min %, avg %)`` over routers the naive scheme touches."""
+        base_counter, naive, _ = self._finalize()
         ratios = [
-            100.0 * self._base_counter.get(node, 0) / naive
-            for node, naive in self._naive_counter.items()
-            if naive > 0
+            100.0 * base_counter[i] / count
+            for i, count in enumerate(naive)
+            if count > 0
         ]
         if not ratios:
             return float("nan"), float("nan")
@@ -199,11 +442,12 @@ class IlmAccountant:
 
     def table_sizes(self) -> tuple[int, int]:
         """Total ILM entries: ``(RBPC base set, naive pre-provisioning)``."""
-        return sum(self._base_counter.values()), sum(self._naive_counter.values())
+        base_counter, naive, _ = self._finalize()
+        return sum(base_counter), sum(naive)
 
     def base_lsp_count(self) -> int:
         """Distinct base LSPs the restorations used."""
-        return len(self._base_paths)
+        return self._finalize()[2]
 
 
 def scenarios_from_cases(cases) -> list[FailureScenario]:

@@ -21,6 +21,19 @@ to the sequential run:
   (:data:`repro.obs.METRICS`) it accumulated; the parent merges both,
   so ``BENCH_*.json`` totals include work done in workers and
   histograms are jobs-invariant.
+* **Shared CSR, not N copies.**  Before fan-out the parent publishes
+  each network's CSR snapshot — and the padded-base snapshot the
+  distance oracle runs on — into shared memory
+  (:func:`publish_suite` / :mod:`repro.graph.shm`) and ships the
+  *segment names* in the chunk args; workers attach read-only views
+  and adopt them as the graph's snapshot (:func:`_adopt_shared`), so
+  every worker's oracle/SPT-cache rows sit on one copy of the buffers.
+  The canonical ``(dist, index)`` tie contract makes the rows
+  byte-identical no matter which process computes them, so adoption is
+  invisible to results.  Publication degrades gracefully (``None``
+  refs; workers rebuild locally, ``COUNTERS.shm_fallbacks`` records
+  it) and the creator releases every segment in the experiment's
+  ``finally`` — see :meth:`SuitePublication.release`.
 
 ``--jobs 1`` (the default everywhere) bypasses this module entirely and
 runs the plain sequential loops; ``--jobs 0`` means "auto" —
@@ -31,10 +44,15 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional, Sequence
 
 from ..obs.metrics import METRICS
 from ..perf import COUNTERS
+
+#: Segment-name pair shipped to workers per network:
+#: ``(graph CSR segment, padded-base CSR segment)`` — either may be
+#: ``None`` when publication fell back.
+ShmRef = Optional[tuple[Optional[str], Optional[str]]]
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -97,6 +115,115 @@ def run_chunked(
     return ordered
 
 
+# -- shared-memory publication ------------------------------------------------
+
+
+class SuitePublication:
+    """Creator-side handles for a suite's published CSR segments.
+
+    Holds one :class:`~repro.graph.shm.SharedCsrSegment` per published
+    snapshot plus the per-network ``(graph, padded)`` name pairs the
+    workers receive.  :meth:`release` (idempotent; also the context
+    manager exit) unlinks everything — call it in the experiment's
+    ``finally`` after the executor has shut down, so a raise or a
+    ``KeyboardInterrupt`` mid-fan-out still leaves ``/dev/shm`` clean.
+    """
+
+    def __init__(self, refs: list[ShmRef], segments: list) -> None:
+        self.refs = refs
+        self._segments = segments
+
+    def ref(self, index: int) -> ShmRef:
+        """The ``(graph, padded)`` segment-name pair for network *index*."""
+        if 0 <= index < len(self.refs):
+            return self.refs[index]
+        return None
+
+    def release(self) -> None:
+        """Close and unlink every published segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        for seg in segments:
+            seg.unlink()
+
+    def __enter__(self) -> "SuitePublication":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def publish_suite(networks: Sequence, with_base: bool = True) -> SuitePublication:
+    """Publish each network's CSR snapshot(s) into shared memory.
+
+    *with_base* additionally publishes the padded-graph snapshot of the
+    network's shared unique base set — the index space the distance
+    oracle's flat rows live in (experiments that never touch a base
+    set, e.g. Table 3's bypass sweep, skip it).  Publication failures
+    leave ``None`` in the affected ref slot (workers rebuild locally);
+    the segments that did publish are still released normally.
+    """
+    from ..core.cache import shared_unique_base
+    from ..graph import shm
+    from ..graph.csr import shared_csr
+
+    refs: list[ShmRef] = []
+    segments: list = []
+    for network in networks:
+        graph_name = padded_name = None
+        seg = shm.publish_csr(shared_csr(network.graph))
+        if seg is not None:
+            segments.append(seg)
+            graph_name = seg.name
+        if with_base:
+            padded = shared_unique_base(network.graph).padded
+            seg = shm.publish_csr(shared_csr(padded))
+            if seg is not None:
+                segments.append(seg)
+                padded_name = seg.name
+        refs.append((graph_name, padded_name))
+    return SuitePublication(refs, segments)
+
+
+def _adopt_shared(graph, shm_ref: ShmRef, slot: int) -> None:
+    """Worker side: attach segment *slot* of *shm_ref* as *graph*'s CSR.
+
+    Best-effort — any failure (segment gone, header mismatch, node
+    interning mismatch) bumps ``COUNTERS.shm_fallbacks`` and leaves the
+    graph on its local rebuild path, never breaking the run.
+    """
+    if graph is None or not shm_ref:
+        return
+    name = shm_ref[slot] if slot < len(shm_ref) else None
+    if not name:
+        return
+    from ..graph import shm
+    from ..graph.csr import adopt_csr
+
+    try:
+        csr = shm.attach_csr_cached(name)
+    except Exception:
+        COUNTERS.shm_fallbacks += 1
+        return
+    if not adopt_csr(graph, csr):
+        COUNTERS.shm_fallbacks += 1
+
+
+def _adopt_network(network, shm_ref: ShmRef, with_base: bool):
+    """Adopt a network's published snapshot(s); returns its base set.
+
+    The padded adoption must precede any oracle row computation, so
+    this runs first thing in every worker chunk.
+    """
+    from ..core.cache import shared_unique_base
+
+    _adopt_shared(network.graph, shm_ref, 0)
+    if not with_base:
+        return None
+    base = shared_unique_base(network.graph)
+    _adopt_shared(getattr(base, "padded", None), shm_ref, 1)
+    return base
+
+
 # -- worker entry points ------------------------------------------------------
 #
 # Top-level functions (picklable under spawn), importing experiment
@@ -111,10 +238,10 @@ def _network(scale: str, seed: int, index: int):
 
 
 def table2_case_chunk(
-    scale: str, seed: int, index: int, mode: str, start: int, end: int
+    scale: str, seed: int, index: int, mode: str, shm_ref: ShmRef,
+    start: int, end: int,
 ) -> tuple[list, dict, dict]:
     """Evaluate the failure cases of demand pairs ``[start:end)``."""
-    from ..core.cache import shared_unique_base
     from ..failures.sampler import cases_for_pair, sample_pairs
     from .table2 import run_case
 
@@ -122,7 +249,7 @@ def table2_case_chunk(
     m_before = METRICS.snapshot()
     network = _network(scale, seed, index)
     graph = network.graph
-    base = shared_unique_base(graph)
+    base = _adopt_network(network, shm_ref, with_base=True)
     pairs = sample_pairs(graph, network.sample_pairs, seed=seed)
     results = []
     for pair in pairs[start:end]:
@@ -133,7 +260,7 @@ def table2_case_chunk(
 
 
 def table3_bypass_chunk(
-    scale: str, seed: int, index: int, start: int, end: int
+    scale: str, seed: int, index: int, shm_ref: ShmRef, start: int, end: int
 ) -> tuple[list, dict, dict]:
     """Bypass hop counts (None for bridges) of links ``[start:end)``."""
     from ..core.local_restoration import bypass_path
@@ -143,6 +270,7 @@ def table3_bypass_chunk(
     m_before = METRICS.snapshot()
     network = _network(scale, seed, index)
     graph = network.graph
+    _adopt_network(network, shm_ref, with_base=False)
     edges = list(graph.edges())[start:end]
     hops: list[Optional[int]] = []
     for u, v in edges:
@@ -154,7 +282,7 @@ def table3_bypass_chunk(
 
 
 def figure10_stretch_chunk(
-    scale: str, seed: int, start: int, end: int
+    scale: str, seed: int, shm_ref: ShmRef, start: int, end: int
 ) -> tuple[list, dict, dict]:
     """Per-pair stretch sample tuples for demand pairs ``[start:end)``.
 
@@ -166,10 +294,9 @@ def figure10_stretch_chunk(
     before = COUNTERS.snapshot()
     m_before = METRICS.snapshot()
     network = _network(scale, seed, 0)  # Figure 10 runs on the weighted ISP
-    from ..core.cache import shared_unique_base
     from ..failures.sampler import sample_pairs
 
-    base = shared_unique_base(network.graph)
+    base = _adopt_network(network, shm_ref, with_base=True)
     pairs = sample_pairs(network.graph, network.sample_pairs, seed=seed)
     items: list[tuple[str, Optional[float], Optional[float]]] = []
     for pair in pairs[start:end]:
@@ -177,3 +304,39 @@ def figure10_stretch_chunk(
             collect_pair_samples(network.graph, network.weighted, base, pair)
         )
     return items, COUNTERS.delta(before).as_dict(), METRICS.delta(m_before)
+
+
+def ilm_scenario_chunk(
+    scale: str, seed: int, index: int, mode: str, ilm_max_scenarios: int,
+    shm_ref: ShmRef, start: int, end: int,
+) -> tuple[list, dict, dict]:
+    """ILM-account failure scenarios ``[start:end)`` of one network/mode.
+
+    Rebuilds the deterministic scenario list (sampled pairs -> failure
+    cases -> deduplicated, thinned scenarios — exactly the sequential
+    construction in :func:`~repro.experiments.table2.ilm_scenarios`),
+    accounts its slice, and ships the accountant's mergeable state; the
+    parent folds the chunk states together
+    (:meth:`~repro.experiments.ilm_accounting.IlmAccountant.merge_state`)
+    for results byte-identical to the sequential loop.
+    """
+    from ..failures.sampler import sample_pairs
+    from .ilm_accounting import IlmAccountant
+    from .table2 import ilm_demand_sources, ilm_scenarios
+
+    before = COUNTERS.snapshot()
+    m_before = METRICS.snapshot()
+    network = _network(scale, seed, index)
+    graph = network.graph
+    base = _adopt_network(network, shm_ref, with_base=True)
+    pairs = sample_pairs(graph, network.sample_pairs, seed=seed)
+    scenarios = ilm_scenarios(base, pairs, mode, ilm_max_scenarios)
+    accountant = IlmAccountant(
+        graph,
+        base,
+        demand_sources=ilm_demand_sources(graph, pairs),
+        weighted=network.weighted,
+    )
+    accountant.process_scenarios(scenarios[start:end])
+    state = accountant.export_state()
+    return [state], COUNTERS.delta(before).as_dict(), METRICS.delta(m_before)

@@ -89,6 +89,8 @@ def main(argv: list[str] | None = None) -> str:
             "scale": args.scale,
             "seed": args.seed,
             "jobs": args.jobs,
+            "ilm_accounting": args.ilm,
+            "ilm_max_scenarios": table2.ILM_MAX_SCENARIOS,
             "wall_clock_s": round(timer.total(), 4),
             "sections": timer.as_dict(),
             "stages": timer.as_dict(),

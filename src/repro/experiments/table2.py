@@ -34,7 +34,15 @@ from .bench import (
 from .ilm_accounting import IlmAccountant, scenarios_from_cases
 from .metrics import CaseResult, TableTwoRow, build_row
 from .networks import ExperimentNetwork, cached_suite, scales
-from .parallel import make_executor, resolve_jobs, run_chunked, table2_case_chunk
+from .parallel import (
+    ShmRef,
+    ilm_scenario_chunk,
+    make_executor,
+    publish_suite,
+    resolve_jobs,
+    run_chunked,
+    table2_case_chunk,
+)
 from .reporting import format_table
 
 #: Published Table 2, for EXPERIMENTS.md comparison:
@@ -127,6 +135,42 @@ def run_case(
 #: the per-link ILM accounting (all-pairs universes stop being tractable).
 ALL_PAIRS_ILM_LIMIT = 400
 
+#: Default scenario cap per network/mode in per-link ILM accounting
+#: (recorded in the BENCH payload as an ILM-chunking parameter).
+ILM_MAX_SCENARIOS = 200
+
+
+def ilm_demand_sources(graph: Graph, pairs) -> Optional[list]:
+    """The per-link accounting's demand universe for *graph*.
+
+    ``None`` selects the all-pairs universe (small graphs); above
+    :data:`ALL_PAIRS_ILM_LIMIT` nodes only the sampled sources are
+    charged.  Shared by the sequential branch and the worker chunks so
+    both build the identical universe.
+    """
+    if graph.number_of_nodes() <= ALL_PAIRS_ILM_LIMIT:
+        return None
+    return sorted({s for s, _ in pairs}, key=repr)
+
+
+def ilm_scenarios(base, pairs, mode: str, max_scenarios: int):
+    """The deterministic scenario list for one network/mode.
+
+    Sampled pairs -> per-pair failure cases -> deduplicated scenarios,
+    thinned to *max_scenarios* by an evenly spaced subsample (keeps the
+    accounting tractable on the quadratic two-failure modes without
+    biasing toward any demand).  Workers rebuild this list from the
+    same inputs, so chunk bounds index the identical sequence.
+    """
+    cases: list[FailureCase] = []
+    for pair in pairs:
+        cases.extend(cases_for_pair(pair, base.path_for(*pair), mode))
+    scenarios = scenarios_from_cases(cases)
+    if len(scenarios) > max_scenarios:
+        step = len(scenarios) / max_scenarios
+        scenarios = [scenarios[int(i * step)] for i in range(max_scenarios)]
+    return scenarios
+
 
 def evaluate_network(
     network: ExperimentNetwork,
@@ -134,10 +178,11 @@ def evaluate_network(
     seed: int = 1,
     with_multiplicity: bool = True,
     ilm_accounting: str = "per-pair",
-    ilm_max_scenarios: int = 200,
+    ilm_max_scenarios: int = ILM_MAX_SCENARIOS,
     jobs: int = 1,
     suite_ref: Optional[tuple[str, int, int]] = None,
     executor: Optional[Executor] = None,
+    shm_ref: ShmRef = None,
     timer: Optional[StageTimer] = None,
     stats: Optional[dict] = None,
 ) -> dict[str, TableTwoRow]:
@@ -154,9 +199,13 @@ def evaluate_network(
       large ones); see :mod:`repro.experiments.ilm_accounting`.
 
     With *executor* and *suite_ref* ``(scale, seed, network index)``
-    given and ``jobs > 1``, the failure cases are fanned out over
-    worker processes per mode; chunk reassembly keeps the result order
-    — and hence every row — byte-identical to the sequential loop.
+    given and ``jobs > 1``, the failure cases — and, in per-link mode,
+    the accounting's failure scenarios — are fanned out over worker
+    processes per mode; chunk reassembly (and the order-free
+    accountant-state merge) keeps every row byte-identical to the
+    sequential loop.  *shm_ref* carries the network's published
+    shared-memory segment names to the workers (see
+    :func:`~repro.experiments.parallel.publish_suite`).
     *timer*/*stats*, when given, receive per-stage wall-clock and case
     counts for the BENCH output.
     """
@@ -186,23 +235,19 @@ def evaluate_network(
     rows: dict[str, TableTwoRow] = {}
     for mode in modes:
         results: list[CaseResult] = []
-        cases: list[FailureCase] = []
         with timer.stage("cases"):
             if executor is not None and suite_ref is not None and jobs > 1:
                 scale, suite_seed, index = suite_ref
                 results = run_chunked(
                     executor,
                     table2_case_chunk,
-                    (scale, suite_seed, index, mode),
+                    (scale, suite_seed, index, mode, shm_ref),
                     len(pairs),
                     jobs,
                 )
-                for pair in pairs:
-                    cases.extend(cases_for_pair(pair, primaries[pair], mode))
             else:
                 for pair in pairs:
                     for case in cases_for_pair(pair, primaries[pair], mode):
-                        cases.append(case)
                         results.append(
                             run_case(graph, base, case, network.weighted)
                         )
@@ -215,23 +260,27 @@ def evaluate_network(
         )
         if ilm_accounting == "per-link":
             with timer.stage("ilm-per-link"):
-                if graph.number_of_nodes() <= ALL_PAIRS_ILM_LIMIT:
-                    demand_sources = None  # all-pairs universe
-                else:
-                    demand_sources = sorted({s for s, _ in pairs}, key=repr)
                 accountant = IlmAccountant(
-                    graph, base, demand_sources=demand_sources, weighted=network.weighted
+                    graph,
+                    base,
+                    demand_sources=ilm_demand_sources(graph, pairs),
+                    weighted=network.weighted,
                 )
-                scenarios = scenarios_from_cases(cases)
-                if len(scenarios) > ilm_max_scenarios:
-                    # Deterministic thinning: an evenly spaced subsample
-                    # keeps the accounting tractable on the quadratic
-                    # two-failure modes without biasing toward any demand.
-                    step = len(scenarios) / ilm_max_scenarios
-                    scenarios = [
-                        scenarios[int(i * step)] for i in range(ilm_max_scenarios)
-                    ]
-                accountant.process_scenarios(scenarios)
+                scenarios = ilm_scenarios(base, pairs, mode, ilm_max_scenarios)
+                if executor is not None and suite_ref is not None and jobs > 1:
+                    scale, suite_seed, index = suite_ref
+                    chunk_exports = run_chunked(
+                        executor,
+                        ilm_scenario_chunk,
+                        (scale, suite_seed, index, mode, ilm_max_scenarios, shm_ref),
+                        len(scenarios),
+                        jobs,
+                    )
+                    COUNTERS.ilm_scenario_chunks += len(chunk_exports)
+                    for state in chunk_exports:
+                        accountant.merge_state(state)
+                else:
+                    accountant.process_scenarios(scenarios)
                 min_sf, avg_sf = accountant.stretch_factors()
                 row = replace(row, min_ilm_stretch=min_sf, avg_ilm_stretch=avg_sf)
         rows[mode] = row
@@ -294,7 +343,14 @@ def run(
     with timer.stage("topologies") if timer else _null():
         networks = cached_suite(scale=scale, seed=seed)
     executor = make_executor(jobs)
+    publication = None
     try:
+        if executor is not None:
+            # Publish every network's CSR (and padded-base CSR) before
+            # the first submit: workers attach one shared copy of the
+            # buffers instead of rebuilding their own.
+            with timer.stage("shm-publish") if timer else _null():
+                publication = publish_suite(networks, with_base=True)
         per_network = [
             evaluate_network(
                 n,
@@ -304,14 +360,20 @@ def run(
                 jobs=jobs,
                 suite_ref=(scale, seed, index),
                 executor=executor,
+                shm_ref=publication.ref(index) if publication else None,
                 timer=timer,
                 stats=stats,
             )
             for index, n in enumerate(networks)
         ]
     finally:
+        # Executor first (workers drain their attachments at exit),
+        # then unlink — the order keeps /dev/shm clean even when a
+        # chunk raised or the run was interrupted.
         if executor is not None:
             executor.shutdown()
+        if publication is not None:
+            publication.release()
     return {
         mode: [rows[mode] for rows in per_network] for mode in modes
     }
@@ -376,6 +438,7 @@ def main(argv: list[str] | None = None) -> str:
             "seed": args.seed,
             "jobs": args.jobs,
             "ilm_accounting": args.ilm,
+            "ilm_max_scenarios": ILM_MAX_SCENARIOS,
             "wall_clock_s": round(timer.total(), 4),
             "stages": timer.as_dict(),
             "cases": cases,

@@ -28,6 +28,7 @@ from .bench import (
 from .networks import cached_suite, scales
 from .parallel import (
     make_executor,
+    publish_suite,
     resolve_jobs,
     run_chunked,
     table3_bypass_chunk,
@@ -109,19 +110,25 @@ def run(
                 network.graph, network.weighted, max_links=max_links
             )
         return results
-    with executor:
-        for index, network in enumerate(networks):
-            n_links = network.graph.number_of_edges()
-            if max_links is not None:
-                n_links = min(n_links, max_links)
-            hops_list = run_chunked(
-                executor,
-                table3_bypass_chunk,
-                (scale, seed, index),
-                n_links,
-                jobs,
-            )
-            results[network.name] = _aggregate(hops_list)
+    # Bypass sweeps never touch a base set, so only the graph CSRs are
+    # published; release after the pool drains (exception-safe).
+    publication = publish_suite(networks, with_base=False)
+    try:
+        with executor:
+            for index, network in enumerate(networks):
+                n_links = network.graph.number_of_edges()
+                if max_links is not None:
+                    n_links = min(n_links, max_links)
+                hops_list = run_chunked(
+                    executor,
+                    table3_bypass_chunk,
+                    (scale, seed, index, publication.ref(index)),
+                    n_links,
+                    jobs,
+                )
+                results[network.name] = _aggregate(hops_list)
+    finally:
+        publication.release()
     return results
 
 

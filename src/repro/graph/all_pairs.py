@@ -167,6 +167,15 @@ class LazyDistanceOracle:
             self._csr = CsrView(shared_csr(self._graph))
         return self._csr
 
+    def csr(self):
+        """The interned :class:`CsrGraph` the array rows are indexed by.
+
+        Consumers holding flat rows from :meth:`row_arrays` use this to
+        check that their own index space (``shared_csr(other).nodes``)
+        lines up before mixing buffers.
+        """
+        return self._csr_view().csr
+
     def row_arrays(self, source: Node) -> tuple[list[float], list[int]]:
         """The full canonical ``(dist, pred)`` buffers for *source*.
 

@@ -74,9 +74,11 @@ class CsrGraph:
         "n",
         "directed",
         "source_version",
+        "keepalive",
     )
 
     def __init__(self, graph) -> None:
+        self.keepalive = None
         self.directed = bool(getattr(graph, "directed", False))
         self.source_version = getattr(graph, "version", None)
         nodes = list(graph.nodes)
@@ -96,6 +98,39 @@ class CsrGraph:
         self.weights = weights
         self.n = len(nodes)
         COUNTERS.csr_builds += 1
+
+    @classmethod
+    def from_buffers(
+        cls,
+        nodes: list[Node],
+        indptr,
+        indices,
+        weights,
+        directed: bool,
+        source_version=None,
+        keepalive=None,
+    ) -> "CsrGraph":
+        """Adopt pre-built buffers without re-interning a graph.
+
+        The buffers may be :class:`array.array` instances *or*
+        memoryview casts over a shared-memory segment
+        (:mod:`repro.graph.shm`) — the kernels only index them.
+        *keepalive* pins whatever owns the buffers (e.g. the attached
+        segment handle) to the snapshot's lifetime.  Does **not** bump
+        ``COUNTERS.csr_builds``: nothing was rebuilt, which is the
+        point.
+        """
+        self = cls.__new__(cls)
+        self.nodes = nodes
+        self.index = {node: i for i, node in enumerate(nodes)}
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.n = len(nodes)
+        self.directed = directed
+        self.source_version = source_version
+        self.keepalive = keepalive
+        return self
 
     # -- views --------------------------------------------------------------
 
@@ -211,6 +246,26 @@ def shared_csr(graph) -> CsrGraph:
         except TypeError:
             pass
     return csr
+
+
+def adopt_csr(graph, csr: CsrGraph) -> bool:
+    """Install *csr* as *graph*'s cached snapshot (shared-memory path).
+
+    Validates the node interning matches (same nodes, same order — the
+    canonical tie order is an *index* order, so a permuted snapshot
+    would silently change every tie) before stamping the graph's
+    current mutation version onto the snapshot and seeding the
+    :func:`shared_csr` cache.  Returns ``False`` — caller keeps the
+    local rebuild path — on any mismatch or an unweakrefable graph.
+    """
+    if csr.n != len(csr.nodes) or list(graph.nodes) != csr.nodes:
+        return False
+    csr.source_version = getattr(graph, "version", None)
+    try:
+        _CSR_CACHE[graph] = csr
+    except TypeError:
+        return False
+    return True
 
 
 def _require_alive(view: CsrView, src: int) -> None:

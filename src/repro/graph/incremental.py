@@ -438,14 +438,27 @@ class SptCache:
         omitted from the result.
         """
         view = self.view_for(scenario_or_view)
+        index, nodes = self.csr.index, self.csr.nodes
+        rows_idx = self.repair_batch_idx(
+            (index[source] for source in sources), view
+        )
+        return {nodes[i]: row for i, row in rows_idx.items()}
+
+    def repair_batch_idx(
+        self, source_idxs: Iterable[int], scenario_or_view
+    ) -> dict[int, tuple[list[float], list[int]]]:
+        """Index-space :meth:`repair_batch`: ``{source idx: (dist, pred)}``.
+
+        The all-array variant flat-row consumers (the ILM accountant)
+        call directly — no Node round-trips.  Dead sources are omitted.
+        """
+        view = self.view_for(scenario_or_view)
         pairs = dead_edge_pairs(view)
-        index = self.csr.index
-        rows: dict[Node, tuple[list[float], list[int]]] = {}
-        for source in sources:
-            i = index[source]
+        rows: dict[int, tuple[list[float], list[int]]] = {}
+        for i in source_idxs:
             if i in view.dead_nodes:
                 continue
-            rows[source] = self._repaired_row_idx(i, view, pairs=pairs)
+            rows[i] = self._repaired_row_idx(i, view, pairs=pairs)
         return rows
 
     def view_for(self, scenario_or_view) -> CsrView:

@@ -38,23 +38,23 @@ from .trace import read_jsonl as read_trace_jsonl
 
 
 def _load_json(path: str) -> dict[str, Any]:
-    """Read a JSON payload, resolving moved ``BENCH_*.json`` locations.
+    """Read a JSON payload; legacy root ``BENCH_*.json`` paths are gone.
 
-    Bench outputs moved from the working directory into ``results/``;
-    when the given path does not exist, its basename is retried under
-    ``results/`` and at the root (one-release compatibility shim so
-    older scripts and baselines keep resolving).
+    Bench outputs moved from the working directory into ``results/``
+    (PR 4); the one-release resolution shim for root-level paths has
+    been dropped.  A missing file whose basename exists under
+    ``results/`` raises with a pointer there instead of silently
+    resolving the old layout.
     """
     p = Path(path)
     if not p.exists():
-        for candidate in (
-            p.parent / "results" / p.name,
-            Path(p.name),
-            Path("results") / p.name,
-        ):
-            if candidate.exists():
-                p = candidate
-                break
+        moved = p.parent / "results" / p.name
+        if moved.exists():
+            raise SystemExit(
+                f"error: {path} does not exist; bench outputs live under "
+                f"results/ — did you mean {moved}?"
+            )
+        raise SystemExit(f"error: {path} does not exist")
     return json.loads(p.read_text())
 
 
@@ -164,11 +164,16 @@ def cmd_diff(args: argparse.Namespace) -> int:
     old = _load_json(args.old)
     new = _load_json(args.new)
 
-    # tie_order / repair_fallback: policy fields stamped by
-    # write_bench_json — runs under different tie rules or fallback
-    # thresholds do different work, so their counters must not be
-    # diffed (files predating the fields compare as before).
-    for key in ("name", "scale", "seed", "cases", "tie_order", "repair_fallback"):
+    # tie_order / repair_fallback / shm_enabled / jobs: policy fields
+    # stamped by write_bench_json — runs under different tie rules,
+    # fallback thresholds, shared-memory availability, or fan-out
+    # widths do different work (worker-side counters merge into the
+    # totals), so their counters must not be diffed (files predating
+    # the fields compare as before).
+    for key in (
+        "name", "scale", "seed", "cases",
+        "tie_order", "repair_fallback", "shm_enabled", "jobs",
+    ):
         if key in old and key in new and old[key] != new[key]:
             print(
                 f"NOT COMPARABLE: {key} differs "

@@ -46,6 +46,17 @@ Counter meanings:
     re-settled across them (the affected subtrees — the honest
     per-failure work), and repairs abandoned for a full recompute
     because the affected region exceeded the threshold.
+``shm_segments`` / ``shm_attach`` / ``shm_fallbacks``
+    Shared-memory CSR substrate (:mod:`repro.graph.shm`): segments
+    published by a creator process, read-only attaches performed by
+    workers, and publish/attach attempts that fell back to a
+    per-process CSR rebuild (shared memory unavailable, disabled via
+    ``REPRO_SHM=0``, over the size knob, or a header mismatch).  The
+    obs-gate asserts the attach path stays hot: a fan-out that
+    silently rebuilds per worker shows up as ``shm_fallbacks`` growth.
+``ilm_scenario_chunks``
+    Per-link ILM accounting fan-out: deterministic scenario chunks
+    dispatched to ``--jobs`` workers (0 in a sequential run).
 """
 
 from __future__ import annotations
@@ -75,6 +86,10 @@ class PerfCounters:
     spt_repairs: int = 0
     spt_nodes_resettled: int = 0
     spt_fallbacks: int = 0
+    shm_segments: int = 0
+    shm_attach: int = 0
+    shm_fallbacks: int = 0
+    ilm_scenario_chunks: int = 0
 
     def snapshot(self) -> "PerfCounters":
         """An immutable copy of the current values."""

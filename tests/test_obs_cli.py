@@ -100,6 +100,52 @@ class TestDiff:
         assert main(["diff", str(old), str(new), "--fail-on-wall"]) == 1
         assert "FAIL" in capsys.readouterr().out
 
+    def test_policy_header_mismatch_exit_2(self, tmp_path, capsys):
+        for key, old_value, new_value in (
+            ("shm_enabled", True, False),
+            ("jobs", 1, 4),
+        ):
+            old = write_bench(tmp_path / "old.json", **{key: old_value})
+            new = write_bench(tmp_path / "new.json", **{key: new_value})
+            assert main(["diff", str(old), str(new)]) == 2
+            assert "NOT COMPARABLE" in capsys.readouterr().out
+
+    def test_policy_header_absent_in_old_still_compares(self, tmp_path):
+        # Files predating the shm_enabled/jobs header fields diff as
+        # before; the comparability check needs the key on both sides.
+        old = write_bench(tmp_path / "old.json")
+        new = write_bench(tmp_path / "new.json", shm_enabled=True, jobs=2)
+        assert main(["diff", str(old), str(new)]) == 0
+
+
+class TestLegacyRootPathsDropped:
+    """Pre-``results/`` bench layouts are rejected, not resolved."""
+
+    def test_missing_file_errors(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["summary", "BENCH_table2.json"])
+
+    def test_root_path_with_moved_file_points_to_results(
+        self, tmp_path, monkeypatch
+    ):
+        # The old root-level layout is NOT silently resolved anymore:
+        # the error names the results/ file so the caller updates.
+        monkeypatch.chdir(tmp_path)
+        results = tmp_path / "results"
+        results.mkdir()
+        write_bench(results / "BENCH_table2.json")
+        with pytest.raises(SystemExit, match="did you mean"):
+            main(["summary", "BENCH_table2.json"])
+
+    def test_results_path_still_reads(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        results = tmp_path / "results"
+        results.mkdir()
+        write_bench(results / "BENCH_table2.json")
+        assert main(["summary", "results/BENCH_table2.json"]) == 0
+        assert "counter" in capsys.readouterr().out
+
 
 class TestRenderers:
     def test_tree_renders_nested_spans(self, tmp_path, capsys):

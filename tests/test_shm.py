@@ -1,0 +1,364 @@
+"""Shared-memory CSR publication: format, lifecycle, and fan-out identity.
+
+Four contracts pinned here:
+
+* **Format round-trip** — a published segment attaches back to a
+  ``CsrGraph`` whose buffers are byte-identical to the in-process
+  snapshot, with zero payload copies (the attached arrays are
+  memoryview casts over the shared pages).
+* **Validation** — segments with a wrong magic, a future format
+  version, or a foreign tie-order contract are refused with
+  :class:`ShmFormatError`, never reinterpreted.
+* **Lifecycle / leak-freedom** — after normal teardown *and* after an
+  exception inside the publication scope, ``residual_segments()`` is
+  empty; attach-side handles can never unlink a creator's segment.
+* **Fan-out identity** — per-link ILM accounting produces byte-identical
+  results at ``--jobs 1`` and ``--jobs 4``, with shared memory enabled
+  and with ``REPRO_SHM=0`` (the rebuild fallback).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cache import shared_unique_base
+from repro.experiments import table2
+from repro.experiments.ilm_accounting import IlmAccountant
+from repro.experiments.networks import cached_suite
+from repro.experiments.parallel import chunk_bounds, make_executor, publish_suite
+from repro.failures.sampler import sample_pairs
+from repro.graph import shm
+from repro.graph.csr import CsrGraph, shared_csr
+from repro.graph.shm import (
+    ShmFormatError,
+    attach_csr,
+    attach_csr_cached,
+    detach_all,
+    publish_csr,
+    residual_segments,
+    segment_exists,
+)
+from repro.topology import (
+    complete_graph,
+    cycle_graph,
+    four_cycle,
+    generate_as_graph,
+    generate_internet_graph,
+    generate_isp_topology,
+    grid_graph,
+    path_graph,
+)
+from repro.topology.classic import (
+    comb_graph,
+    two_level_star,
+    weighted_comb_graph,
+)
+from repro.topology.powerlaw import preferential_attachment
+
+
+def publish_or_skip(csr: CsrGraph):
+    seg = publish_csr(csr)
+    if seg is None:
+        pytest.skip("shared memory unavailable on this platform")
+    return seg
+
+
+class TestFormatRoundTrip:
+    def test_attach_reproduces_buffers_exactly(self):
+        csr = shared_csr(grid_graph(3, 4))
+        with publish_or_skip(csr) as seg:
+            attached, handle = attach_csr(seg.name)
+            try:
+                assert attached.nodes == csr.nodes
+                assert attached.n == csr.n
+                assert attached.directed == csr.directed
+                assert attached.source_version == csr.source_version
+                assert bytes(attached.indptr) == bytes(csr.indptr)
+                assert bytes(attached.indices) == bytes(csr.indices)
+                assert bytes(attached.weights) == bytes(csr.weights)
+            finally:
+                handle.close()
+
+    def test_attach_is_zero_copy(self):
+        """The numeric sections come back as casts over the shared pages."""
+        csr = shared_csr(cycle_graph(5))
+        with publish_or_skip(csr) as seg:
+            attached, handle = attach_csr(seg.name)
+            try:
+                for buf in (attached.indptr, attached.indices, attached.weights):
+                    assert isinstance(buf, memoryview)
+                    assert buf.readonly is False  # cast of the live mapping
+                # The graph pins its segment so the mapping outlives
+                # local references to the handle.
+                assert attached.keepalive is handle
+            finally:
+                handle.close()
+
+    def test_empty_graph_round_trips(self):
+        from repro.graph.graph import Graph
+
+        csr = CsrGraph(Graph())
+        with publish_or_skip(csr) as seg:
+            attached, handle = attach_csr(seg.name)
+            try:
+                assert attached.n == 0
+                assert attached.nodes == []
+                assert len(attached.indices) == 0
+            finally:
+                handle.close()
+
+
+class TestValidation:
+    def _corrupt(self, seg, offset: int, payload: bytes) -> None:
+        view = shm._attach_untracked(seg.name)
+        try:
+            view.buf[offset : offset + len(payload)] = payload
+        finally:
+            view.close()
+
+    def test_version_mismatch_is_refused(self):
+        csr = shared_csr(path_graph(4))
+        with publish_or_skip(csr) as seg:
+            # Preamble layout: magic[0:4], version u32 [4:8].
+            self._corrupt(seg, 4, (999).to_bytes(4, "little"))
+            with pytest.raises(ShmFormatError, match="format v999"):
+                attach_csr(seg.name)
+
+    def test_bad_magic_is_refused(self):
+        csr = shared_csr(path_graph(4))
+        with publish_or_skip(csr) as seg:
+            self._corrupt(seg, 0, b"NOPE")
+            with pytest.raises(ShmFormatError, match="magic"):
+                attach_csr(seg.name)
+
+    def test_foreign_tie_order_is_refused(self, monkeypatch):
+        csr = shared_csr(path_graph(4))
+        with publish_or_skip(csr) as seg:
+            monkeypatch.setattr(shm, "SHM_TIE_ORDER", "hops")
+            with pytest.raises(ShmFormatError, match="tie order"):
+                attach_csr(seg.name)
+
+    def test_failed_attach_leaves_no_local_handle(self):
+        csr = shared_csr(path_graph(4))
+        with publish_or_skip(csr) as seg:
+            self._corrupt(seg, 0, b"NOPE")
+            with pytest.raises(ShmFormatError):
+                attach_csr(seg.name)
+            # The refused attach closed its own mapping; the creator's
+            # segment itself is untouched and still published.
+            assert segment_exists(seg.name)
+
+
+class TestLifecycle:
+    def test_normal_teardown_leaves_no_residue(self):
+        csr = shared_csr(four_cycle())
+        seg = publish_or_skip(csr)
+        name = seg.name
+        assert segment_exists(name)
+        seg.close()
+        seg.unlink()
+        assert not segment_exists(name)
+        assert residual_segments() == []
+
+    def test_exceptional_teardown_leaves_no_residue(self):
+        csr = shared_csr(four_cycle())
+        name = None
+        with pytest.raises(RuntimeError, match="boom"):
+            with publish_or_skip(csr) as seg:
+                name = seg.name
+                raise RuntimeError("boom")
+        assert name is not None
+        assert not segment_exists(name)
+        assert residual_segments() == []
+
+    def test_attacher_cannot_unlink(self):
+        csr = shared_csr(four_cycle())
+        with publish_or_skip(csr) as seg:
+            _attached, handle = attach_csr(seg.name)
+            handle.unlink()  # no-op: not the creator
+            assert segment_exists(seg.name)
+            handle.close()
+        assert not segment_exists(seg.name)
+
+    def test_close_and_unlink_are_idempotent(self):
+        csr = shared_csr(four_cycle())
+        seg = publish_or_skip(csr)
+        for _ in range(2):
+            seg.close()
+            seg.unlink()
+        assert residual_segments() == []
+
+    def test_attach_cache_is_per_name_and_detachable(self):
+        csr = shared_csr(grid_graph(2, 3))
+        with publish_or_skip(csr) as seg:
+            first = attach_csr_cached(seg.name)
+            second = attach_csr_cached(seg.name)
+            assert first is second
+            detach_all()
+            third = attach_csr_cached(seg.name)
+            assert third is not first
+            detach_all()
+
+    def test_disabled_publication_falls_back(self, monkeypatch):
+        from repro.perf import COUNTERS
+
+        monkeypatch.setenv("REPRO_SHM", "0")
+        before = COUNTERS.shm_fallbacks
+        assert publish_csr(shared_csr(path_graph(3))) is None
+        assert COUNTERS.shm_fallbacks == before + 1
+
+    def test_oversize_payload_falls_back(self, monkeypatch):
+        from repro.perf import COUNTERS
+
+        monkeypatch.setenv("REPRO_SHM_MAX_BYTES", "16")
+        before = COUNTERS.shm_fallbacks
+        assert publish_csr(shared_csr(complete_graph(6))) is None
+        assert COUNTERS.shm_fallbacks == before + 1
+        assert residual_segments() == []
+
+
+#: One small instance per topology family the generators can produce.
+TOPOLOGY_FAMILIES = [
+    ("path", lambda: path_graph(7)),
+    ("cycle", lambda: cycle_graph(6)),
+    ("four-cycle", lambda: four_cycle()),
+    ("complete", lambda: complete_graph(5)),
+    ("grid", lambda: grid_graph(3, 4)),
+    ("comb", lambda: comb_graph(4)[0]),
+    ("weighted-comb", lambda: weighted_comb_graph(4)[0]),
+    ("two-level-star", lambda: two_level_star(7)[0]),
+    ("isp-weighted", lambda: generate_isp_topology(n=40, seed=3)),
+    ("isp-unweighted", lambda: generate_isp_topology(n=40, seed=3, weighted=False)),
+    ("powerlaw", lambda: preferential_attachment(50, 2.0, seed=5)),
+    ("as-graph", lambda: generate_as_graph(n=60, seed=2)),
+    ("internet", lambda: generate_internet_graph(n=60, seed=2)),
+]
+
+
+class TestEveryTopologyFamily:
+    """Property: publish/attach is the identity on CSR buffers, for a
+    representative of every topology family the repo generates."""
+
+    @pytest.mark.parametrize(
+        "family", [f for _, f in TOPOLOGY_FAMILIES],
+        ids=[name for name, _ in TOPOLOGY_FAMILIES],
+    )
+    def test_round_trip_preserves_family_csr(self, family):
+        csr = shared_csr(family())
+        with publish_or_skip(csr) as seg:
+            attached, handle = attach_csr(seg.name)
+            try:
+                assert attached.nodes == csr.nodes
+                assert bytes(attached.indptr) == bytes(csr.indptr)
+                assert bytes(attached.indices) == bytes(csr.indices)
+                assert bytes(attached.weights) == bytes(csr.weights)
+            finally:
+                handle.close()
+        assert residual_segments() == []
+
+
+def _ilm_reference(network, pairs, scenarios):
+    """Sequential per-link accounting for one network/mode."""
+    base = shared_unique_base(network.graph)
+    accountant = IlmAccountant(
+        network.graph,
+        base,
+        demand_sources=table2.ilm_demand_sources(network.graph, pairs),
+        weighted=network.weighted,
+    )
+    accountant.process_scenarios(scenarios)
+    return accountant
+
+
+def _ilm_summary(accountant):
+    return (
+        accountant.stretch_factors(),
+        accountant.table_sizes(),
+        accountant.base_lsp_count(),
+        accountant.demands_restored,
+        accountant.demands_unrestorable,
+    )
+
+
+class TestIlmChunkMergeIdentity:
+    """The order-free accountant merge: chunked == sequential, exactly."""
+
+    def test_shuffled_chunk_merge_matches_sequential(self):
+        network = cached_suite(scale="tiny", seed=1)[0]
+        base = shared_unique_base(network.graph)
+        pairs = sample_pairs(network.graph, network.sample_pairs, seed=1)
+        scenarios = table2.ilm_scenarios(base, pairs, "link", 200)
+        assert len(scenarios) > 4
+
+        sequential = _ilm_reference(network, pairs, scenarios)
+
+        states = []
+        for start, end in chunk_bounds(len(scenarios), 4):
+            chunk = IlmAccountant(
+                network.graph,
+                base,
+                demand_sources=table2.ilm_demand_sources(network.graph, pairs),
+                weighted=network.weighted,
+            )
+            chunk.process_scenarios(scenarios[start:end])
+            states.append(chunk.export_state())
+        random.Random(7).shuffle(states)  # merge must be order-free
+
+        merged = IlmAccountant(
+            network.graph,
+            base,
+            demand_sources=table2.ilm_demand_sources(network.graph, pairs),
+            weighted=network.weighted,
+        )
+        for state in states:
+            merged.merge_state(state)
+
+        assert _ilm_summary(merged) == _ilm_summary(sequential)
+
+
+class TestIlmJobsIdentity:
+    """End-to-end: per-link rows identical at jobs=1 and jobs=4, with
+    the shared-memory fast path and with REPRO_SHM=0 (rebuild fallback)."""
+
+    def _rows(self, jobs: int) -> dict:
+        network = cached_suite(scale="tiny", seed=1)[0]
+        executor = make_executor(jobs) if jobs > 1 else None
+        publication = None
+        try:
+            if executor is not None:
+                publication = publish_suite([network], with_base=True)
+            return table2.evaluate_network(
+                network,
+                modes=("link",),
+                seed=1,
+                with_multiplicity=False,
+                ilm_accounting="per-link",
+                jobs=jobs,
+                suite_ref=("tiny", 1, 0),
+                executor=executor,
+                shm_ref=publication.ref(0) if publication else None,
+            )
+        finally:
+            if executor is not None:
+                executor.shutdown()
+            if publication is not None:
+                publication.release()
+
+    def test_jobs4_matches_jobs1_with_shm(self):
+        from repro.perf import COUNTERS
+
+        sequential = self._rows(jobs=1)
+        before_chunks = COUNTERS.ilm_scenario_chunks
+        parallel = self._rows(jobs=4)
+        assert parallel == sequential
+        assert COUNTERS.ilm_scenario_chunks > before_chunks
+        assert residual_segments() == []
+
+    def test_jobs4_matches_jobs1_without_shm(self, monkeypatch):
+        sequential = self._rows(jobs=1)
+        monkeypatch.setenv("REPRO_SHM", "0")
+        parallel = self._rows(jobs=4)
+        assert parallel == sequential
+        assert residual_segments() == []
