@@ -1,0 +1,21 @@
+# Convenience targets; everything also works as the plain commands in
+# the README (PYTHONPATH=src python -m pytest ...).
+
+.PHONY: test clean bench-smoke
+
+test:
+	PYTHONPATH=src python -m pytest -x -q
+
+# Stale src/**/__pycache__ directories are the classic editable-install
+# footgun: bytecode compiled against a previous checkout can shadow a
+# renamed or deleted module and produce "works here, fails there" runs.
+# CI runs this before installing (see .github/workflows/ci.yml); run it
+# locally after switching branches.
+clean:
+	find src tests benchmarks -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache
+
+bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_csr.py --smoke
+	PYTHONPATH=src python benchmarks/bench_shm.py --smoke
+	PYTHONPATH=src python benchmarks/bench_kernels.py --smoke

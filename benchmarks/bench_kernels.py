@@ -1,0 +1,259 @@
+"""Kernel backend benchmarks: vectorized numpy vs. the reference loops.
+
+Times the three dispatch points of :mod:`repro.kernels` head to head on
+the experiment suite's own topology generators, asserting bit-identical
+outputs while it measures:
+
+* **batched row building** — ``rows_many`` over a block of sources vs.
+  the per-source reference kernels (heap Dijkstra on weighted graphs,
+  frontier BFS on unit graphs), on the ISP, Internet, and AS families;
+* **SPT re-settle** — the vectorized Ramalingam–Reps repair vs. the
+  boundary-offer loop, on hub failures with large affected subtrees;
+* **flat ILM decomposition** — the masked matrix DP vs. the forward
+  reference DP on long concatenation chains.
+
+Emits ``results/BENCH_kernels.json`` in the established BENCH schema
+(per-section timings, speedup ratios, the work-counter delta).
+``--smoke`` shrinks sizes and repeats to a CI-friendly run that still
+asserts every equivalence.  Without numpy installed the script still
+runs and emits a payload recording that only the reference backend was
+measured — a fresh clone must pass every CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import statistics
+import time
+
+from repro.graph.csr import as_view, shared_csr
+from repro.kernels import available_backends
+from repro.kernels import python_backend as pyk
+from repro.perf import COUNTERS
+from repro.topology import (
+    generate_as_graph,
+    generate_internet_graph,
+    generate_isp_topology,
+)
+
+try:
+    from repro.kernels import numpy_backend as npk
+except ImportError:  # pragma: no cover - exercised on clones without numpy
+    npk = None
+
+
+def _timed(fn, repeat: int):
+    """Median wall seconds over *repeat* calls (first call warms caches)."""
+    fn()
+    samples = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def _reference_rows(view, sources, unit):
+    rows = {}
+    for s in sources:
+        if unit:
+            rows[s] = pyk.bfs(view, s)
+        else:
+            dist, pred, _ = pyk.dijkstra_canonical(view, s)
+            rows[s] = (dist, pred)
+    return rows
+
+
+def _row_section(results, label, graph, unit, n_sources, repeat):
+    view = as_view(shared_csr(graph))
+    sources = list(range(min(n_sources, view.csr.n)))
+    results[f"{label}_python_s"] = _timed(
+        lambda: _reference_rows(view, sources, unit), repeat
+    )
+    if npk is not None:
+        results[f"{label}_numpy_s"] = _timed(
+            lambda: npk.rows_many(view, sources, unit), repeat
+        )
+        assert npk.rows_many(view, sources, unit) == _reference_rows(
+            view, sources, unit
+        ), f"{label}: backends disagree"
+
+
+def _repair_section(results, graph, repeat):
+    """Hub failure: kill the highest-degree tree edge near the source."""
+    csr = shared_csr(graph)
+    base = as_view(csr)
+    nodes = csr.nodes
+    dist, pred, _ = pyk.dijkstra_canonical(base, 0)
+    children: dict[int, list[int]] = {}
+    for v in range(csr.n):
+        if pred[v] >= 0:
+            children.setdefault(pred[v], []).append(v)
+
+    def subtree(root):
+        out, stack = set(), [root]
+        while stack:
+            x = stack.pop()
+            if x not in out:
+                out.add(x)
+                stack.extend(children.get(x, ()))
+        return out
+
+    victim = max(
+        (v for v in range(csr.n) if pred[v] >= 0), key=lambda v: len(subtree(v))
+    )
+    affected = subtree(victim)
+    affected.discard(0)
+    view = base.without(edges=[(nodes[pred[victim]], nodes[victim])])
+    results["repair_affected_nodes"] = len(affected)
+    results["repair_python_s"] = _timed(
+        lambda: pyk.repair_resettle(
+            view, 0, list(dist), list(pred), set(affected), False
+        ),
+        repeat,
+    )
+    if npk is not None:
+        results["repair_numpy_s"] = _timed(
+            lambda: npk._repair_resettle_vec(
+                view, 0, list(dist), list(pred), set(affected), False
+            ),
+            repeat,
+        )
+        ref = pyk.repair_resettle(
+            view, 0, list(dist), list(pred), set(affected), False
+        )
+        vec = npk._repair_resettle_vec(
+            view, 0, list(dist), list(pred), set(affected), False
+        )
+        assert vec == ref, "repair: backends disagree"
+
+
+def _decompose_section(results, graph, anchors, repeat):
+    """A concatenation of shortest paths — the chain shape per-link ILM
+    accounting actually decomposes (few pieces, long spans); a random
+    walk would be adversarial instead (one piece per hop, so the matrix
+    DP's min-plus fixpoint needs ~len(chain) rounds)."""
+    csr = shared_csr(graph)
+    view = as_view(csr)
+    indptr, indices, weights = csr.indptr, csr.indices, csr.weights
+    rng = random.Random(7)
+    preds = {}
+    waypoints = [rng.randrange(csr.n) for _ in range(anchors)]
+    chain = [waypoints[0]]
+    for a, b in zip(waypoints, waypoints[1:]):
+        if a not in preds:
+            preds[a] = pyk.dijkstra_canonical(view, a)[1]
+        seg, t = [], b
+        while t != -1:
+            seg.append(t)
+            t = preds[a][t]
+        chain.extend(reversed(seg[:-1]))
+
+    def edge_weight(u, v):
+        for s in range(indptr[u], indptr[u + 1]):
+            if indices[s] == v:
+                return weights[s]
+        raise KeyError((u, v))
+
+    cum = [0.0]
+    for u, v in zip(chain, chain[1:]):
+        cum.append(cum[-1] + edge_weight(u, v))
+    chain = tuple(chain)
+    rows = {
+        j: pyk.dijkstra_canonical(view, chain[j])[0] for j in range(len(chain))
+    }
+    row_for = rows.__getitem__
+    results["decompose_chain_len"] = len(chain)
+    results["decompose_python_s"] = _timed(
+        lambda: pyk.decompose_flat(chain, cum, row_for), repeat
+    )
+    if npk is not None:
+        results["decompose_numpy_s"] = _timed(
+            lambda: npk._decompose_flat_vec(chain, cum, row_for), repeat
+        )
+        assert npk._decompose_flat_vec(chain, cum, row_for) == pyk.decompose_flat(
+            chain, cum, row_for
+        ), "decompose: backends disagree"
+
+
+def main(argv=None) -> None:
+    from repro.experiments.bench import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeat", type=int, default=5)
+    parser.add_argument("--sources", type=int, default=200,
+                        help="row-building batch size per network")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke mode: tiny graphs, fewer repeats; every "
+             "numpy-vs-python equivalence assertion still runs",
+    )
+    parser.add_argument(
+        "--bench-json", type=str, default=None,
+        help="path for the BENCH JSON (default results/BENCH_kernels.json; "
+             "'-' disables)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes = {"isp": 120, "internet": 300, "as": 300,
+                 "repair_isp": 400, "anchors": 6}
+        args.repeat = min(args.repeat, 2)
+        args.sources = min(args.sources, 60)
+    else:
+        sizes = {"isp": 200, "internet": 4000, "as": 2000,
+                 "repair_isp": 2000, "anchors": 16}
+
+    before = COUNTERS.snapshot()
+    wall_start = time.perf_counter()
+    results: dict[str, float] = {}
+
+    isp_w = generate_isp_topology(n=sizes["isp"], seed=args.seed)
+    isp_u = generate_isp_topology(n=sizes["isp"], seed=args.seed, weighted=False)
+    _row_section(results, "rows_isp_weighted", isp_w, False,
+                 args.sources, args.repeat)
+    _row_section(results, "rows_isp_unit", isp_u, True,
+                 args.sources, args.repeat)
+    _row_section(results, "rows_internet", generate_internet_graph(
+        n=sizes["internet"], seed=args.seed), True, args.sources, args.repeat)
+    _row_section(results, "rows_as_graph", generate_as_graph(
+        n=sizes["as"], seed=args.seed), True, args.sources, args.repeat)
+    repair_graph = generate_isp_topology(n=sizes["repair_isp"], seed=args.seed)
+    _repair_section(results, repair_graph, args.repeat)
+    _decompose_section(results, repair_graph, sizes["anchors"], args.repeat)
+
+    speedups = {}
+    for key in sorted(results):
+        if key.endswith("_numpy_s"):
+            stem = key[: -len("_numpy_s")]
+            speedups[stem] = round(
+                results[f"{stem}_python_s"] / max(results[key], 1e-12), 2
+            )
+
+    payload = {
+        "name": "kernels",
+        "seed": args.seed,
+        "repeat": args.repeat,
+        "sources": args.sources,
+        "sizes": sizes,
+        "smoke": bool(args.smoke),
+        "backends_measured": available_backends(),
+        "wall_clock_s": round(time.perf_counter() - wall_start, 4),
+        "results": {
+            k: (round(v, 6) if isinstance(v, float) else v)
+            for k, v in results.items()
+        },
+        "speedups": speedups,
+        "counters": COUNTERS.delta(before).as_dict(),
+    }
+    if args.bench_json != "-":
+        out = write_bench_json("kernels", payload, path=args.bench_json)
+        print(f"wrote {out}")
+    for stem, ratio in speedups.items():
+        print(f"{stem}: {ratio}x")
+
+
+if __name__ == "__main__":
+    main()

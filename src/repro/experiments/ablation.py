@@ -29,6 +29,7 @@ from ..core.decomposition import greedy_decompose, min_pieces_decompose
 from ..core.restoration import SourceRouterRbpc, plan_restoration
 from ..exceptions import NoPath, NoRestorationPath
 from ..failures.models import FailureScenario
+from ..kernels import add_kernel_argument, apply_kernel
 from ..failures.sampler import sample_pairs
 from ..graph.shortest_paths import shortest_path
 from ..mpls.merging import provision_all_trees, provision_edge_lsps
@@ -212,7 +213,9 @@ def main(argv: list[str] | None = None) -> str:
     parser.add_argument("--size", type=int, default=80)
     parser.add_argument("--pairs", type=int, default=20)
     parser.add_argument("--seed", type=int, default=1)
+    add_kernel_argument(parser)
     args = parser.parse_args(argv)
+    apply_kernel(args)
 
     graph = generate_isp_topology(n=args.size, seed=args.seed)
     base = UniqueShortestPathsBase(graph)

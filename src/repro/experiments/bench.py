@@ -128,11 +128,13 @@ def bench_header() -> dict[str, Any]:
     """
     from ..graph.incremental import repair_fallback_fraction
     from ..graph.shm import shm_enabled
+    from ..kernels import backend_name
 
     return {
         "tie_order": TIE_ORDER,
         "repair_fallback": repair_fallback_fraction(),
         "shm_enabled": shm_enabled(),
+        "kernel_backend": backend_name(),
         "jobs": 1,
     }
 

@@ -24,6 +24,7 @@ from ..failures.sampler import link_failure_cases, sample_pairs
 from ..graph.graph import Graph, Node
 from ..graph.incremental import fast_shortest_path
 from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
+from ..kernels import add_kernel_argument, apply_kernel
 from ..perf import COUNTERS
 from .bench import (
     StageTimer,
@@ -212,9 +213,11 @@ def main(argv: list[str] | None = None) -> str:
              "'-' disables)",
     )
     add_repair_fallback_argument(parser)
+    add_kernel_argument(parser)
     add_obs_arguments(parser)
     args = parser.parse_args(argv)
     apply_repair_fallback(args)  # before any worker fork
+    apply_kernel(args)  # before any worker fork
     activate_from_args(args)
     timer = StageTimer(prefix="figure10")
     before = COUNTERS.snapshot()

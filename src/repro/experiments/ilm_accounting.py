@@ -59,7 +59,7 @@ from ..failures.models import FailureScenario
 from ..graph.csr import INF, shared_csr
 from ..graph.graph import Graph, Node
 from ..graph.paths import Path
-from ..graph.shortest_paths import costs_equal
+from ..kernels import kernel_backend
 from ..perf import COUNTERS
 
 #: A path in CSR index space: the node-index sequence, source first.
@@ -168,6 +168,11 @@ class IlmAccountant:
             return
         by_edge: dict[tuple[int, int], list] = {}
         by_router: dict[int, list] = {}
+        if self._oracle is not None:
+            nodes = self.csr.nodes
+            self._oracle.warm_many(
+                nodes[si] for si in self._source_idx if si not in self._chains
+            )
         for si in self._source_idx:
             for ti, chain in self._chains_for(si).items():
                 demand = (si, ti)
@@ -255,6 +260,14 @@ class IlmAccountant:
         the Path/dict materialization is gone.  Every 1-hop piece is a
         base path here (``include_all_edges``), so a decomposition
         always exists and ``extra_edges`` stays 0.
+
+        The DP itself runs on the active kernel backend: every chain
+        prefix with a longer-than-one-hop suffix needs its oracle row
+        exactly once (one-hop pieces always extend the DP, so every
+        prefix is reachable), so the rows are batch-warmed up front and
+        ``decompose_flat`` receives a row getter that only ever hits
+        cache — identical fetch set, hence identical oracle counters,
+        under either backend.
         """
         weight = self._probe_weight_map()
         cum = [0.0]
@@ -262,43 +275,20 @@ class IlmAccountant:
         for u, v in zip(chain, chain[1:]):
             total += weight[(u, v)]
             cum.append(total)
-        n = len(chain)
-        unset = n + 1
-        best = [unset] * n
-        choice = [0] * n
-        best[0] = 0
-        rows: dict[int, list[float]] = {}
-        probes = 0
         nodes = self.csr.nodes
-        for i in range(1, n):
-            ci = chain[i]
-            cum_i = cum[i]
-            bi = unset
-            cj = 0
-            for j in range(i):
-                bj = best[j]
-                if bj == unset:
-                    continue
-                probes += 1
-                if i - j > 1:
-                    row = rows.get(j)
-                    if row is None:
-                        row = rows[j] = self._oracle.row_arrays(
-                            nodes[chain[j]]
-                        )[0]
-                    d = row[ci]
-                    if d == INF or not costs_equal(cum_i - cum[j], d):
-                        continue
-                candidate = bj + 1
-                if candidate < bi:
-                    bi = candidate
-                    cj = j
-            best[i] = bi
-            choice[i] = cj
+        oracle = self._oracle
+        oracle.warm_many(nodes[c] for c in chain[:-2])
+
+        def row_for(j: int) -> list[float]:
+            return oracle.row_arrays(nodes[chain[j]])[0]
+
+        best, choice, probes = kernel_backend().decompose_flat(
+            chain, cum, row_for
+        )
         COUNTERS.probe_calls += probes
         COUNTERS.o1_probes += probes
         pieces: list[Chain] = []
-        i = n - 1
+        i = len(chain) - 1
         while i > 0:
             j = choice[i]
             pieces.append(chain[j : i + 1])

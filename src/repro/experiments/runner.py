@@ -9,6 +9,7 @@ import argparse
 from pathlib import Path as FilePath
 
 from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
+from ..kernels import add_kernel_argument, apply_kernel
 from ..perf import COUNTERS
 from . import figure10, table1, table2, table3, theory_figures
 from .bench import (
@@ -65,9 +66,11 @@ def main(argv: list[str] | None = None) -> str:
              "(default results/BENCH_runner.json; '-' disables)",
     )
     add_repair_fallback_argument(parser)
+    add_kernel_argument(parser)
     add_obs_arguments(parser)
     args = parser.parse_args(argv)
     apply_repair_fallback(args)  # before any worker fork
+    apply_kernel(args)  # before any worker fork
     activate_from_args(args)
     timer = StageTimer(prefix="runner")
     before = COUNTERS.snapshot()

@@ -8,6 +8,7 @@ from __future__ import annotations
 import argparse
 
 from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
+from ..kernels import add_kernel_argument, apply_kernel
 from ..perf import COUNTERS
 from ..topology.stats import TopologyStats, summarize
 from .bench import StageTimer, write_bench_json
@@ -71,8 +72,10 @@ def main(argv: list[str] | None = None) -> str:
         help="path for the BENCH JSON (default results/BENCH_table1.json; "
              "'-' disables)",
     )
+    add_kernel_argument(parser)
     add_obs_arguments(parser)
     args = parser.parse_args(argv)
+    apply_kernel(args)
     activate_from_args(args)
     timer = StageTimer(prefix="table1")
     before = COUNTERS.snapshot()

@@ -18,6 +18,7 @@ from ..exceptions import NoRestorationPath
 from ..graph.graph import Graph
 from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
 from ..obs.metrics import DEPTH_EDGES, METRICS
+from ..kernels import add_kernel_argument, apply_kernel
 from ..perf import COUNTERS
 from .bench import (
     StageTimer,
@@ -183,9 +184,11 @@ def main(argv: list[str] | None = None) -> str:
              "'-' disables)",
     )
     add_repair_fallback_argument(parser)
+    add_kernel_argument(parser)
     add_obs_arguments(parser)
     args = parser.parse_args(argv)
     apply_repair_fallback(args)  # before any worker fork
+    apply_kernel(args)  # before any worker fork
     activate_from_args(args)
     timer = StageTimer(prefix="table3")
     before = COUNTERS.snapshot()

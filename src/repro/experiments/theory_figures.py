@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from ..core.base_paths import AllShortestPathsBase
 from ..core.decomposition import min_pieces_decompose
 from ..failures.models import FailureScenario
+from ..kernels import add_kernel_argument, apply_kernel
 from ..graph.shortest_paths import shortest_path
 from ..topology.classic import (
     comb_graph,
@@ -161,7 +162,9 @@ def render(results: list[TightnessResult]) -> str:
 def main(argv: list[str] | None = None) -> str:
     """CLI entry point; prints and returns the report."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.parse_args(argv)
+    add_kernel_argument(parser)
+    args = parser.parse_args(argv)
+    apply_kernel(args)
     report = render(run())
     print(report)
     return report

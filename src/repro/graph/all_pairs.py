@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Optional
 
 from ..exceptions import NoPath
+from ..kernels import kernel_backend
 from ..perf import COUNTERS
 from .csr import INF, CsrView, dijkstra_csr_canonical, shared_csr
 from .graph import Node
@@ -214,6 +215,35 @@ class LazyDistanceOracle:
             return t in row
         it = self._csr.csr.index.get(t)
         return it is not None and row[it] != INF
+
+    def warm_many(self, sources: Iterable[Node]) -> None:
+        """Batch-build full rows for every source with no cached row yet.
+
+        Hands the whole batch to the active kernel backend's
+        ``rows_many`` — one vectorized multi-source settle under numpy;
+        a no-op under the reference backend (``None`` return), where
+        rows keep materializing lazily through :meth:`_ensure`.  Either
+        way the rows, their flavors, and the oracle counters end up
+        identical: only sources with *no* row are batched (truncated
+        rows still promote through :meth:`_ensure`, preserving
+        ``oracle_promotions``), and each batched row accounts one
+        ``oracle_rows_full`` exactly as its lazy twin would.
+        """
+        if self.break_ties_by_hops:
+            return
+        missing = [s for s in dict.fromkeys(sources) if s not in self._dist]
+        if len(missing) < 2:
+            return
+        view = self._csr_view()
+        index = view.csr.index
+        idxs = [index[s] for s in missing]
+        rows = kernel_backend().rows_many(view, idxs, unit=False)
+        if rows is None:
+            return
+        for s, i in zip(missing, idxs):
+            self._dist[s], self._pred[s] = rows[i]
+            self._complete.add(s)
+            COUNTERS.oracle_rows_full += 1
 
     def warm(self, source: Node, targets: Iterable[Node]) -> None:
         """Guarantee each target is settled or provably unreachable.

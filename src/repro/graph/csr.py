@@ -40,12 +40,12 @@ vanishing.
 
 from __future__ import annotations
 
-import heapq
 import weakref
 from array import array
 from typing import Iterable, Optional
 
 from ..exceptions import NodeNotFound
+from ..kernels import kernel_backend
 from ..perf import COUNTERS
 from .graph import Edge, Node
 from .heap import AddressableHeap
@@ -75,10 +75,14 @@ class CsrGraph:
         "directed",
         "source_version",
         "keepalive",
+        "_zero_masks",
+        "np_cache",
     )
 
     def __init__(self, graph) -> None:
         self.keepalive = None
+        self._zero_masks = None
+        self.np_cache = None
         self.directed = bool(getattr(graph, "directed", False))
         self.source_version = getattr(graph, "version", None)
         nodes = list(graph.nodes)
@@ -130,7 +134,24 @@ class CsrGraph:
         self.directed = directed
         self.source_version = source_version
         self.keepalive = keepalive
+        self._zero_masks = None
+        self.np_cache = None
         return self
+
+    def zero_masks(self) -> tuple[bytearray, bytearray]:
+        """Shared all-zero ``(edge, node)`` masks for unmasked views.
+
+        Built once per snapshot so the no-failure fast path never
+        allocates; every unmasked :class:`CsrView` hands these out from
+        :meth:`CsrView.masks`.  Callers must never write into them.
+        """
+        masks = self._zero_masks
+        if masks is None:
+            masks = self._zero_masks = (
+                bytearray(len(self.indices)),
+                bytearray(self.n),
+            )
+        return masks
 
     # -- views --------------------------------------------------------------
 
@@ -189,9 +210,18 @@ class CsrView:
     The topology buffers are shared with the parent snapshot; only the
     (typically tiny) masks are per-view.  ``EMPTY`` masks make this a
     zero-cost pass-through, so kernels take a view unconditionally.
+
+    The dead sets are canonical (hashable, cheap to union/stack); the
+    kernels probe their flat bytearray projection (:meth:`masks`)
+    instead — an index costs what an empty-frozenset probe used to and
+    skips hashing whenever failures are present, and the same buffers
+    cast zero-copy into ndarrays for the vectorized backend.
     """
 
-    __slots__ = ("csr", "dead_edges", "dead_nodes")
+    __slots__ = (
+        "csr", "dead_edges", "dead_nodes", "_edge_mask", "_node_mask",
+        "np_state",
+    )
 
     def __init__(
         self,
@@ -202,6 +232,38 @@ class CsrView:
         self.csr = csr
         self.dead_edges = dead_edges
         self.dead_nodes = dead_nodes
+        self._edge_mask: Optional[bytearray] = None
+        self._node_mask: Optional[bytearray] = None
+        self.np_state = None
+
+    def masks(self) -> tuple[bytearray, bytearray]:
+        """Flat 0/1 ``(edge slot, node index)`` masks — 1 marks dead.
+
+        Built lazily, O(k) in the number of failures; views with no
+        failures share the snapshot's zero masks
+        (:meth:`CsrGraph.zero_masks`), so the common unmasked path
+        allocates nothing.  The returned buffers are read-only by
+        contract — they may be shared across views.
+        """
+        edge_mask = self._edge_mask
+        if edge_mask is None:
+            if self.dead_edges:
+                edge_mask = bytearray(len(self.csr.indices))
+                for slot in self.dead_edges:
+                    edge_mask[slot] = 1
+            else:
+                edge_mask = self.csr.zero_masks()[0]
+            self._edge_mask = edge_mask
+        node_mask = self._node_mask
+        if node_mask is None:
+            if self.dead_nodes:
+                node_mask = bytearray(self.csr.n)
+                for i in self.dead_nodes:
+                    node_mask[i] = 1
+            else:
+                node_mask = self.csr.zero_masks()[1]
+            self._node_mask = node_mask
+        return edge_mask, node_mask
 
     def without(
         self, edges: Iterable[Edge] = (), nodes: Iterable[Node] = ()
@@ -301,7 +363,7 @@ def dijkstra_csr(
     csr = view.csr
     _require_alive(view, source)
     indptr, indices, weights = csr.indptr, csr.indices, csr.weights
-    dead_e, dead_n = view.dead_edges, view.dead_nodes
+    edge_dead, node_dead = view.masks()
     dist = [INF] * csr.n
     pred = [-1] * csr.n
     settled = 0
@@ -316,7 +378,7 @@ def dijkstra_csr(
             break
         for slot in range(indptr[u], indptr[u + 1]):
             v = indices[slot]
-            if v in dead_n or slot in dead_e:
+            if node_dead[v] or edge_dead[slot]:
                 continue
             relaxations += 1
             if dist[v] != INF:
@@ -348,53 +410,13 @@ def dijkstra_csr_canonical(
     ``(dist, pred, exhausted)`` where *exhausted* mirrors
     :func:`~repro.graph.shortest_paths.dijkstra_pruned`: only an
     exhausted run proves unreached nodes unreachable.
+
+    Dispatches to the active kernel backend (:mod:`repro.kernels`);
+    every backend returns bit-identical rows and counter increments —
+    the canonical contract makes both a pure function of the view.
     """
-    csr = view.csr
     _require_alive(view, source)
-    indptr, indices, weights = csr.indptr, csr.indices, csr.weights
-    dead_e, dead_n = view.dead_edges, view.dead_nodes
-    dist = [INF] * csr.n
-    pred = [-1] * csr.n
-    best = [INF] * csr.n
-    best[source] = 0.0
-    remaining: Optional[set[int]] = None
-    if targets is not None:
-        remaining = {t for t in targets if t != source and t not in dead_n}
-    heap: list[tuple[float, int]] = [(0.0, source)]
-    settled = 0
-    relaxations = 0
-    exhausted = True
-    push = heapq.heappush
-    pop = heapq.heappop
-    while heap:
-        d_u, u = pop(heap)
-        if dist[u] != INF:
-            continue
-        dist[u] = d_u
-        settled += 1
-        if remaining is not None:
-            remaining.discard(u)
-            if not remaining:
-                exhausted = not heap
-                break
-        for slot in range(indptr[u], indptr[u + 1]):
-            v = indices[slot]
-            if v in dead_n or slot in dead_e:
-                continue
-            relaxations += 1
-            if dist[v] != INF:
-                continue
-            candidate = d_u + weights[slot]
-            if candidate < best[v]:
-                best[v] = candidate
-                pred[v] = u
-                push(heap, (candidate, v))
-            # candidate == best[v] cannot name a better (dist, index)
-            # parent here: parents relax in settle order, which IS the
-            # (dist, index) order, so the first tight parent already won.
-    COUNTERS.csr_relaxations += relaxations
-    COUNTERS.csr_settled += settled
-    return dist, pred, exhausted
+    return kernel_backend().dijkstra_canonical(view, source, targets)
 
 
 def bfs_csr(
@@ -417,12 +439,16 @@ def bfs_csr(
     discovery-ordered frontier, predecessor = first discoverer in
     adjacency order — the audit mode the equivalence suite pins.
     Distances are floats for interchangeability with the Dijkstra
-    kernels.
+    kernels.  The canonical mode dispatches to the active kernel
+    backend (:mod:`repro.kernels`); the audit mode is reference-only
+    and stays pinned to this loop.
     """
     csr = view.csr
     _require_alive(view, source)
+    if not legacy:
+        return kernel_backend().bfs(view, source, target)
     indptr, indices = csr.indptr, csr.indices
-    dead_e, dead_n = view.dead_edges, view.dead_nodes
+    edge_dead, node_dead = view.masks()
     dist = [INF] * csr.n
     pred = [-1] * csr.n
     dist[source] = 0.0
@@ -434,14 +460,12 @@ def bfs_csr(
         return dist, pred
     frontier = [source]
     while frontier:
-        if not legacy:
-            frontier.sort()
         next_frontier = []
         for u in frontier:
             d_next = dist[u] + 1.0
             for slot in range(indptr[u], indptr[u + 1]):
                 v = indices[slot]
-                if v in dead_n or slot in dead_e:
+                if node_dead[v] or edge_dead[slot]:
                     continue
                 relaxations += 1
                 if dist[v] == INF:

@@ -47,11 +47,11 @@ multi-source consumer is the per-scenario ILM accounting.
 
 from __future__ import annotations
 
-import heapq
 import os
 from typing import Iterable, Optional
 
 from ..exceptions import NoPath
+from ..kernels import kernel_backend
 from ..perf import COUNTERS
 from .csr import (
     INF,
@@ -217,16 +217,13 @@ def repair_spt(
     ``COUNTERS.spt_nodes_resettled``; threshold aborts into
     ``COUNTERS.spt_fallbacks`` before delegating to the full kernel.
     """
-    csr = view.csr
-    n = csr.n
-    indptr, indices, weights = csr.indptr, csr.indices, csr.weights
-    dead_e, dead_n = view.dead_edges, view.dead_nodes
+    n = view.csr.n
 
     if affected is None:
         if fallback_fraction is None:
             fallback_fraction = REPAIR_FALLBACK_FRACTION
         affected = affected_subtree(
-            dist, pred, n, dead_edge_pairs(view), dead_n
+            dist, pred, n, dead_edge_pairs(view), view.dead_nodes
         )
         if source in affected:
             # The source itself failed; nothing to repair from.
@@ -236,83 +233,18 @@ def repair_spt(
             COUNTERS.spt_fallbacks += 1
             return _full_row(view, source, unit)
 
-    new_dist = list(dist)
-    new_pred = list(pred)
     COUNTERS.spt_repairs += 1
     if not affected:
         # No deleted edge was a tree edge: the SPT survives as-is.
-        return new_dist, new_pred
+        return list(dist), list(pred)
 
-    for x in affected:
-        new_dist[x] = INF
-        new_pred[x] = -1
-
-    # Boundary offers: surviving edges from intact nodes into the
-    # affected region.  Scanning each affected node's adjacency finds
-    # them because the graphs are undirected (every in-edge is visible
-    # as an out-edge).  The equal-offer tie rule — parent minimizing
-    # ``(dist[parent], parent index)`` — reproduces the canonical
-    # kernel's "first tight parent in settle order" choice, so repaired
-    # predecessors match a from-scratch run exactly.
-    best: dict[int, tuple[float, int]] = {}
-    heap: list[tuple[float, int]] = []
-    relaxations = 0
-    for x in affected:
-        if x in dead_n:
-            continue
-        for slot in range(indptr[x], indptr[x + 1]):
-            u = indices[slot]
-            if u in affected or u in dead_n or slot in dead_e:
-                continue
-            relaxations += 1
-            candidate = new_dist[u] + (1.0 if unit else weights[slot])
-            old = best.get(x)
-            if (
-                old is None
-                or candidate < old[0]
-                or (
-                    candidate == old[0]
-                    and (new_dist[u], u) < (new_dist[old[1]], old[1])
-                )
-            ):
-                best[x] = (candidate, u)
-    for x, (candidate, _) in best.items():
-        heapq.heappush(heap, (candidate, x))
-
-    settled = 0
-    push = heapq.heappush
-    pop = heapq.heappop
-    while heap:
-        d_x, x = pop(heap)
-        if new_dist[x] != INF:
-            continue
-        if d_x != best[x][0]:
-            continue  # stale entry superseded by a better offer
-        new_dist[x] = d_x
-        new_pred[x] = best[x][1]
-        settled += 1
-        for slot in range(indptr[x], indptr[x + 1]):
-            v = indices[slot]
-            if v not in affected or v in dead_n or slot in dead_e:
-                continue
-            relaxations += 1
-            if new_dist[v] != INF:
-                continue
-            candidate = d_x + (1.0 if unit else weights[slot])
-            old = best.get(v)
-            if (
-                old is None
-                or candidate < old[0]
-                or (
-                    candidate == old[0]
-                    and (d_x, x) < (new_dist[old[1]], old[1])
-                )
-            ):
-                best[v] = (candidate, x)
-                push(heap, (candidate, v))
-    COUNTERS.spt_nodes_resettled += settled
-    COUNTERS.csr_relaxations += relaxations
-    return new_dist, new_pred
+    # Boundary offers + bounded re-settle live in the kernel backend
+    # (:mod:`repro.kernels`): the reference backend runs the historical
+    # heap loop, the vectorized one relaxes the affected region to
+    # fixpoint — both return bit-identical arrays and counters.
+    return kernel_backend().repair_resettle(
+        view, source, dist, pred, affected, unit
+    )
 
 
 class SptCache:
@@ -357,6 +289,25 @@ class SptCache:
             row = (dist, pred)
             self._rows[i] = row
         return row
+
+    def warm_rows(self, source_idxs: Iterable[int]) -> None:
+        """Batch-build missing pre-failure rows where the backend can.
+
+        Vectorized backends settle many sources per relaxation round
+        (:func:`repro.kernels.kernel_backend`'s ``rows_many``); the
+        reference backend declines and the rows stay lazily built by
+        :meth:`_row`.  Either way the cached rows — and the counter
+        increments — are bit-identical.
+        """
+        missing = [
+            i for i in dict.fromkeys(source_idxs) if i not in self._rows
+        ]
+        if len(missing) > 1:
+            built = kernel_backend().rows_many(
+                CsrView(self.csr), missing, not self.weighted
+            )
+            if built:
+                self._rows.update(built)
 
     def _affected(
         self,
@@ -451,14 +402,51 @@ class SptCache:
 
         The all-array variant flat-row consumers (the ILM accountant)
         call directly — no Node round-trips.  Dead sources are omitted.
+
+        Besides the shared scenario decode, the batch stages its work
+        for the vectorized backends: missing pre-failure rows are built
+        in one :meth:`warm_rows` call, and the sources whose repair
+        trips the fallback policy are recomputed together through
+        ``rows_many`` on the masked view.  Rows and counters are
+        bit-identical to calling :meth:`repaired_row` per source.
         """
         view = self.view_for(scenario_or_view)
+        idxs = [
+            i for i in dict.fromkeys(source_idxs)
+            if i not in view.dead_nodes
+        ]
+        self.warm_rows(idxs)
+        if not view.dead_edges and not view.dead_nodes:
+            return {i: self._row(i) for i in idxs}
         pairs = dead_edge_pairs(view)
+        affected_by: dict[int, set[int]] = {}
+        fallbacks: list[int] = []
+        for i in idxs:
+            affected = self._affected(i, view, pairs=pairs)
+            if self._repair_viable(i, affected):
+                affected_by[i] = affected
+            else:
+                fallbacks.append(i)
+        full = (
+            kernel_backend().rows_many(view, fallbacks, not self.weighted)
+            if len(fallbacks) > 1
+            else None
+        )
         rows: dict[int, tuple[list[float], list[int]]] = {}
-        for i in source_idxs:
-            if i in view.dead_nodes:
-                continue
-            rows[i] = self._repaired_row_idx(i, view, pairs=pairs)
+        for i in idxs:
+            affected = affected_by.get(i)
+            if affected is None:
+                rows[i] = (
+                    full[i]
+                    if full is not None
+                    else _full_row(view, i, not self.weighted)
+                )
+            else:
+                dist, pred = self._row(i)
+                rows[i] = repair_spt(
+                    view, i, dist, pred,
+                    affected=affected, unit=not self.weighted,
+                )
         return rows
 
     def view_for(self, scenario_or_view) -> CsrView:

@@ -1,0 +1,583 @@
+"""Vectorized numpy kernels for the canonical path engine.
+
+**Why this is legal.**  The library-wide canonical ``(dist, index)``
+tie contract (:mod:`repro.graph.csr`) makes every production output a
+pure function of the graph view: each distance label is the IEEE-754
+minimum over ``dist[parent] + weight`` single-add candidates built from
+*final* parent labels, and the canonical predecessor is the tight
+parent minimizing ``(dist[parent], parent index)`` — a local property
+of the final labels.  Monotone fixpoint iteration (Bellman–Ford style)
+over the same float64 adds therefore converges to **bitwise** the same
+labels as the reference heap kernel, and a vectorized tight-parent
+extraction reproduces the same predecessors, with no heap-order replay
+(the restorable-tiebreaking property of Bodwin–Parter,
+arXiv:2102.10174).  ``tests/test_kernels.py`` pins the equivalence
+across topology families, tie-heavy unit graphs, and dead-edge/node
+views.
+
+**How it is fast.**  CSR buffers (``array.array`` or shared-memory
+memoryview casts from :mod:`repro.graph.shm`) are wrapped zero-copy
+into ndarrays via the buffer protocol and cached on the snapshot; the
+per-view dead masks are ndarray views over the same bytearrays the
+pure-Python loops probe.  Full rows are settled for a whole *batch* of
+sources at once in ``(source, node)`` layout.  The settle stage runs
+on ``scipy.sparse.csgraph.dijkstra`` when scipy is importable (dead
+slots carry ``inf`` weights, so masks need no matrix surgery) — legal
+because *any* Dijkstra assigns each label as one float64
+``final parent label + weight`` add, the same fixpoint; without scipy
+a batched Bellman–Ford fallback iterates gather + segmented
+``np.minimum.reduceat`` rounds to the same fixpoint (dense whole-graph
+rounds on small graphs, frontier-restricted rounds — only rows
+adjacent to a changed label are recomputed — on large ones).
+Predecessors are then extracted with contiguous axis-1 ``reduceat``
+lexicographic minima; unit-weight graphs take a narrower path (every
+tight parent of ``v`` sits at level ``dist[v] - 1``, so the
+parent-distance tie pass vanishes and int32 levels halve the memory
+traffic).  The decremental re-settle of ``repair_spt`` runs the
+restricted fixpoint over the affected subtree, and the ILM
+decomposition DP becomes a masked matrix recurrence.
+
+**Counter parity.**  The reference loops count one ``csr_relaxation``
+per live slot scanned from a settled node and one ``csr_settled`` per
+finite label — both closed-form properties of the final labels, which
+this backend computes exactly; the repair counters mirror the
+boundary-offer/settle-scan accounting the same way.  Both backends
+therefore emit identical ``BENCH_*.json`` counter blocks.
+
+Stage dispatch: targeted early-exit queries, tiny single rows, small
+affected sets, and short decomposition chains stay on the reference
+loops (vectorization overhead would dominate); the thresholds are
+module constants and affect nothing observable — outputs and counters
+are backend-invariant by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from ..perf import COUNTERS
+from . import python_backend as _py
+
+try:  # pragma: no cover - exercised through both branches in CI
+    from scipy.sparse import csr_matrix as _sp_csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _sp_dijkstra
+except ImportError:  # scipy is optional on top of numpy
+    _sp_csr_matrix = None
+    _sp_dijkstra = None
+
+NAME = "numpy"
+INF = float("inf")
+
+#: Sources settled together per relaxation chunk.  Wider batches
+#: amortize fixed per-call overhead but blow the cache once the
+#: working set (a few ``S × m`` temporaries) outgrows L3; big graphs
+#: therefore drop to the narrower chunk.
+CHUNK = 64
+CHUNK_BIG_GRAPH = 32
+BIG_GRAPH_SLOTS = 12_000
+
+#: Below this node count a full-graph relaxation round beats the
+#: frontier bookkeeping (dense ISP-sized graphs touch most rows every
+#: round anyway).
+DENSE_MAX_N = 1024
+
+#: Single-source full rows go vectorized only on graphs at least this
+#: large; below it the reference heap wins on setup overhead.
+SINGLE_MIN_N = 400
+
+#: Affected subtrees smaller than this re-settle via the reference
+#: heap loop; the vectorized path needs enough rows per round to pay
+#: for its gathers.
+REPAIR_MIN_AFFECTED = 192
+
+#: Decomposition chains shorter than this run the reference DP (the
+#: matrix recurrence only wins once the O(len²) cell count is real).
+DECOMPOSE_MIN_CHAIN = 24
+
+
+# -- cached array views -------------------------------------------------------
+
+
+def _graph_arrays(csr) -> dict:
+    """Zero-copy ndarray casts + derived index arrays, cached per snapshot."""
+    cache = csr.np_cache
+    if cache is None:
+        cache = csr.np_cache = {}
+    arrays = cache.get("graph")
+    if arrays is None:
+        indptr = np.frombuffer(csr.indptr, dtype=np.int64)
+        indices = np.frombuffer(csr.indices, dtype=np.int64)
+        weights = np.frombuffer(csr.weights, dtype=np.float64)
+        deg = np.diff(indptr)
+        arrays = cache["graph"] = {
+            "indptr": indptr,
+            "indices": indices,
+            "indices32": indices.astype(np.int32),
+            "weights": weights,
+            "deg": deg,
+            "starts": indptr[:-1],
+            "row_of": np.repeat(np.arange(csr.n, dtype=np.int64), deg),
+            "empty": deg == 0,
+        }
+    return arrays
+
+
+def _view_state(view) -> dict:
+    """Per-view mask/effective-weight ndarrays, cached on the view.
+
+    ``edge_dead`` / ``node_dead`` are bool views over the same
+    bytearrays the reference loops probe (:meth:`CsrView.masks`);
+    ``w_eff`` / ``w_eff_unit`` carry ``inf`` on dead slots so masked
+    candidates drop out of every minimum without branching.  Unmasked
+    views share the snapshot's weight buffers — nothing is copied.
+    """
+    state = view.np_state
+    if state is None:
+        g = _graph_arrays(view.csr)
+        edge_mask, node_mask = view.masks()
+        edge_dead = np.frombuffer(edge_mask, dtype=np.uint8).view(np.bool_)
+        node_dead = np.frombuffer(node_mask, dtype=np.uint8).view(np.bool_)
+        state = view.np_state = {
+            "edge_dead": edge_dead,
+            "node_dead": node_dead,
+            "live_slot": None,
+            "w_eff": None,
+            "w_eff_unit": None,
+        }
+    return state
+
+
+def _live_slots(view) -> np.ndarray:
+    """Bool per slot: edge alive and scanned endpoint alive (the
+    reference kernels' relaxation-counting condition)."""
+    state = _view_state(view)
+    live = state["live_slot"]
+    if live is None:
+        g = _graph_arrays(view.csr)
+        live = ~state["edge_dead"] & ~state["node_dead"][g["indices"]]
+        state["live_slot"] = live
+    return live
+
+
+def _effective_weights(view, unit: bool) -> np.ndarray:
+    """Slot weights with ``inf`` on dead slots (1.0 base in unit mode)."""
+    state = _view_state(view)
+    key = "w_eff_unit" if unit else "w_eff"
+    w = state[key]
+    if w is None:
+        g = _graph_arrays(view.csr)
+        edge_dead = state["edge_dead"]
+        if unit:
+            w = np.ones(len(g["weights"]))
+            if edge_dead.any():
+                w[edge_dead] = INF
+        elif edge_dead.any():
+            w = g["weights"].copy()
+            w[edge_dead] = INF
+        else:
+            w = g["weights"]
+        state[key] = w
+    return w
+
+
+# -- batched full rows --------------------------------------------------------
+
+
+def _settle_dense(g, node_dead, w_eff, srcs: np.ndarray) -> np.ndarray:
+    """Whole-graph relaxation rounds to fixpoint, ``(n, S)`` labels."""
+    n, m = len(g["deg"]), len(g["indices"])
+    S = len(srcs)
+    cols = np.arange(S)
+    dist = np.full((n, S), INF)
+    dist[srcs, cols] = 0.0
+    cand = np.empty((m + 1, S))
+    cand[m] = INF
+    w_col = w_eff[:, None]
+    indices, starts, empty = g["indices"], g["starts"], g["empty"]
+    dead_rows = node_dead if node_dead.any() else None
+    while True:
+        np.take(dist, indices, axis=0, out=cand[:m])
+        cand[:m] += w_col
+        new = np.minimum.reduceat(cand, starts, axis=0)
+        new[empty] = INF
+        np.minimum(new, dist, out=new)
+        if dead_rows is not None:
+            new[dead_rows] = INF
+        if np.array_equal(new, dist):
+            break
+        dist, new = new, dist
+    return dist
+
+
+def _settle_frontier(g, node_dead, w_eff, srcs: np.ndarray) -> np.ndarray:
+    """Frontier-restricted relaxation: recompute only rows adjacent to a
+    label that changed last round.  Same fixpoint as :func:`_settle_dense`
+    (relaxation is monotone and idempotent), far less work per round on
+    large sparse graphs."""
+    n = len(g["deg"])
+    S = len(srcs)
+    dist = np.full((n, S), INF)
+    dist[srcs, np.arange(S)] = 0.0
+    indptr, indices, deg = g["indptr"], g["indices"], g["deg"]
+    touched = np.empty(n, dtype=bool)
+    any_dead = node_dead.any()
+    changed = np.unique(srcs)
+    while changed.size:
+        degs_c = deg[changed]
+        tot_c = int(degs_c.sum())
+        if tot_c == 0:
+            break
+        offs_c = np.concatenate(([0], np.cumsum(degs_c)[:-1]))
+        slots_c = (
+            np.repeat(indptr[changed] - offs_c, degs_c)
+            + np.arange(tot_c)
+        )
+        touched[:] = False
+        touched[indices[slots_c]] = True
+        if any_dead:
+            touched &= ~node_dead
+        rows = np.flatnonzero(touched)
+        if not rows.size:
+            break
+        degs_r = deg[rows]
+        tot_r = int(degs_r.sum())
+        cum = np.concatenate(([0], np.cumsum(degs_r)))
+        slots_r = (
+            np.repeat(indptr[rows] - cum[:-1], degs_r) + np.arange(tot_r)
+        )
+        cand = np.empty((tot_r + 1, S))
+        cand[tot_r] = INF
+        np.take(dist, indices[slots_r], axis=0, out=cand[:tot_r])
+        cand[:tot_r] += w_eff[slots_r][:, None]
+        mins = np.minimum.reduceat(cand, cum[:-1], axis=0)
+        mins[degs_r == 0] = INF
+        old = dist[rows]
+        upd = np.minimum(old, mins)
+        improved = (upd < old).any(axis=1)
+        dist[rows] = upd
+        changed = rows[improved]
+    return dist
+
+
+def _scipy_matrix(view, unit: bool):
+    """Per-view scipy CSR matrix sharing the graph buffers.
+
+    Dead slots (and slots into dead nodes) carry ``inf`` weights: an
+    ``inf`` edge can never improve a label, and any label reached only
+    through one stays ``inf`` — exactly the reference kernels' skip.
+    Unmasked views wrap the snapshot's weight array with zero copies.
+    """
+    state = _view_state(view)
+    key = "sp_mat_unit" if unit else "sp_mat"
+    mat = state.get(key)
+    if mat is None:
+        g = _graph_arrays(view.csr)
+        w = _effective_weights(view, unit)
+        node_dead = state["node_dead"]
+        data = w
+        if node_dead.any():
+            data = w.copy()
+            data[node_dead[g["indices"]]] = INF
+        n = view.csr.n
+        mat = _sp_csr_matrix((data, g["indices"], g["indptr"]), shape=(n, n))
+        state[key] = mat
+    return mat
+
+
+def _settle_chunk(view, g, state, w_eff, chunk: np.ndarray, unit: bool):
+    """Final distance labels for one source chunk, ``(S, n)`` float64.
+
+    scipy's C Dijkstra when importable; otherwise the batched
+    Bellman–Ford fixpoint (dense rounds on small graphs, frontier
+    rounds on large ones).  All three assign every label as a single
+    float64 ``final parent label + weight`` add, so they agree bitwise.
+    """
+    if _sp_dijkstra is not None:
+        return _sp_dijkstra(_scipy_matrix(view, unit), indices=chunk)
+    node_dead = state["node_dead"]
+    if len(g["deg"]) <= DENSE_MAX_N:
+        dist = _settle_dense(g, node_dead, w_eff, chunk)
+    else:
+        dist = _settle_frontier(g, node_dead, w_eff, chunk)
+    return np.ascontiguousarray(dist.T)
+
+
+def _extract_preds(
+    g,
+    D: np.ndarray,
+    w_eff: np.ndarray,
+    srcs: np.ndarray,
+    unit: bool,
+    edge_dead: np.ndarray,
+) -> np.ndarray:
+    """Canonical predecessors from final ``(S, n)`` labels.
+
+    ``pred[v] = argmin over tight parents of (dist[parent], parent)``
+    — contiguous axis-1 segmented minima.  Unit graphs skip the
+    parent-distance pass entirely (every tight parent of ``v`` sits at
+    level ``dist[v] - 1``) and compare int32 levels, but must mask
+    dead slots explicitly since the hop arithmetic never touches the
+    ``inf``-carrying weights.  Unreachable nodes and the sources
+    themselves get ``-1``, matching the reference kernels.
+    """
+    n = D.shape[1]
+    indices, starts, row_of, empty = (
+        g["indices"], g["starts"], g["row_of"], g["empty"],
+    )
+    fin = np.isfinite(D)
+    if unit:
+        Di = np.where(fin, D, -2.0).astype(np.int32)
+        tight = Di[:, indices] + 1 == Di[:, row_of]
+        if edge_dead.any():
+            tight &= ~edge_dead
+        key2 = np.where(tight, g["indices32"], n)
+    else:
+        pdist = D[:, indices]
+        cand = pdist + w_eff
+        tight = cand == D[:, row_of]
+        np.logical_and(tight, np.isfinite(cand), out=tight)
+        key1 = np.where(tight, pdist, INF)
+        m1 = np.minimum.reduceat(key1, starts, axis=1)
+        m1[:, empty] = INF
+        np.logical_and(tight, pdist == m1[:, row_of], out=tight)
+        key2 = np.where(tight, indices, n)
+    m2 = np.minimum.reduceat(key2, starts, axis=1)
+    m2[:, empty] = n
+    pred = np.where(fin & (m2 < n), m2, -1)
+    pred[np.arange(len(srcs)), srcs] = -1
+    return pred
+
+
+def _full_rows(
+    view, sources: list[int], unit: bool
+) -> dict[int, tuple[list[float], list[int]]]:
+    """Exhaustive canonical rows for *sources*, settled in chunks."""
+    g = _graph_arrays(view.csr)
+    state = _view_state(view)
+    w_eff = _effective_weights(view, unit)
+    live = _live_slots(view)
+    row_of = g["row_of"]
+    m = len(g["indices"])
+    chunk_size = CHUNK if m <= BIG_GRAPH_SLOTS else CHUNK_BIG_GRAPH
+    out: dict[int, tuple[list[float], list[int]]] = {}
+    relaxations = 0
+    settled = 0
+    for lo in range(0, len(sources), chunk_size):
+        chunk = np.asarray(sources[lo:lo + chunk_size], dtype=np.int64)
+        D = _settle_chunk(view, g, state, w_eff, chunk, unit)
+        pred = _extract_preds(
+            g, D, w_eff, chunk, unit, state["edge_dead"]
+        )
+        fin = np.isfinite(D)
+        settled += int(np.count_nonzero(fin))
+        # Per the reference loops: one relaxation per live slot whose
+        # scanning endpoint settled.  Summing finite counts per node
+        # first keeps this O(m + S·n) instead of O(S·m).
+        relaxations += int((fin.sum(axis=0)[row_of] * live).sum())
+        for k, src in enumerate(chunk.tolist()):
+            out[src] = (D[k].tolist(), pred[k].tolist())
+    COUNTERS.csr_relaxations += relaxations
+    COUNTERS.csr_settled += settled
+    return out
+
+
+# -- backend interface --------------------------------------------------------
+
+
+def _vector_eligible(view, n_needed: int) -> bool:
+    """Vectorized full rows apply: undirected snapshot, big enough."""
+    return not view.csr.directed and view.csr.n >= n_needed
+
+
+def dijkstra_canonical(
+    view, source: int, targets: Optional[Iterable[int]] = None
+) -> tuple[list[float], list[int], bool]:
+    """Canonical Dijkstra rows; vectorized for exhaustive queries.
+
+    Targeted early-exit queries keep the reference heap — settling a
+    whole component to answer a pruned probe would throw away the
+    truncation the oracle relies on.
+    """
+    if targets is not None or not _vector_eligible(view, SINGLE_MIN_N):
+        return _py.dijkstra_canonical(view, source, targets)
+    dist, pred = _full_rows(view, [source], unit=False)[source]
+    return dist, pred, True
+
+
+def bfs(view, source: int, target: int = -1) -> tuple[list[float], list[int]]:
+    """Canonical BFS rows; vectorized for exhaustive queries."""
+    if target >= 0 or not _vector_eligible(view, SINGLE_MIN_N):
+        return _py.bfs(view, source, target)
+    return _full_rows(view, [source], unit=True)[source]
+
+
+def rows_many(
+    view, sources: list[int], unit: bool
+) -> Optional[dict[int, tuple[list[float], list[int]]]]:
+    """Batched exhaustive rows — the backend's headline stage."""
+    if not sources:
+        return {}
+    if not _vector_eligible(view, 0):
+        return None
+    return _full_rows(view, list(sources), unit)
+
+
+def repair_resettle(
+    view,
+    source: int,
+    dist: list[float],
+    pred: list[int],
+    affected: set[int],
+    unit: bool,
+) -> tuple[list[float], list[int]]:
+    """Re-settle an affected subtree; vectorized above the size gate."""
+    if len(affected) < REPAIR_MIN_AFFECTED or view.csr.directed:
+        return _py.repair_resettle(view, source, dist, pred, affected, unit)
+    return _repair_resettle_vec(view, source, dist, pred, affected, unit)
+
+
+def _repair_resettle_vec(
+    view,
+    source: int,
+    dist: list[float],
+    pred: list[int],
+    affected: set[int],
+    unit: bool,
+) -> tuple[list[float], list[int]]:
+    """Vectorized Ramalingam–Reps re-settle.
+
+    Blank the affected labels, then relax *only the affected rows* to
+    fixpoint against the frozen unaffected boundary — the same
+    candidates the reference loop's boundary offers + bounded heap
+    consider, so the fixpoint (and the canonical tight-parent
+    extraction on top of it) is bitwise identical.  Relaxation counters
+    are the closed-form equivalents of the reference loop's
+    boundary-scan + settle-scan counts.
+    """
+    g = _graph_arrays(view.csr)
+    state = _view_state(view)
+    node_dead = state["node_dead"]
+    edge_dead = state["edge_dead"]
+    w_eff = _effective_weights(view, unit)
+    indptr, indices, deg = g["indptr"], g["indices"], g["deg"]
+    n = len(g["deg"])
+
+    new_dist = np.array(dist)
+    new_pred = np.array(pred, dtype=np.int64)
+    aff_idx = np.fromiter(affected, dtype=np.int64, count=len(affected))
+    aff_idx.sort()
+    aff_mask = np.zeros(n, dtype=bool)
+    aff_mask[aff_idx] = True
+    new_dist[aff_idx] = INF
+    new_pred[aff_idx] = -1
+
+    rows = aff_idx[~node_dead[aff_idx]]
+    degs_r = deg[rows]
+    tot_r = int(degs_r.sum())
+    cum = np.concatenate(([0], np.cumsum(degs_r)))
+    slots_r = np.repeat(indptr[rows] - cum[:-1], degs_r) + np.arange(tot_r)
+    nbr = indices[slots_r]
+    w_r = w_eff[slots_r][:, None]
+    cand = np.empty((tot_r + 1, 1))
+    cand[tot_r] = INF
+    empty_r = degs_r == 0
+    while True:
+        cand[:tot_r, 0] = new_dist[nbr]
+        cand[:tot_r] += w_r
+        mins = np.minimum.reduceat(cand, cum[:-1], axis=0)[:, 0]
+        mins[empty_r] = INF
+        old = new_dist[rows]
+        upd = np.minimum(old, mins)
+        if np.array_equal(upd, old):
+            break
+        new_dist[rows] = upd
+
+    # Canonical tight parents over the affected rows' in-candidates.
+    parent_dist = new_dist[nbr]
+    cand_final = parent_dist + w_eff[slots_r]
+    row_dist = np.repeat(new_dist[rows], degs_r)
+    tight = (cand_final == row_dist) & np.isfinite(cand_final)
+    key1 = np.where(tight, parent_dist, INF)
+    key1 = np.append(key1, INF)
+    min_pd = np.minimum.reduceat(key1[:, None], cum[:-1], axis=0)[:, 0]
+    min_pd[empty_r] = INF
+    key2 = np.where(tight & (parent_dist == np.repeat(min_pd, degs_r)), nbr, n)
+    key2 = np.append(key2, n)
+    min_parent = np.minimum.reduceat(key2[:, None], cum[:-1], axis=0)[:, 0]
+    min_parent[empty_r] = n
+    row_finite = np.isfinite(new_dist[rows])
+    new_pred[rows] = np.where(row_finite & (min_parent < n), min_parent, -1)
+
+    # Counter parity with the reference loop: the boundary scan counts
+    # every live slot from an alive affected node to an alive
+    # *unaffected* neighbor; the settle scan counts every live slot
+    # from a settled node to an alive *affected* neighbor.
+    slot_live = ~edge_dead[slots_r] & ~node_dead[nbr]
+    nbr_aff = aff_mask[nbr]
+    boundary = int(np.count_nonzero(slot_live & ~nbr_aff))
+    settle_scan = int(np.count_nonzero(
+        slot_live & nbr_aff & np.repeat(row_finite, degs_r)
+    ))
+    COUNTERS.csr_relaxations += boundary + settle_scan
+    COUNTERS.spt_nodes_resettled += int(np.count_nonzero(row_finite))
+    return new_dist.tolist(), new_pred.tolist()
+
+
+def decompose_flat(
+    chain: tuple[int, ...],
+    cum: list[float],
+    row_for: Callable[[int], list[float]],
+) -> tuple[list[int], list[int], int]:
+    """Min-pieces DP; matrix recurrence above the chain-length gate."""
+    if len(chain) < DECOMPOSE_MIN_CHAIN:
+        return _py.decompose_flat(chain, cum, row_for)
+    return _decompose_flat_vec(chain, cum, row_for)
+
+
+def _decompose_flat_vec(
+    chain: tuple[int, ...],
+    cum: list[float],
+    row_for: Callable[[int], list[float]],
+) -> tuple[list[int], list[int], int]:
+    """Masked matrix form of the decomposition DP.
+
+    ``valid[j, i]`` reproduces the reference cell test — one-hop pieces
+    unconditionally, longer spans iff the prefix-sum cost matches the
+    oracle distance under ``costs_equal`` tolerance — then min-plus
+    rounds reach the same lexicographic-minimal piece counts and the
+    first-minimal-``j`` choice falls out of a column argmax.
+    """
+    from ..graph.shortest_paths import EPSILON
+
+    n = len(chain)
+    unset = n + 1
+    cumv = np.asarray(cum)
+    dist_ji = np.full((n, n), INF)
+    for j in range(n - 2):
+        row = row_for(j)
+        dist_ji[j] = [row[c] for c in chain]
+    span = cumv[None, :] - cumv[:, None]
+    gap = np.arange(n)[None, :] - np.arange(n)[:, None]
+    tol = EPSILON * np.maximum(
+        1.0, np.maximum(np.abs(span), np.abs(dist_ji))
+    )
+    valid = (gap == 1) | (
+        (gap > 1) & np.isfinite(dist_ji) & (np.abs(span - dist_ji) <= tol)
+    )
+    best = np.full(n, INF)
+    best[0] = 0.0
+    while True:
+        cand = np.where(valid, best[:, None] + 1.0, INF).min(axis=0)
+        new = np.minimum(best, cand)
+        if np.array_equal(new, best):
+            break
+        best = new
+    eligible = valid & (best[:, None] + 1.0 == best[None, :])
+    choice = np.where(eligible.any(axis=0), eligible.argmax(axis=0), 0)
+    # The reference loop probes every (i, j<i) pair whose best[j] is
+    # set at the time i is processed — final by then, so closed form.
+    probes = int(np.count_nonzero(np.isfinite(best)[:, None] & (gap >= 1)))
+    best_list = [int(b) if np.isfinite(b) else unset for b in best]
+    return best_list, choice.tolist(), probes

@@ -164,15 +164,18 @@ def cmd_diff(args: argparse.Namespace) -> int:
     old = _load_json(args.old)
     new = _load_json(args.new)
 
-    # tie_order / repair_fallback / shm_enabled / jobs: policy fields
-    # stamped by write_bench_json — runs under different tie rules,
-    # fallback thresholds, shared-memory availability, or fan-out
-    # widths do different work (worker-side counters merge into the
-    # totals), so their counters must not be diffed (files predating
-    # the fields compare as before).
+    # tie_order / repair_fallback / shm_enabled / kernel_backend /
+    # jobs: policy fields stamped by write_bench_json — runs under
+    # different tie rules, fallback thresholds, shared-memory
+    # availability, kernel backends, or fan-out widths do different
+    # work or time it differently (worker-side counters merge into the
+    # totals; backends share counters but not wall-clock), so their
+    # numbers must not be diffed (files predating the fields compare
+    # as before).
     for key in (
         "name", "scale", "seed", "cases",
-        "tie_order", "repair_fallback", "shm_enabled", "jobs",
+        "tie_order", "repair_fallback", "shm_enabled", "kernel_backend",
+        "jobs",
     ):
         if key in old and key in new and old[key] != new[key]:
             print(

@@ -1,0 +1,335 @@
+"""Kernel backend equivalence: the numpy backend vs. the reference.
+
+The backend contract (:mod:`repro.kernels`) is that every backend is a
+drop-in for the pure-Python reference — same rows, same repaired SPTs,
+same decomposition columns, same perf counters, bit for bit.  This
+suite pins that contract over a representative of every topology
+family the repo generates (the same 13-family sweep as
+``tests/test_shm.py``), for clean views and for views with dead edges
+and dead nodes, under the scipy settle stage *and* the Bellman–Ford
+fallback the backend uses when scipy is absent.
+
+The vectorized stages are called directly (``_repair_resettle_vec``,
+``_decompose_flat_vec``) so the size gates — which route small inputs
+to the reference loops — cannot hide a divergence.
+
+Tie-heavy graphs matter most here: on unit-weight topologies (grid,
+cycle, comb) nearly every node has several tight parents, so any
+deviation from the canonical ``(dist[parent], parent index)`` rule
+shows up immediately.  Everything numpy-specific is skipped when numpy
+is not installed; the selection tests below run regardless.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.csr import as_view, shared_csr
+from repro.kernels import (
+    KERNEL_CHOICES,
+    available_backends,
+    backend_name,
+    set_backend,
+)
+from repro.kernels import python_backend as pyk
+from repro.perf import COUNTERS
+from repro.topology import (
+    complete_graph,
+    cycle_graph,
+    four_cycle,
+    generate_as_graph,
+    generate_internet_graph,
+    generate_isp_topology,
+    grid_graph,
+    path_graph,
+)
+from repro.topology.classic import (
+    comb_graph,
+    two_level_star,
+    weighted_comb_graph,
+)
+from repro.topology.powerlaw import preferential_attachment
+
+try:  # try/except, not find_spec: a broken numpy must also skip
+    from repro.kernels import numpy_backend as npk
+
+    numpy_missing = False
+except ImportError:
+    numpy_missing = True
+
+requires_numpy = pytest.mark.skipif(
+    numpy_missing, reason="numpy not installed ([accel] extra)"
+)
+
+#: Same representatives as the shared-memory sweep in tests/test_shm.py.
+TOPOLOGY_FAMILIES = [
+    ("path", lambda: path_graph(7)),
+    ("cycle", lambda: cycle_graph(6)),
+    ("four-cycle", lambda: four_cycle()),
+    ("complete", lambda: complete_graph(5)),
+    ("grid", lambda: grid_graph(3, 4)),
+    ("comb", lambda: comb_graph(4)[0]),
+    ("weighted-comb", lambda: weighted_comb_graph(4)[0]),
+    ("two-level-star", lambda: two_level_star(7)[0]),
+    ("isp-weighted", lambda: generate_isp_topology(n=40, seed=3)),
+    ("isp-unweighted", lambda: generate_isp_topology(n=40, seed=3, weighted=False)),
+    ("powerlaw", lambda: preferential_attachment(50, 2.0, seed=5)),
+    ("as-graph", lambda: generate_as_graph(n=60, seed=2)),
+    ("internet", lambda: generate_internet_graph(n=60, seed=2)),
+]
+
+FAMILY_PARAMS = pytest.mark.parametrize(
+    "family", [f for _, f in TOPOLOGY_FAMILIES],
+    ids=[name for name, _ in TOPOLOGY_FAMILIES],
+)
+
+
+def _view_variants(graph):
+    """Clean view plus dead-edge and dead-node views of *graph*."""
+    csr = shared_csr(graph)
+    base = as_view(csr)
+    yield "clean", base
+    edges = sorted(graph.edges(), key=repr)  # labels mix str and int
+    if edges:
+        yield "dead-edges", base.without(edges=edges[: 1 + len(edges) // 6])
+    if csr.n > 2:
+        victims = csr.nodes[csr.n // 2 : csr.n // 2 + 1 + csr.n // 8]
+        yield "dead-nodes", base.without(nodes=victims)
+
+
+def _alive_sources(view):
+    node_dead = view.masks()[1]
+    return [i for i in range(view.csr.n) if not node_dead[i]]
+
+
+def _reference_rows(view, sources, unit):
+    """Per-source rows from the reference backend, with a counter delta."""
+    before = COUNTERS.snapshot()
+    rows = {}
+    for s in sources:
+        if unit:
+            rows[s] = pyk.bfs(view, s)
+        else:
+            dist, pred, _ = pyk.dijkstra_canonical(view, s)
+            rows[s] = (dist, pred)
+    return rows, COUNTERS.delta(before)
+
+
+@requires_numpy
+class TestRowsBitIdentity:
+    """Batched vectorized rows == per-source reference rows, exactly."""
+
+    def _assert_family(self, family):
+        graph = family()
+        for label, view in _view_variants(graph):
+            sources = _alive_sources(view)
+            for unit in (False, True):
+                expected, ref_delta = _reference_rows(view, sources, unit)
+                before = COUNTERS.snapshot()
+                got = npk.rows_many(view, sources, unit)
+                vec_delta = COUNTERS.delta(before)
+                assert got is not None, (label, unit)
+                assert got == expected, (label, unit)
+                assert vec_delta == ref_delta, (label, unit)
+
+    @FAMILY_PARAMS
+    def test_rows_match(self, family):
+        self._assert_family(family)
+
+    @FAMILY_PARAMS
+    def test_rows_match_without_scipy(self, family, monkeypatch):
+        """The Bellman–Ford fallback settle is equally bit-identical."""
+        monkeypatch.setattr(npk, "_sp_dijkstra", None)
+        monkeypatch.setattr(npk, "_sp_csr_matrix", None)
+        self._assert_family(family)
+
+    def test_single_row_entry_points_match(self):
+        """dijkstra_canonical/bfs dispatch above the size gate too."""
+        graph = generate_isp_topology(n=500, seed=9)
+        view = as_view(shared_csr(graph))
+        assert view.csr.n >= npk.SINGLE_MIN_N
+        dist, pred, exhausted = npk.dijkstra_canonical(view, 0)
+        rd, rp, _ = pyk.dijkstra_canonical(view, 0)
+        assert exhausted and (dist, pred) == (rd, rp)
+        unit_view = as_view(
+            shared_csr(generate_isp_topology(n=500, seed=9, weighted=False))
+        )
+        assert npk.bfs(unit_view, 3) == pyk.bfs(unit_view, 3)
+
+    def test_targeted_queries_keep_the_reference_truncation(self):
+        """Early-exit probes must not be silently widened to full rows."""
+        graph = generate_isp_topology(n=500, seed=9)
+        view = as_view(shared_csr(graph))
+        before = COUNTERS.snapshot()
+        dist, pred, exhausted = npk.dijkstra_canonical(view, 0, targets=[1])
+        delta = COUNTERS.delta(before)
+        rd, rp, re_ = pyk.dijkstra_canonical(view, 0, targets=[1])
+        assert (dist, pred, exhausted) == (rd, rp, re_)
+        assert delta.csr_settled < view.csr.n  # truncated, not exhaustive
+
+
+@requires_numpy
+class TestRepairBitIdentity:
+    """Vectorized SPT re-settle == the boundary-offer reference loop."""
+
+    def _repair_cases(self, graph, unit):
+        """Yield (view, source, dist, pred, affected) repair instances."""
+        csr = shared_csr(graph)
+        base = as_view(csr)
+        nodes = csr.nodes
+        rng = random.Random(11)
+        for source in (0, csr.n // 2):
+            if unit:
+                dist, pred = pyk.bfs(base, source)
+            else:
+                dist, pred, _ = pyk.dijkstra_canonical(base, source)
+            tree_nodes = [v for v in range(csr.n) if pred[v] >= 0]
+            if not tree_nodes:
+                continue
+            for k in (1, 3):
+                picks = rng.sample(tree_nodes, min(k, len(tree_nodes)))
+                failed = [(nodes[pred[v]], nodes[v]) for v in picks]
+                view = base.without(edges=failed)
+                children: dict[int, list[int]] = {}
+                for v in range(csr.n):
+                    if pred[v] >= 0:
+                        children.setdefault(pred[v], []).append(v)
+                affected: set[int] = set()
+                stack = list(picks)
+                while stack:
+                    x = stack.pop()
+                    if x in affected:
+                        continue
+                    affected.add(x)
+                    stack.extend(children.get(x, ()))
+                affected.discard(source)
+                if affected:
+                    yield view, source, dist, pred, affected
+
+    def _assert_repairs(self, graph, unit):
+        for view, source, dist, pred, affected in self._repair_cases(graph, unit):
+            before = COUNTERS.snapshot()
+            ref = pyk.repair_resettle(
+                view, source, list(dist), list(pred), set(affected), unit
+            )
+            ref_delta = COUNTERS.delta(before)
+            before = COUNTERS.snapshot()
+            # Call the vectorized body directly: the size gate must not
+            # be able to hide a divergence on small affected sets.
+            vec = npk._repair_resettle_vec(
+                view, source, list(dist), list(pred), set(affected), unit
+            )
+            vec_delta = COUNTERS.delta(before)
+            assert vec == ref
+            assert vec_delta == ref_delta
+
+    @FAMILY_PARAMS
+    def test_repaired_rows_match(self, family):
+        graph = family()
+        self._assert_repairs(graph, unit=False)
+        self._assert_repairs(graph, unit=True)
+
+    @FAMILY_PARAMS
+    def test_repaired_rows_match_without_scipy(self, family, monkeypatch):
+        monkeypatch.setattr(npk, "_sp_dijkstra", None)
+        monkeypatch.setattr(npk, "_sp_csr_matrix", None)
+        graph = family()
+        self._assert_repairs(graph, unit=False)
+
+
+@requires_numpy
+class TestDecomposeBitIdentity:
+    """Matrix decomposition DP == the forward reference DP, exactly."""
+
+    def _chains(self, graph, rng):
+        """Random simple walks through *graph*, as index chains + costs."""
+        csr = shared_csr(graph)
+        view = as_view(csr)
+        indptr, indices, weights = csr.indptr, csr.indices, csr.weights
+        for _ in range(6):
+            chain = [rng.randrange(csr.n)]
+            cum = [0.0]
+            seen = {chain[0]}
+            while len(chain) < 40:
+                u = chain[-1]
+                nbrs = [
+                    (indices[s], weights[s])
+                    for s in range(indptr[u], indptr[u + 1])
+                    if indices[s] not in seen
+                ]
+                if not nbrs:
+                    break
+                v, w = rng.choice(nbrs)
+                chain.append(v)
+                cum.append(cum[-1] + w)
+                seen.add(v)
+            if len(chain) >= 3:
+                yield view, tuple(chain), cum
+
+    @FAMILY_PARAMS
+    def test_decomposition_columns_match(self, family):
+        graph = family()
+        rng = random.Random(23)
+        for view, chain, cum in self._chains(graph, rng):
+            # Pre-warmed rows: row_for must not touch the csr counters,
+            # so the probe deltas below compare only the DP itself.
+            rows = {
+                j: pyk.dijkstra_canonical(view, chain[j])[0]
+                for j in range(len(chain))
+            }
+            row_for = rows.__getitem__
+            before = COUNTERS.snapshot()
+            ref = pyk.decompose_flat(chain, cum, row_for)
+            ref_delta = COUNTERS.delta(before)
+            before = COUNTERS.snapshot()
+            vec = npk._decompose_flat_vec(chain, cum, row_for)
+            vec_delta = COUNTERS.delta(before)
+            assert vec == ref
+            assert vec_delta == ref_delta
+
+
+class TestSelection:
+    """Backend selection: env var, --kernel, and the auto fallback."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_backend(self):
+        previous = backend_name()
+        yield
+        set_backend(previous)
+
+    def test_choices_cover_both_backends(self):
+        assert set(KERNEL_CHOICES) == {"auto", "python", "numpy"}
+        assert available_backends()[0] == "python"
+
+    def test_set_backend_round_trips_and_exports(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        set_backend("python")
+        assert backend_name() == "python"
+        # The resolved name is exported so forked/spawned workers make
+        # the same deterministic choice instead of re-running "auto".
+        assert os.environ.get("REPRO_KERNEL") == "python"
+
+    @requires_numpy
+    def test_auto_prefers_numpy_when_importable(self):
+        set_backend("auto")
+        assert backend_name() == "numpy"
+
+    @requires_numpy
+    def test_explicit_numpy_resolves(self):
+        set_backend("numpy")
+        assert backend_name() == "numpy"
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_backend("fortran")
+
+    def test_reference_backend_has_the_full_interface(self):
+        for attr in (
+            "NAME", "dijkstra_canonical", "bfs", "rows_many",
+            "repair_resettle", "decompose_flat",
+        ):
+            assert hasattr(pyk, attr)
