@@ -34,7 +34,10 @@ from ..failures.sampler import sample_pairs
 from ..graph.shortest_paths import shortest_path
 from ..mpls.merging import provision_all_trees, provision_edge_lsps
 from ..mpls.network import MplsNetwork
+from ..obs import activate_from_args, add_obs_arguments, bench_observability
+from ..perf import COUNTERS
 from ..topology.isp import generate_isp_topology
+from .bench import StageTimer, write_bench_json
 from .reporting import format_table
 
 
@@ -213,25 +216,54 @@ def main(argv: list[str] | None = None) -> str:
     parser.add_argument("--size", type=int, default=80)
     parser.add_argument("--pairs", type=int, default=20)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--bench-json", type=str, default=None,
+        help="path for the BENCH JSON (default results/BENCH_ablation.json; "
+             "'-' disables)",
+    )
     add_kernel_argument(parser)
+    add_obs_arguments(parser)
     args = parser.parse_args(argv)
     apply_kernel(args)
+    activate_from_args(args)
 
-    graph = generate_isp_topology(n=args.size, seed=args.seed)
-    base = UniqueShortestPathsBase(graph)
-    pairs = sample_pairs(graph, args.pairs, seed=args.seed)
-    cases = _workload(graph, base, pairs)
+    timer = StageTimer(prefix="ablation")
+    before = COUNTERS.snapshot()
+    with timer.stage("workload"):
+        graph = generate_isp_topology(n=args.size, seed=args.seed)
+        base = UniqueShortestPathsBase(graph)
+        pairs = sample_pairs(graph, args.pairs, seed=args.seed)
+        cases = _workload(graph, base, pairs)
 
-    sections = [
-        pc_distribution_report(graph, base, cases),
-        decomposition_report(graph, base, cases),
-        base_set_report(graph, pairs),
-        signaling_report(graph, base, pairs),
-        provisioning_report(graph, base),
-        baseline_report(graph, base, pairs),
-    ]
+    sections = []
+    for stage, build in (
+        ("pc_distribution", lambda: pc_distribution_report(graph, base, cases)),
+        ("decomposition", lambda: decomposition_report(graph, base, cases)),
+        ("base_set", lambda: base_set_report(graph, pairs)),
+        ("signaling", lambda: signaling_report(graph, base, pairs)),
+        ("provisioning", lambda: provisioning_report(graph, base)),
+        ("baselines", lambda: baseline_report(graph, base, pairs)),
+    ):
+        with timer.stage(stage):
+            sections.append(build())
     report = "\n\n".join(sections)
     print(report)
+    if args.bench_json != "-":
+        counters = COUNTERS.delta(before).as_dict()
+        payload = {
+            "name": "ablation",
+            "size": args.size,
+            "pairs": args.pairs,
+            "seed": args.seed,
+            "cases": len(cases),
+            "wall_clock_s": round(timer.total(), 4),
+            "stages": timer.as_dict(),
+            "counters": counters,
+        }
+        payload.update(bench_observability(args, counters))
+        write_bench_json("ablation", payload, path=args.bench_json)
+    else:
+        bench_observability(args)
     return report
 
 

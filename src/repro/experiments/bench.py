@@ -31,6 +31,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Optional
 
+from ..obs.ledger import git_sha, record_run
+from ..obs.profile import PROFILER, memory_report
 from ..obs.trace import TRACER, Tracer
 
 
@@ -77,7 +79,8 @@ class StageTimer:
         t0 = time.perf_counter()
         try:
             with self._tracer.span(span_name):
-                yield
+                with PROFILER.record(span_name):
+                    yield
         finally:
             elapsed = time.perf_counter() - t0
             self._depth[name] = depth
@@ -120,12 +123,16 @@ TIE_ORDER = "canonical"
 
 
 def bench_header() -> dict[str, Any]:
-    """Policy fields stamped into every ``BENCH_*.json`` payload.
+    """Policy + provenance fields stamped into every ``BENCH_*.json``.
 
     ``jobs`` here is the sequential default — CLIs with a ``--jobs``
     knob set their own value in the payload and win (``setdefault``
-    merge in :func:`write_bench_json`).
+    merge in :func:`write_bench_json`).  ``git_sha`` and
+    ``repro_version`` are provenance, not policy: ``repro.obs diff``
+    warns on a sha mismatch but never refuses to compare on it (that
+    is what the diff is *for* — comparing commits).
     """
+    from .. import __version__
     from ..graph.incremental import repair_fallback_fraction
     from ..graph.shm import shm_enabled
     from ..kernels import backend_name
@@ -136,6 +143,8 @@ def bench_header() -> dict[str, Any]:
         "shm_enabled": shm_enabled(),
         "kernel_backend": backend_name(),
         "jobs": 1,
+        "git_sha": git_sha(),
+        "repro_version": __version__,
     }
 
 
@@ -144,16 +153,24 @@ def write_bench_json(
 ) -> Path:
     """Write ``results/BENCH_<name>.json`` (or *path*); returns the path.
 
-    The policy header (:func:`bench_header`) is merged into *payload*
-    unless the caller already set those keys.
+    The policy/provenance header (:func:`bench_header`) and the memory
+    gauges (:func:`~repro.obs.profile.memory_report`, one syscall) are
+    merged into *payload* unless the caller already set those keys,
+    and a run manifest is appended to the ledger
+    (:func:`~repro.obs.ledger.record_run`; best-effort, disabled by
+    ``REPRO_LEDGER=0``) so the run joins the cross-run history that
+    ``python -m repro.obs trend`` gates on.
     """
     if path:
         out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
     else:
         results = Path.cwd() / "results"
         results.mkdir(exist_ok=True)
         out = results / f"BENCH_{name}.json"
     for key, value in bench_header().items():
         payload.setdefault(key, value)
+    payload.setdefault("memory", memory_report())
     out.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    record_run(name, payload, out)
     return out

@@ -60,6 +60,7 @@ from ..graph.csr import INF, shared_csr
 from ..graph.graph import Graph, Node
 from ..graph.paths import Path
 from ..kernels import kernel_backend
+from ..obs import heartbeat
 from ..perf import COUNTERS
 
 #: A path in CSR index space: the node-index sequence, source first.
@@ -348,10 +349,43 @@ class IlmAccountant:
         self._final = None
         return affected_total
 
-    def process_scenarios(self, scenarios: Iterable[FailureScenario]) -> None:
-        """Account every scenario in the iterable."""
-        for scenario in scenarios:
+    def process_scenarios(
+        self,
+        scenarios: Iterable[FailureScenario],
+        progress_chunk: Optional[tuple[int, int]] = None,
+    ) -> None:
+        """Account every scenario in the iterable.
+
+        With a heartbeat channel configured (see
+        :mod:`repro.obs.heartbeat`), emits ``scenario-progress`` ticks
+        — roughly eight per chunk — so ``python -m repro.obs watch``
+        can show intra-chunk progress on the long per-link fan-outs;
+        *progress_chunk* labels the ticks with the caller's
+        ``[start, end)`` scenario bounds.  Without a channel the loop
+        is untouched (one boolean check up front).
+        """
+        if not heartbeat.enabled():
+            for scenario in scenarios:
+                self.process_scenario(scenario)
+            return
+        scenarios = list(scenarios)
+        total = len(scenarios)
+        chunk = (
+            list(progress_chunk) if progress_chunk is not None
+            else [0, total]
+        )
+        tick = max(1, total // 8)
+        # Inside a fan-out chunk the ticks adopt its label so watch
+        # attributes them to the right group; "ilm" covers sequential
+        # callers.
+        label = heartbeat.current_label() or "ilm"
+        for done, scenario in enumerate(scenarios, start=1):
             self.process_scenario(scenario)
+            if done % tick == 0 or done == total:
+                heartbeat.emit(
+                    "scenario-progress", label=label, chunk=chunk,
+                    done=done, total=total,
+                )
 
     # -- parallel fan-out -----------------------------------------------------
 

@@ -43,9 +43,11 @@ runs the plain sequential loops; ``--jobs 0`` means "auto" —
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Callable, Iterator, Optional, Sequence
 
+from ..obs import heartbeat
 from ..obs.metrics import METRICS
 from ..perf import COUNTERS
 
@@ -85,6 +87,54 @@ def chunk_bounds(n_items: int, jobs: int) -> Iterator[tuple[int, int]]:
         yield start, min(start + per_chunk, n_items)
 
 
+#: Parent-side fan-out counter: every :func:`run_chunked` call gets a
+#: unique ``worker#N`` heartbeat label, so repeated fan-outs of the
+#: same worker (one per network x mode in Table 2) stay separate
+#: groups in ``repro.obs watch``.  The counter follows the parent's
+#: deterministic call order, so labels are stable across runs and
+#: worker-pool widths.
+_fanout_seq = 0
+
+
+def _worker_with_heartbeat(
+    label: str,
+    worker: Callable[..., tuple[list, dict, dict]],
+    common_args: tuple,
+    start: int,
+    end: int,
+) -> tuple[list, dict, dict]:
+    """Chunk wrapper emitting worker-side lifecycle heartbeats.
+
+    Always submitted (it is what makes per-chunk wall times land in
+    the telemetry channel); when no ``REPRO_HEARTBEAT_DIR`` is set the
+    two :func:`~repro.obs.heartbeat.emit` calls are env lookups and
+    the wrapper costs nothing else.  The result payload is untouched —
+    telemetry is out-of-band by construction.
+    """
+    import tracemalloc
+
+    if tracemalloc.is_tracing():
+        # ``--mem`` traces the *parent's* heap; fork-started workers
+        # inherit the tracing flag and would pay its multiple-x
+        # allocation overhead for a peak nobody ever collects.
+        tracemalloc.stop()
+    heartbeat.emit("chunk-start", label=label, chunk=[start, end])
+    heartbeat.set_current_label(label)
+    t0 = time.perf_counter()
+    try:
+        result = worker(*common_args, start, end)
+    finally:
+        heartbeat.set_current_label(None)
+    heartbeat.emit(
+        "chunk-end",
+        label=label,
+        chunk=[start, end],
+        items=end - start,
+        wall_s=round(time.perf_counter() - t0, 6),
+    )
+    return result
+
+
 def run_chunked(
     executor: Executor,
     worker: Callable[..., tuple[list, dict, dict]],
@@ -97,11 +147,26 @@ def run_chunked(
     The worker returns ``(items, counter_delta, metrics_delta)``; this
     reassembles the item lists in chunk order (sequential-identical)
     and merges every delta into the parent's :data:`COUNTERS` and
-    :data:`METRICS`.
+    :data:`METRICS`.  With a heartbeat channel configured
+    (``--heartbeat-dir`` / :mod:`repro.obs.heartbeat`), the parent
+    brackets the fan-out with ``fanout-start``/``fanout-end`` events
+    and every worker chunk reports its own bounds and wall time for
+    ``python -m repro.obs watch``.
     """
+    global _fanout_seq
+    label = f"{worker.__name__}#{_fanout_seq}"
+    _fanout_seq += 1
+    bounds = list(chunk_bounds(n_items, jobs))
+    heartbeat.emit(
+        "fanout-start", label=label, total=n_items, chunks=len(bounds),
+        jobs=jobs,
+    )
+    t0 = time.perf_counter()
     futures = {
-        executor.submit(worker, *common_args, start, end): start
-        for start, end in chunk_bounds(n_items, jobs)
+        executor.submit(
+            _worker_with_heartbeat, label, worker, common_args, start, end
+        ): start
+        for start, end in bounds
     }
     by_start: dict[int, list] = {}
     for future, start in futures.items():
@@ -112,6 +177,10 @@ def run_chunked(
     ordered: list = []
     for start in sorted(by_start):
         ordered.extend(by_start[start])
+    heartbeat.emit(
+        "fanout-end", label=label, total=n_items, chunks=len(bounds),
+        jobs=jobs, wall_s=round(time.perf_counter() - t0, 6),
+    )
     return ordered
 
 
@@ -337,6 +406,8 @@ def ilm_scenario_chunk(
         demand_sources=ilm_demand_sources(graph, pairs),
         weighted=network.weighted,
     )
-    accountant.process_scenarios(scenarios[start:end])
+    accountant.process_scenarios(
+        scenarios[start:end], progress_chunk=(start, end)
+    )
     state = accountant.export_state()
     return [state], COUNTERS.delta(before).as_dict(), METRICS.delta(m_before)

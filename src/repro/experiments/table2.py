@@ -440,6 +440,7 @@ def main(argv: list[str] | None = None) -> str:
             "scale": args.scale,
             "seed": args.seed,
             "jobs": args.jobs,
+            "modes": list(args.modes),
             "ilm_accounting": args.ilm,
             "ilm_max_scenarios": ILM_MAX_SCENARIOS,
             "wall_clock_s": round(timer.total(), 4),

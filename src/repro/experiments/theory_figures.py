@@ -161,12 +161,43 @@ def render(results: list[TightnessResult]) -> str:
 
 def main(argv: list[str] | None = None) -> str:
     """CLI entry point; prints and returns the report."""
+    from ..obs import activate_from_args, add_obs_arguments, bench_observability
+    from ..perf import COUNTERS
+    from .bench import StageTimer, write_bench_json
+
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench-json", type=str, default=None,
+        help="path for the BENCH JSON (default "
+             "results/BENCH_theory_figures.json; '-' disables)",
+    )
     add_kernel_argument(parser)
+    add_obs_arguments(parser)
     args = parser.parse_args(argv)
     apply_kernel(args)
-    report = render(run())
+    activate_from_args(args)
+    timer = StageTimer(prefix="theory_figures")
+    before = COUNTERS.snapshot()
+    with timer.stage("constructions"):
+        results = run()
+    with timer.stage("render"):
+        report = render(results)
     print(report)
+    if args.bench_json != "-":
+        counters = COUNTERS.delta(before).as_dict()
+        payload = {
+            "name": "theory_figures",
+            "cases": len(results),
+            "figures": sorted({r.figure for r in results}),
+            "matches": sum(1 for r in results if r.matches),
+            "wall_clock_s": round(timer.total(), 4),
+            "stages": timer.as_dict(),
+            "counters": counters,
+        }
+        payload.update(bench_observability(args, counters))
+        write_bench_json("theory_figures", payload, path=args.bench_json)
+    else:
+        bench_observability(args)
     return report
 
 

@@ -1,6 +1,6 @@
 """Observability for the restoration pipeline: traces, events, metrics.
 
-The three instruments, and where they report:
+The instruments, and where they report:
 
 * :mod:`repro.obs.trace` — hierarchical span tracer (:data:`TRACER`).
   Experiments open spans through
@@ -12,13 +12,22 @@ The three instruments, and where they report:
 * :mod:`repro.obs.metrics` — counters/gauges/histograms
   (:data:`METRICS`), merged across ``--jobs`` workers like
   :data:`repro.perf.COUNTERS` and published in ``BENCH_*.json``.
+* :mod:`repro.obs.ledger` — append-only run manifests
+  (``results/history/ledger.jsonl``); the cross-run history behind
+  ``python -m repro.obs trend`` and ``report``.
+* :mod:`repro.obs.profile` — opt-in per-stage ``cProfile`` capture
+  (``--profile-out``) plus tracemalloc/RSS memory gauges (``--mem``;
+  RSS is stamped on every bench regardless).
+* :mod:`repro.obs.heartbeat` — live worker telemetry side channel
+  (``--heartbeat-dir``), rendered by ``python -m repro.obs watch``.
 
 Everything is off by default and costs one attribute check when off;
-experiment CLIs expose ``--obs`` / ``--trace-jsonl`` via
-:func:`add_obs_arguments` / :func:`activate_from_args`.
+experiment CLIs expose the knobs via :func:`add_obs_arguments` /
+:func:`activate_from_args`.
 
 See ``docs/observability.md`` for the span API, the event schema and
-its versioning policy, the metrics glossary, and CLI examples.
+its versioning policy, the metrics glossary, the ledger/telemetry
+formats, and CLI examples.
 """
 
 from __future__ import annotations
@@ -26,7 +35,9 @@ from __future__ import annotations
 import argparse
 from typing import Any, Optional
 
+from . import heartbeat
 from .events import SCHEMA, SCHEMA_VERSION, Event, EventLog
+from .ledger import LEDGER_SCHEMA, git_sha, record_run
 from .metrics import (
     Counter,
     Gauge,
@@ -34,6 +45,14 @@ from .metrics import (
     METRICS,
     MetricsRegistry,
     rates_from_counters,
+)
+from .profile import (
+    PROFILER,
+    StageProfiler,
+    memory_report,
+    publish_memory_gauges,
+    start_memory_tracking,
+    stop_memory_tracking,
 )
 from .trace import NULL_SPAN, Span, TRACER, Tracer
 
@@ -43,23 +62,33 @@ __all__ = [
     "EventLog",
     "Gauge",
     "Histogram",
+    "LEDGER_SCHEMA",
     "METRICS",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PROFILER",
     "SCHEMA",
     "SCHEMA_VERSION",
     "Span",
+    "StageProfiler",
     "TRACER",
     "Tracer",
     "activate_from_args",
     "add_obs_arguments",
     "bench_observability",
+    "git_sha",
+    "heartbeat",
+    "memory_report",
+    "publish_memory_gauges",
     "rates_from_counters",
+    "record_run",
+    "start_memory_tracking",
+    "stop_memory_tracking",
 ]
 
 
 def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
-    """Attach the shared ``--obs`` / ``--trace-jsonl`` CLI flags."""
+    """Attach the shared observability CLI flags."""
     parser.add_argument(
         "--obs", action="store_true",
         help="enable span tracing and the metrics registry for this run",
@@ -69,17 +98,40 @@ def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         help="write the span trace as JSONL to PATH (implies --obs; "
              "render with `python -m repro.obs tree PATH`)",
     )
+    parser.add_argument(
+        "--profile-out", type=str, default=None, metavar="PATH",
+        help="profile each stage with cProfile and write collapsed-stack "
+             "flamegraph text to PATH (implies --obs)",
+    )
+    parser.add_argument(
+        "--mem", action="store_true",
+        help="track Python-heap peak memory with tracemalloc (implies "
+             "--obs; peak RSS is recorded on every run regardless)",
+    )
+    parser.add_argument(
+        "--heartbeat-dir", type=str, default=None, metavar="DIR",
+        help="stream live worker telemetry (chunk lifecycle + progress "
+             "JSONL) into DIR; follow with `python -m repro.obs watch DIR`",
+    )
 
 
 def activate_from_args(args: argparse.Namespace) -> bool:
-    """Enable :data:`TRACER`/:data:`METRICS` per the parsed flags.
+    """Enable the obs instruments per the parsed flags.
 
     Returns True when observability is on for this run.  The switch is
     authoritative either way — an uninstrumented run turns the layer
     off — and state is reset so one process can host several
-    instrumented runs.
+    instrumented runs.  Must run before any worker pool is created:
+    the heartbeat directory travels to workers via the environment.
     """
-    enabled = bool(getattr(args, "obs", False) or getattr(args, "trace_jsonl", None))
+    profile_out = getattr(args, "profile_out", None)
+    mem = bool(getattr(args, "mem", False))
+    enabled = bool(
+        getattr(args, "obs", False)
+        or getattr(args, "trace_jsonl", None)
+        or profile_out
+        or mem
+    )
     if enabled:
         TRACER.reset()
         TRACER.enabled = True
@@ -88,6 +140,15 @@ def activate_from_args(args: argparse.Namespace) -> bool:
     else:
         TRACER.enabled = False
         METRICS.enabled = False
+    PROFILER.reset()
+    PROFILER.enabled = bool(profile_out)
+    if mem:
+        start_memory_tracking()
+    hb_dir = getattr(args, "heartbeat_dir", None)
+    if hb_dir:
+        # Flag wins, but a pre-set REPRO_HEARTBEAT_DIR (e.g. exported
+        # by a wrapper script) is left alone when the flag is absent.
+        heartbeat.set_heartbeat_dir(hb_dir)
     return enabled
 
 
@@ -96,12 +157,14 @@ def bench_observability(
 ) -> dict[str, Any]:
     """The ``BENCH_*.json`` extras for an instrumented run.
 
-    Writes the trace file when ``--trace-jsonl`` was given; returns the
-    payload keys to merge (``metrics`` and derived ``rates``).  Empty
-    when observability is off.
+    Publishes the memory gauges into the registry, writes the trace
+    and collapsed-stack profile files when their flags were given, and
+    returns the payload keys to merge (``metrics`` and derived
+    ``rates``).  Empty when observability is off.
     """
     extras: dict[str, Any] = {}
     if METRICS.enabled:
+        publish_memory_gauges(METRICS)
         extras["metrics"] = METRICS.as_dict()
     if counters is not None:
         extras["rates"] = rates_from_counters(counters)
@@ -109,4 +172,8 @@ def bench_observability(
     if trace_path:
         out = TRACER.write_jsonl(trace_path)
         print(f"[obs] wrote trace {out}")
+    profile_out = getattr(args, "profile_out", None)
+    if profile_out and PROFILER.enabled:
+        out = PROFILER.write_collapsed(profile_out)
+        print(f"[obs] wrote collapsed-stack profile {out}")
     return extras

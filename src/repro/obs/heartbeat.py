@@ -1,0 +1,225 @@
+"""Live worker telemetry — JSONL heartbeats from ``--jobs`` fan-outs.
+
+A ``--jobs`` run is a black box today: the parent blocks in
+``future.result()`` and nothing is observable until the whole
+experiment finishes.  This module gives every worker (and the parent)
+a *side channel*: an append-only JSONL file per process under a shared
+directory, carrying chunk lifecycle and progress events that
+``python -m repro.obs watch`` renders live — chunks done, items/sec,
+ETA, and the straggler chunks the ROADMAP's cost-weighted-chunking
+item needs measured evidence for.
+
+The channel is strictly out-of-band: heartbeats carry *no* result
+data, experiment payloads carry *no* heartbeat data, so byte-identical
+outputs at any jobs count are untouched (pinned by the
+no-perturbation test).
+
+Activation is one environment variable, ``REPRO_HEARTBEAT_DIR`` —
+set by ``--heartbeat-dir`` on the experiment CLIs *before* the worker
+pool forks, so workers inherit it with zero plumbing through chunk
+arguments.  When unset (the default), :func:`emit` is a dictionary
+lookup and a return; no file handles, no clock reads.
+
+Record shape (schema ``repro.obs.heartbeat/1``; envelope pinned by
+``tests/test_obs_heartbeat.py``)::
+
+    {"schema", "seq", "pid", "ts", "kind", "label", ...}
+
+Stable fields — ``kind``, ``label``, ``chunk``, ``items``, ``done``,
+``total``, ``chunks``, ``jobs`` — are a pure function of the work
+grid, so the merged stream projected onto them is byte-identical
+across runs and across worker-pool widths.  Timing fields (``ts``,
+``wall_s``, ``pid``, ``seq``) are measurements and obviously are not.
+
+Kinds emitted today:
+
+* ``fanout-start`` / ``fanout-end`` — parent-side, one per
+  :func:`~repro.experiments.parallel.run_chunked` call (``total``
+  items, ``chunks``, ``jobs``; the end event adds ``wall_s``).  The
+  ``label`` is ``<worker>#<N>`` with ``N`` the parent's fan-out
+  counter, so repeated fan-outs of one worker stay separate groups.
+* ``chunk-start`` / ``chunk-end`` — worker-side, around each chunk
+  (``chunk`` = ``[start, end)`` bounds; the end event adds ``items``
+  and the chunk's ``wall_s`` — the straggler signal).
+* ``scenario-progress`` — worker-side ticks inside long per-link ILM
+  chunks (``done``/``total`` within the chunk).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+#: Schema tag on every heartbeat record.
+HEARTBEAT_SCHEMA = "repro.obs.heartbeat/1"
+
+#: Environment variable naming the heartbeat directory (workers
+#: inherit it across fork/spawn).
+ENV_DIR = "REPRO_HEARTBEAT_DIR"
+
+#: Stable (timing-free) fields, in projection order — the
+#: jobs-invariant view :func:`stable_projection` extracts.
+STABLE_FIELDS = ("kind", "label", "chunk", "items", "done", "total",
+                 "chunks", "jobs")
+
+#: Rank used to order same-chunk events deterministically in a merge.
+_KIND_RANK = {
+    "fanout-start": 0,
+    "chunk-start": 1,
+    "scenario-progress": 2,
+    "chunk-end": 3,
+    "fanout-end": 4,
+}
+
+_seq = 0
+
+#: Label of the fan-out chunk this process is currently working —
+#: set by the worker wrapper so nested emitters (e.g. the ILM
+#: accountant's progress ticks) land in the right fan-out group
+#: without plumbing the label through every call chain.
+_current_label: Optional[str] = None
+
+
+def enabled() -> bool:
+    """True when a heartbeat directory is configured."""
+    return bool(os.environ.get(ENV_DIR))
+
+
+def set_current_label(label: Optional[str]) -> None:
+    """Install (or clear) this process's active fan-out label."""
+    global _current_label
+    _current_label = label
+
+
+def current_label() -> Optional[str]:
+    """The active fan-out label, if a chunk is being worked."""
+    return _current_label
+
+
+def set_heartbeat_dir(path: Optional[Union[str, Path]]) -> None:
+    """Install (or clear, with None) the heartbeat directory.
+
+    Must run before the worker pool is created so children inherit the
+    environment; creates the directory eagerly so workers only ever
+    append.
+    """
+    if path is None:
+        os.environ.pop(ENV_DIR, None)
+        return
+    Path(path).mkdir(parents=True, exist_ok=True)
+    os.environ[ENV_DIR] = str(path)
+
+
+def emit(kind: str, **fields: Any) -> Optional[dict[str, Any]]:
+    """Append one heartbeat to this process's channel file.
+
+    No-op (one env lookup) when no directory is configured.  Appends
+    are line-buffered single ``write`` calls of one short line, which
+    POSIX keeps intact for O_APPEND writers — each process owns its
+    own file anyway (``hb-<pid>.jsonl``).  Failures are swallowed:
+    telemetry must never kill a worker.  Returns the record, or None
+    when disabled.
+    """
+    directory = os.environ.get(ENV_DIR)
+    if not directory:
+        return None
+    global _seq
+    record: dict[str, Any] = {
+        "schema": HEARTBEAT_SCHEMA,
+        "seq": _seq,
+        "pid": os.getpid(),
+        "ts": round(time.time(), 6),
+        "kind": kind,
+    }
+    record.update(fields)
+    _seq += 1
+    try:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(Path(directory) / f"hb-{os.getpid()}.jsonl", "a") as fh:
+            fh.write(line + "\n")
+    except Exception:
+        return None
+    return record
+
+
+def read_heartbeats(
+    source: Union[str, Path, Iterable[Union[str, Path]]]
+) -> list[dict[str, Any]]:
+    """Load heartbeat records from a directory, a file, or paths.
+
+    A directory reads every ``*.jsonl`` inside it (sorted by name for
+    determinism); unknown schema tags raise so a foreign JSONL file in
+    the channel directory fails loudly.
+    """
+    if isinstance(source, (str, Path)) and Path(source).is_dir():
+        paths = sorted(Path(source).glob("*.jsonl"))
+    elif isinstance(source, (str, Path)):
+        paths = [Path(source)]
+    else:
+        paths = [Path(p) for p in source]
+    records = []
+    for path in paths:
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            schema = record.get("schema")
+            if schema != HEARTBEAT_SCHEMA:
+                raise ValueError(
+                    f"unsupported heartbeat schema {schema!r} in {path} "
+                    f"(expected {HEARTBEAT_SCHEMA!r})"
+                )
+            records.append(record)
+    return records
+
+
+def merge_heartbeats(
+    records: Iterable[dict[str, Any]]
+) -> list[dict[str, Any]]:
+    """Deterministically ordered view of a multi-process record soup.
+
+    Sort key: label, then chunk start (parent fanout events first),
+    then the kind's lifecycle rank, then per-chunk progress order.
+    The key uses no timing field, so two runs over the same work grid
+    merge to the same order regardless of worker scheduling or pool
+    width.
+    """
+
+    def key(record: dict[str, Any]):
+        kind = record["kind"]
+        chunk = record.get("chunk")
+        if chunk:
+            start: float = chunk[0]
+        elif kind == "fanout-end":
+            start = float("inf")  # closes the fan-out, sorts last
+        else:
+            start = -1.0  # fanout-start (and chunk-less records) lead
+        return (
+            str(record.get("label", "")),
+            start,
+            _KIND_RANK.get(kind, 99),
+            record.get("done", 0),
+        )
+
+    return sorted(records, key=key)
+
+
+def stable_projection(
+    records: Iterable[dict[str, Any]]
+) -> list[dict[str, Any]]:
+    """Merged records reduced to their jobs-invariant stable fields.
+
+    Serializing this projection yields byte-identical text for any
+    worker-pool width over the same work grid — the property pinned by
+    the heartbeat determinism test.
+    """
+    projected = []
+    for record in merge_heartbeats(records):
+        projected.append(
+            {f: record[f] for f in STABLE_FIELDS if f in record}
+        )
+    return projected

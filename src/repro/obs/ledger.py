@@ -1,0 +1,239 @@
+"""Run ledger — append-only history of every bench-emitting run.
+
+``BENCH_<name>.json`` is a *snapshot*: one file per experiment, freely
+overwritten, great for "what did the last run do" and useless for "is
+this faster than every run before it".  The ledger is the *history*:
+every call to :func:`~repro.experiments.bench.write_bench_json`
+appends one manifest line to ``results/history/ledger.jsonl`` — git
+sha, package version, the full policy header (``kernel_backend``,
+``shm_enabled``, ``jobs``, ``tie_order``, ``repair_fallback``),
+per-stage wall times, the merged work counters, and the run's memory
+gauges.  ``BENCH_*.json`` thereby becomes a view over the ledger
+rather than the only record, and ``python -m repro.obs trend`` can
+exit-code a regression against *all* comparable history, not just one
+hand-picked baseline file.
+
+Format
+------
+
+One JSON object per line (JSONL), schema-tagged
+``"repro.obs.ledger/1"``.  The envelope keys are pinned by
+``tests/test_obs_ledger.py``::
+
+    {"schema", "ts", "git_sha", "repro_version", "name", "config",
+     "wall_clock_s", "stages", "counters", "memory", "bench_path"}
+
+``config`` carries the comparability fields (see
+:data:`COMPARABILITY_KEYS`); runs whose config differs do different
+work and are never trended against each other.  The versioning policy
+mirrors :mod:`repro.obs.events`: additive keys are free, envelope
+changes bump the schema suffix.
+
+Where it writes
+---------------
+
+The default ledger lives next to the bench output —
+``<bench dir>/history/ledger.jsonl`` — so a run writing
+``results/BENCH_table2.json`` appends to
+``results/history/ledger.jsonl`` while a test writing into a tmp dir
+keeps its history there too.  ``REPRO_LEDGER_PATH`` overrides the path
+outright; ``REPRO_LEDGER=0`` disables appending (the test suite's
+default, so invoking experiment CLIs never dirties the committed
+history).  Appending is strictly best-effort: a ledger failure never
+breaks the run that produced the result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+#: Schema tag on (and required of) every ledger line.
+LEDGER_SCHEMA = "repro.obs.ledger/1"
+
+#: Config fields two runs must share before their numbers may be
+#: trended against each other.  Mirrors the ``repro.obs diff``
+#: comparability gate (policy fields change the work done); ``cases``
+#: guards against workload drift inside one name/scale/seed.
+COMPARABILITY_KEYS = (
+    "name",
+    "scale",
+    "seed",
+    "cases",
+    "modes",
+    "ilm_accounting",
+    "tie_order",
+    "repair_fallback",
+    "shm_enabled",
+    "kernel_backend",
+    "jobs",
+)
+
+_GIT_SHA_CACHE: Optional[tuple[Optional[str]]] = None
+
+
+def git_sha() -> Optional[str]:
+    """The working tree's short commit sha, or None outside a repo.
+
+    Cached per process — one subprocess spawn per run, not per bench
+    emission.
+    """
+    global _GIT_SHA_CACHE
+    if _GIT_SHA_CACHE is None:
+        try:
+            sha = subprocess.run(
+                ["git", "rev-parse", "--short=12", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+            ).stdout.strip()
+            _GIT_SHA_CACHE = (sha or None,)
+        except Exception:
+            _GIT_SHA_CACHE = (None,)
+    return _GIT_SHA_CACHE[0]
+
+
+def ledger_enabled() -> bool:
+    """False iff ``REPRO_LEDGER=0`` (the kill switch tests default to)."""
+    return os.environ.get("REPRO_LEDGER", "1") != "0"
+
+
+def ledger_path_for(bench_path: Optional[Union[str, Path]] = None) -> Path:
+    """Where the ledger for a bench output at *bench_path* lives.
+
+    ``REPRO_LEDGER_PATH`` wins; otherwise ``history/ledger.jsonl`` next
+    to the bench file (or under ``results/`` in the cwd when no bench
+    path is known).
+    """
+    override = os.environ.get("REPRO_LEDGER_PATH")
+    if override:
+        return Path(override)
+    if bench_path is not None:
+        return Path(bench_path).parent / "history" / "ledger.jsonl"
+    return Path.cwd() / "results" / "history" / "ledger.jsonl"
+
+
+def make_entry(
+    name: str,
+    payload: dict[str, Any],
+    bench_path: Optional[Union[str, Path]] = None,
+) -> dict[str, Any]:
+    """Build one ledger manifest from a ``BENCH_*.json`` payload.
+
+    Pure function of its inputs except for the timestamp and sha stamp;
+    never mutates *payload*.
+    """
+    config = {
+        key: payload[key]
+        for key in COMPARABILITY_KEYS
+        if key != "name" and key in payload
+    }
+    return {
+        "schema": LEDGER_SCHEMA,
+        "ts": round(time.time(), 3),
+        "git_sha": payload.get("git_sha", git_sha()),
+        "repro_version": payload.get("repro_version"),
+        "name": name,
+        "config": config,
+        "wall_clock_s": payload.get("wall_clock_s"),
+        "stages": payload.get("stages", {}),
+        "counters": payload.get("counters", {}),
+        "memory": payload.get("memory", {}),
+        "bench_path": str(bench_path) if bench_path is not None else None,
+    }
+
+
+def append_entry(
+    entry: dict[str, Any], path: Union[str, Path]
+) -> Path:
+    """Append one manifest line to the ledger at *path* (created on
+    demand, parents included); returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+    with out.open("a") as fh:
+        fh.write(line + "\n")
+    return out
+
+
+def record_run(
+    name: str,
+    payload: dict[str, Any],
+    bench_path: Optional[Union[str, Path]] = None,
+) -> Optional[Path]:
+    """The :func:`~repro.experiments.bench.write_bench_json` hook.
+
+    Appends a manifest for *payload* to the run's ledger unless
+    disabled; best-effort — any failure is swallowed (the ledger is
+    observability, never a reason to lose a result).
+    """
+    if not ledger_enabled():
+        return None
+    try:
+        path = ledger_path_for(bench_path)
+        return append_entry(make_entry(name, payload, bench_path), path)
+    except Exception:
+        return None
+
+
+def read_entries(
+    source: Union[str, Path, Iterable[str]]
+) -> list[dict[str, Any]]:
+    """Parse ledger manifests from a path or an iterable of lines.
+
+    Raises :class:`ValueError` on a foreign schema tag so a future
+    format fails loudly instead of trending garbage.
+    """
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text().splitlines()
+    else:
+        lines = source
+    entries = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        schema = entry.get("schema")
+        if schema != LEDGER_SCHEMA:
+            raise ValueError(
+                f"unsupported ledger schema {schema!r} "
+                f"(expected {LEDGER_SCHEMA!r})"
+            )
+        entries.append(entry)
+    return entries
+
+
+def comparability_key(entry: dict[str, Any]) -> tuple:
+    """The tuple two entries must share to be trend-comparable.
+
+    Built from :data:`COMPARABILITY_KEYS`; a key absent from the
+    entry's config contributes ``None`` (files predating a field stay
+    comparable with each other, as in ``repro.obs diff``).
+    """
+    config = entry.get("config", {})
+    values: list[Any] = [entry.get("name")]
+    for key in COMPARABILITY_KEYS:
+        if key == "name":
+            continue
+        value = config.get(key)
+        if isinstance(value, list):
+            value = tuple(value)
+        values.append(value)
+    return tuple(values)
+
+
+def comparable_history(
+    entries: list[dict[str, Any]], latest: dict[str, Any]
+) -> list[dict[str, Any]]:
+    """Entries (excluding *latest* itself) comparable with *latest*,
+    in ledger (append) order."""
+    key = comparability_key(latest)
+    return [
+        e for e in entries
+        if e is not latest and comparability_key(e) == key
+    ]

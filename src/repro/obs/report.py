@@ -1,0 +1,216 @@
+"""Static HTML run report — the ledger and telemetry, human-shaped.
+
+``python -m repro.obs report`` renders the latest ledger entry (and
+its comparable history) plus an optional heartbeat channel into one
+self-contained HTML file: run header, per-stage timings, counter
+deltas against the previous comparable run, memory gauges, the
+wall-clock trend across history, and the per-chunk straggler table.
+No dependencies, no scripts, inline CSS only — the file is a CI
+artifact that must open anywhere.
+"""
+
+from __future__ import annotations
+
+import html
+import statistics
+import time
+from typing import Any, Optional
+
+from .ledger import COMPARABILITY_KEYS, comparable_history
+
+#: Chunks slower than this multiple of the median chunk wall time are
+#: flagged as stragglers (the default ``watch``/``report`` threshold).
+STRAGGLER_FACTOR = 1.5
+
+_CSS = """
+body { font-family: ui-monospace, SFMono-Regular, Menlo, monospace;
+       margin: 2rem auto; max-width: 64rem; color: #1a1a1a; }
+h1, h2 { font-weight: 600; }
+table { border-collapse: collapse; margin: 0.75rem 0 1.5rem; }
+th, td { border: 1px solid #d0d0d0; padding: 0.25rem 0.6rem;
+         text-align: left; font-size: 0.85rem; }
+th { background: #f2f2f2; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+tr.flag td { background: #fff3e6; }
+.up { color: #b01f1f; } .down { color: #1f7a33; }
+.muted { color: #707070; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _table(headers: list[str], rows: list[list[str]],
+           flags: Optional[list[bool]] = None) -> str:
+    """Rows are pre-rendered cell HTML; *flags* marks straggler rows."""
+    out = ["<table><tr>"]
+    out.extend(f"<th>{_esc(h)}</th>" for h in headers)
+    out.append("</tr>")
+    for i, row in enumerate(rows):
+        cls = ' class="flag"' if flags and flags[i] else ""
+        out.append(f"<tr{cls}>" + "".join(row) + "</tr>")
+    out.append("</table>")
+    return "".join(out)
+
+
+def _num(value: Any) -> str:
+    return f'<td class="num">{_esc(value)}</td>'
+
+
+def _cell(value: Any) -> str:
+    return f"<td>{_esc(value)}</td>"
+
+
+def _delta_cell(old: Optional[float], new: Optional[float]) -> str:
+    if not old or new is None:
+        return '<td class="num muted">–</td>'
+    growth = (new - old) / old
+    cls = "up" if growth > 0 else "down" if growth < 0 else "muted"
+    return f'<td class="num {cls}">{growth * 100:+.1f}%</td>'
+
+
+def _entry_header_rows(entry: dict[str, Any]) -> list[list[str]]:
+    config = entry.get("config", {})
+    rows = [
+        [_cell("name"), _cell(entry.get("name"))],
+        [_cell("git sha"), _cell(entry.get("git_sha") or "?")],
+        [_cell("repro version"), _cell(entry.get("repro_version") or "?")],
+        [_cell("recorded"), _cell(time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.gmtime(entry.get("ts", 0))) + " UTC")],
+    ]
+    for key in COMPARABILITY_KEYS:
+        if key != "name" and key in config:
+            rows.append([_cell(key), _cell(config[key])])
+    return rows
+
+
+def straggler_rows(
+    heartbeats: list[dict[str, Any]], factor: float = STRAGGLER_FACTOR
+) -> tuple[list[dict[str, Any]], float]:
+    """Chunk-end records annotated for straggler display.
+
+    Returns ``(rows, median_wall)`` where each row is the chunk-end
+    record plus a ``straggler`` bool (wall > factor x median over its
+    label's chunks).
+    """
+    ends = [r for r in heartbeats
+            if r.get("kind") == "chunk-end" and r.get("wall_s") is not None]
+    by_label: dict[str, list[float]] = {}
+    for r in ends:
+        by_label.setdefault(r.get("label", ""), []).append(r["wall_s"])
+    medians = {
+        label: statistics.median(walls) for label, walls in by_label.items()
+    }
+    rows = []
+    for r in ends:
+        median = medians.get(r.get("label", ""), 0.0)
+        rows.append(dict(r, straggler=median > 0 and r["wall_s"] > factor * median))
+    overall = statistics.median([r["wall_s"] for r in ends]) if ends else 0.0
+    return rows, overall
+
+
+def render_report(
+    entries: list[dict[str, Any]],
+    heartbeats: Optional[list[dict[str, Any]]] = None,
+    title: str = "repro run report",
+) -> str:
+    """The full HTML document for the latest of *entries*."""
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+    ]
+    if not entries:
+        parts.append("<p>(empty ledger)</p></body></html>")
+        return "".join(parts)
+
+    latest = entries[-1]
+    history = comparable_history(entries, latest)
+    previous = history[-1] if history else None
+
+    parts.append("<h2>Run</h2>")
+    parts.append(_table(["field", "value"], _entry_header_rows(latest)))
+
+    stages = latest.get("stages", {})
+    if stages:
+        prev_stages = (previous or {}).get("stages", {})
+        rows = [
+            [_cell(name), _num(f"{secs:.4f}"),
+             _delta_cell(prev_stages.get(name), secs)]
+            for name, secs in stages.items()
+        ]
+        total = latest.get("wall_clock_s")
+        if total is not None:
+            rows.append([_cell("<b>wall clock</b>"), _num(f"{total:.4f}"),
+                         _delta_cell((previous or {}).get("wall_clock_s"),
+                                     total)])
+        parts.append("<h2>Stages</h2>")
+        parts.append(_table(["stage", "seconds", "vs previous"], rows))
+
+    counters = latest.get("counters", {})
+    if counters:
+        prev_counters = (previous or {}).get("counters", {})
+        rows = [
+            [_cell(name), _num(value),
+             _delta_cell(prev_counters.get(name), value)]
+            for name, value in sorted(counters.items())
+        ]
+        parts.append("<h2>Work counters</h2>")
+        parts.append(_table(["counter", "value", "vs previous"], rows))
+
+    memory = latest.get("memory", {})
+    if memory:
+        prev_memory = (previous or {}).get("memory", {})
+        rows = []
+        for key in ("max_rss_kb", "tracemalloc_peak_kb"):
+            value = memory.get(key)
+            if value is None:
+                continue
+            rows.append([_cell(key), _num(value),
+                         _delta_cell(prev_memory.get(key), value)])
+        if rows:
+            parts.append("<h2>Memory</h2>")
+            parts.append(_table(["gauge", "KiB", "vs previous"], rows))
+
+    if history:
+        parts.append("<h2>Comparable history</h2>")
+        rows = []
+        for entry in history + [latest]:
+            marker = " (this run)" if entry is latest else ""
+            rows.append([
+                _cell(time.strftime("%Y-%m-%d %H:%M",
+                                    time.gmtime(entry.get("ts", 0))) + marker),
+                _cell(entry.get("git_sha") or "?"),
+                _num(entry.get("wall_clock_s")),
+                _num(entry.get("memory", {}).get("max_rss_kb", "–")),
+            ])
+        parts.append(_table(["recorded (UTC)", "sha", "wall s", "rss KiB"],
+                            rows))
+
+    if heartbeats:
+        rows_data, median = straggler_rows(heartbeats)
+        if rows_data:
+            parts.append("<h2>Worker chunks</h2>")
+            parts.append(
+                f"<p class='muted'>median chunk wall {median:.4f}s; rows "
+                f"beyond {STRAGGLER_FACTOR}x their label's median are "
+                f"flagged as stragglers.</p>"
+            )
+            rows, flags = [], []
+            for r in sorted(rows_data,
+                            key=lambda r: -r.get("wall_s", 0.0))[:50]:
+                chunk = r.get("chunk") or ["?", "?"]
+                rows.append([
+                    _cell(r.get("label", "")),
+                    _cell(f"[{chunk[0]}, {chunk[1]})"),
+                    _num(r.get("items", "–")),
+                    _num(f"{r.get('wall_s', 0.0):.4f}"),
+                    _cell("STRAGGLER" if r["straggler"] else ""),
+                ])
+                flags.append(bool(r["straggler"]))
+            parts.append(_table(
+                ["worker", "chunk", "items", "wall s", ""], rows, flags))
+
+    parts.append("</body></html>")
+    return "".join(parts)

@@ -8,6 +8,21 @@ from repro.graph.graph import Graph
 from repro.topology.isp import generate_isp_topology
 
 
+@pytest.fixture(autouse=True)
+def _no_ledger_or_heartbeats(monkeypatch):
+    """Keep CLI-invoking tests from writing observability side effects.
+
+    Many tests call experiment ``main()``s in-process; without this,
+    each such call would append a manifest to the *committed* run
+    ledger (``results/history/ledger.jsonl``) and, with a stray
+    ``REPRO_HEARTBEAT_DIR`` in the environment, spray heartbeat files.
+    Tests that exercise the ledger/heartbeats re-enable them
+    explicitly via their own monkeypatching.
+    """
+    monkeypatch.setenv("REPRO_LEDGER", "0")
+    monkeypatch.delenv("REPRO_HEARTBEAT_DIR", raising=False)
+
+
 @pytest.fixture
 def triangle() -> Graph:
     """3-cycle with unit weights."""

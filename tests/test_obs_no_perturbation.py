@@ -1,0 +1,74 @@
+"""The obs layer never perturbs payloads — rows and counters are
+byte-identical with every instrument on vs. everything off.
+
+Subprocess runs, not in-process repeats: warm topology/oracle caches
+would mask a counter difference, and the ledger/heartbeat knobs are
+environment variables read at import/run time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def _run_table2(workdir: Path, bench_name: str, *, obs: bool) -> dict:
+    workdir.mkdir(parents=True, exist_ok=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env["REPRO_KERNEL"] = "python"
+    bench = workdir / bench_name
+    cmd = [
+        sys.executable, "-m", "repro.experiments.table2",
+        "--scale", "tiny", "--modes", "link", "--jobs", "1",
+        "--bench-json", str(bench),
+    ]
+    if obs:
+        hb_dir = workdir / "hb"
+        cmd += [
+            "--obs",
+            "--trace-jsonl", str(workdir / "trace.jsonl"),
+            "--profile-out", str(workdir / "prof.collapsed"),
+            "--mem",
+            "--heartbeat-dir", str(hb_dir),
+        ]
+        env["REPRO_LEDGER"] = "1"
+        env["REPRO_LEDGER_PATH"] = str(workdir / "ledger.jsonl")
+    else:
+        env["REPRO_LEDGER"] = "0"
+        env.pop("REPRO_LEDGER_PATH", None)
+        env.pop("REPRO_HEARTBEAT_DIR", None)
+    proc = subprocess.run(
+        cmd, cwd=workdir, env=env, capture_output=True, text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(bench.read_text())
+
+
+def test_full_obs_does_not_perturb_rows_or_counters(tmp_path):
+    bare = _run_table2(tmp_path / "bare", "BENCH_off.json", obs=False)
+    # Separate workdir so obs side files can't collide with anything.
+    full = _run_table2(tmp_path / "full", "BENCH_on.json", obs=True)
+
+    dumps = lambda obj: json.dumps(obj, sort_keys=True)
+    assert dumps(bare["rows"]) == dumps(full["rows"])
+    assert dumps(bare["counters"]) == dumps(full["counters"])
+    for key in ("name", "scale", "seed", "cases", "modes", "jobs"):
+        assert bare[key] == full[key], key
+
+    # The instruments did run in the obs process: side files exist and
+    # the extras landed in the obs-only sections, not the payload.
+    workdir = tmp_path / "full"
+    assert (workdir / "trace.jsonl").is_file()
+    assert (workdir / "prof.collapsed").is_file()
+    assert (workdir / "ledger.jsonl").is_file()
+    assert "metrics" in full and "metrics" not in bare
+    assert full["memory"]["tracemalloc_peak_kb"] is not None
+    assert bare["memory"]["tracemalloc_peak_kb"] is None

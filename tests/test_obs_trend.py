@@ -1,0 +1,323 @@
+"""Tests for the history CLI — trend exit codes, report HTML, watch."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import heartbeat
+from repro.obs.cli import main
+from repro.obs.ledger import append_entry, make_entry
+from repro.obs.report import render_report, straggler_rows
+
+BASE_PAYLOAD = {
+    "scale": "tiny",
+    "seed": 7,
+    "cases": 240,
+    "tie_order": "canonical",
+    "kernel_backend": "python",
+    "jobs": 1,
+    "wall_clock_s": 1.0,
+    "stages": {"cases": 0.6, "render": 0.1},
+    "counters": {"probe_calls": 1000, "dijkstra_runs": 50},
+    "memory": {"max_rss_kb": 25000, "tracemalloc_peak_kb": None},
+    "git_sha": "aaaaaaaaaaaa",
+    "repro_version": "1.0.0",
+}
+
+
+def seed_ledger(path, payloads, name="table2"):
+    for payload in payloads:
+        append_entry(make_entry(name, payload), path)
+    return path
+
+
+def variant(**overrides):
+    payload = dict(BASE_PAYLOAD)
+    for key, value in overrides.items():
+        if key in ("counters", "memory", "stages"):
+            payload[key] = {**payload[key], **value}
+        else:
+            payload[key] = value
+    return payload
+
+
+class TestTrendExitCodes:
+    def test_missing_ledger_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["trend", "--ledger", str(tmp_path / "nope.jsonl")])
+
+    def test_empty_ledger_is_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text("")
+        assert main(["trend", "--ledger", str(path)]) == 2
+        assert "NO HISTORY" in capsys.readouterr().out
+
+    def test_single_entry_is_exit_2(self, tmp_path, capsys):
+        path = seed_ledger(tmp_path / "l.jsonl", [BASE_PAYLOAD])
+        assert main(["trend", "--ledger", str(path)]) == 2
+        assert "no prior comparable entry" in capsys.readouterr().out
+
+    def test_config_change_is_exit_2(self, tmp_path):
+        path = seed_ledger(
+            tmp_path / "l.jsonl",
+            [BASE_PAYLOAD, variant(kernel_backend="numpy")],
+        )
+        assert main(["trend", "--ledger", str(path)]) == 2
+
+    def test_steady_counters_exit_0(self, tmp_path, capsys):
+        path = seed_ledger(tmp_path / "l.jsonl", [BASE_PAYLOAD] * 3)
+        assert main(["trend", "--ledger", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_injected_counter_regression_exit_1(self, tmp_path, capsys):
+        path = seed_ledger(
+            tmp_path / "l.jsonl",
+            [BASE_PAYLOAD, BASE_PAYLOAD,
+             variant(counters={"probe_calls": 2000})],
+        )
+        assert main(["trend", "--ledger", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "probe_calls" in out
+
+    def test_counter_within_budget_exit_0(self, tmp_path):
+        path = seed_ledger(
+            tmp_path / "l.jsonl",
+            [BASE_PAYLOAD, variant(counters={"probe_calls": 1050})],
+        )
+        assert main(["trend", "--ledger", str(path)]) == 0
+
+    def test_counters_trend_against_best_not_latest(self, tmp_path):
+        # History crept up already: latest matches the *previous* run
+        # but is 30% above the best — still a regression.
+        path = seed_ledger(
+            tmp_path / "l.jsonl",
+            [BASE_PAYLOAD,
+             variant(counters={"probe_calls": 1300}),
+             variant(counters={"probe_calls": 1300})],
+        )
+        assert main(["trend", "--ledger", str(path)]) == 1
+
+    def test_wall_growth_soft_by_default(self, tmp_path, capsys):
+        path = seed_ledger(
+            tmp_path / "l.jsonl",
+            [BASE_PAYLOAD, variant(wall_clock_s=2.0)],
+        )
+        assert main(["trend", "--ledger", str(path)]) == 0
+        assert "WARN" in capsys.readouterr().out
+
+    def test_wall_growth_hard_with_flag(self, tmp_path):
+        path = seed_ledger(
+            tmp_path / "l.jsonl",
+            [BASE_PAYLOAD, variant(wall_clock_s=2.0)],
+        )
+        assert main([
+            "trend", "--ledger", str(path), "--fail-on-wall",
+        ]) == 1
+
+    def test_memory_growth_hard_with_flag(self, tmp_path):
+        path = seed_ledger(
+            tmp_path / "l.jsonl",
+            [BASE_PAYLOAD, variant(memory={"max_rss_kb": 60000})],
+        )
+        assert main(["trend", "--ledger", str(path)]) == 0  # soft
+        assert main([
+            "trend", "--ledger", str(path), "--fail-on-memory",
+        ]) == 1
+
+    def test_name_filter(self, tmp_path, capsys):
+        path = tmp_path / "l.jsonl"
+        seed_ledger(path, [BASE_PAYLOAD] * 2, name="table2")
+        seed_ledger(path, [variant(counters={"probe_calls": 9000})],
+                    name="table3")
+        # Unfiltered, latest is the lone table3 entry -> no history.
+        assert main(["trend", "--ledger", str(path)]) == 2
+        assert main([
+            "trend", "--ledger", str(path), "--name", "table2",
+        ]) == 0
+
+
+class TestReport:
+    def test_report_writes_html(self, tmp_path, capsys):
+        path = seed_ledger(
+            tmp_path / "l.jsonl",
+            [BASE_PAYLOAD, variant(counters={"probe_calls": 1100})],
+        )
+        out = tmp_path / "report.html"
+        assert main([
+            "report", "--ledger", str(path), "--out", str(out),
+        ]) == 0
+        html = out.read_text()
+        assert html.startswith("<!doctype html>")
+        assert "table2" in html
+        assert "probe_calls" in html
+        assert "max_rss_kb" in html
+        assert "+10.0%" in html  # counter delta vs previous
+        assert "Comparable history" in html
+
+    def test_report_includes_stragglers(self, tmp_path):
+        ledger = seed_ledger(tmp_path / "l.jsonl", [BASE_PAYLOAD])
+        hb_dir = tmp_path / "hb"
+        hb_dir.mkdir()
+        records = [
+            {"schema": heartbeat.HEARTBEAT_SCHEMA, "seq": i, "pid": 1,
+             "ts": 0.0, "kind": "chunk-end", "label": "w#0",
+             "chunk": [i * 4, i * 4 + 4], "items": 4, "wall_s": wall}
+            for i, wall in enumerate([0.1, 0.1, 0.1, 5.0])
+        ]
+        (hb_dir / "hb-1.jsonl").write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        out = tmp_path / "report.html"
+        assert main([
+            "report", "--ledger", str(ledger),
+            "--heartbeat-dir", str(hb_dir), "--out", str(out),
+        ]) == 0
+        assert "STRAGGLER" in out.read_text()
+
+    def test_render_report_empty_ledger(self):
+        assert "(empty ledger)" in render_report([])
+
+    def test_html_escapes_values(self):
+        entry = make_entry("<script>alert(1)</script>", BASE_PAYLOAD)
+        html = render_report([entry])
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+
+
+class TestStragglerRows:
+    def test_flags_beyond_factor_of_label_median(self):
+        records = [
+            {"kind": "chunk-end", "label": "a", "chunk": [0, 4],
+             "items": 4, "wall_s": w}
+            for w in (1.0, 1.0, 1.0, 1.0, 3.0)
+        ]
+        rows, median = straggler_rows(records, factor=1.5)
+        assert median == 1.0
+        assert [r["straggler"] for r in rows] == [
+            False, False, False, False, True
+        ]
+
+    def test_medians_are_per_label(self):
+        records = [
+            {"kind": "chunk-end", "label": "fast", "chunk": [0, 1],
+             "items": 1, "wall_s": 0.1},
+            {"kind": "chunk-end", "label": "slow", "chunk": [0, 1],
+             "items": 1, "wall_s": 10.0},
+        ]
+        rows, _ = straggler_rows(records, factor=1.5)
+        # Neither is a straggler relative to its own label's median.
+        assert not any(r["straggler"] for r in rows)
+
+
+class TestWatch:
+    def _write_channel(self, hb_dir, *, finished):
+        records = [
+            {"schema": heartbeat.HEARTBEAT_SCHEMA, "seq": 0, "pid": 1,
+             "ts": 0.0, "kind": "fanout-start", "label": "w#0",
+             "total": 8, "chunks": 2, "jobs": 2},
+            {"schema": heartbeat.HEARTBEAT_SCHEMA, "seq": 1, "pid": 2,
+             "ts": 0.1, "kind": "chunk-end", "label": "w#0",
+             "chunk": [0, 4], "items": 4, "wall_s": 0.1},
+        ]
+        if finished:
+            records.append(
+                {"schema": heartbeat.HEARTBEAT_SCHEMA, "seq": 2, "pid": 2,
+                 "ts": 0.2, "kind": "chunk-end", "label": "w#0",
+                 "chunk": [4, 8], "items": 4, "wall_s": 0.1},
+            )
+            records.append(
+                {"schema": heartbeat.HEARTBEAT_SCHEMA, "seq": 3, "pid": 1,
+                 "ts": 0.3, "kind": "fanout-end", "label": "w#0",
+                 "total": 8, "chunks": 2, "jobs": 2, "wall_s": 0.3},
+            )
+        (hb_dir / "hb-mixed.jsonl").write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+
+    def test_missing_dir_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["watch", str(tmp_path / "nope")])
+
+    def test_one_shot_renders_progress(self, tmp_path, capsys):
+        hb_dir = tmp_path / "hb"
+        hb_dir.mkdir()
+        self._write_channel(hb_dir, finished=False)
+        assert main(["watch", str(hb_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "w#0: running" in out
+        assert "chunks 1/2" in out
+        assert "items 4/8 (50%)" in out
+
+    def test_completed_fanout_shows_done(self, tmp_path, capsys):
+        hb_dir = tmp_path / "hb"
+        hb_dir.mkdir()
+        self._write_channel(hb_dir, finished=True)
+        assert main(["watch", str(hb_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "w#0: done" in out
+        assert "chunks 2/2" in out
+
+    def test_follow_exits_when_done(self, tmp_path, capsys):
+        hb_dir = tmp_path / "hb"
+        hb_dir.mkdir()
+        self._write_channel(hb_dir, finished=True)
+        assert main([
+            "watch", str(hb_dir), "--follow", "--interval", "0.01",
+        ]) == 0
+
+    def test_empty_channel(self, tmp_path, capsys):
+        hb_dir = tmp_path / "hb"
+        hb_dir.mkdir()
+        assert main(["watch", str(hb_dir)]) == 0
+        assert "no heartbeats yet" in capsys.readouterr().out
+
+
+class TestLedgerListing:
+    def test_lists_entries(self, tmp_path, capsys):
+        path = seed_ledger(tmp_path / "l.jsonl", [BASE_PAYLOAD] * 2)
+        assert main(["ledger", "--ledger", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "sha=aaaaaaaaaaaa" in out
+        assert "2 entries" in out
+
+
+class TestMultiFileRenderers:
+    def test_summary_glob_renders_headers(self, tmp_path, capsys):
+        for name in ("BENCH_a.json", "BENCH_b.json"):
+            (tmp_path / name).write_text(json.dumps(
+                {"counters": {"probe_calls": 1},
+                 "memory": {"max_rss_kb": 100}}
+            ))
+        assert main(["summary", str(tmp_path / "BENCH_*.json")]) == 0
+        out = capsys.readouterr().out
+        assert "== " in out
+        assert out.count("BENCH_a.json") == 1
+        assert out.count("BENCH_b.json") == 1
+        assert "memory:" in out
+        assert "max_rss_kb: 100" in out
+
+    def test_summary_unmatched_glob_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no files match"):
+            main(["summary", str(tmp_path / "BENCH_*.json")])
+
+    def test_timeline_merges_files_by_time(self, tmp_path, capsys):
+        from repro.obs.events import EventLog
+
+        log_a = EventLog()
+        log_a.emit(1.0, "r1", "link-down")
+        log_a.emit(3.0, "r1", "link-up")
+        log_b = EventLog()
+        log_b.emit(2.0, "r2", "detected")
+        path_a = log_a.write_jsonl(tmp_path / "a.jsonl")
+        path_b = log_b.write_jsonl(tmp_path / "b.jsonl")
+        assert main(["timeline", str(path_a), str(path_b)]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("t=")]
+        kinds = [l.split()[2] for l in lines]
+        assert kinds == ["link-down", "detected", "link-up"]
+        assert "3 events" in out
+        assert "from 2 files" in out
