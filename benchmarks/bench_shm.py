@@ -8,7 +8,12 @@ buys the ``--jobs`` fan-out:
 * per-worker: setup time and post-setup memory (VmRSS, plus PSS when
   ``/proc/self/smaps_rollup`` exists) for a worker that *attaches* the
   published segment vs. one that *rebuilds* topology + CSR from the
-  work reference, each in its own single-worker pool.
+  work reference, each in its own single-worker pool;
+* warm rows: publish / attach / adopt times for an ``RROW`` segment of
+  warm :class:`~repro.graph.incremental.SptCache` rows vs. the
+  re-settle (fresh Dijkstra per source) it displaces, plus a
+  per-worker adopt-vs-resettle pair whose counter deltas pin that
+  adoption does zero search work (``warm_row_builds`` stays 0).
 
 Emits ``results/BENCH_shm.json`` in the established BENCH schema.
 ``--smoke`` shrinks the graph and repeat count to a CI-friendly run
@@ -24,7 +29,14 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.graph.csr import CsrGraph
-from repro.graph.shm import attach_csr, publish_csr, residual_segments
+from repro.graph.incremental import SptCache
+from repro.graph.shm import (
+    attach_csr,
+    attach_rows,
+    publish_csr,
+    publish_rows,
+    residual_segments,
+)
 from repro.perf import COUNTERS
 from repro.topology.isp import generate_isp_topology
 
@@ -87,6 +99,56 @@ def _worker_rebuild(n: int, seed: int) -> dict:
     csr = CsrGraph(graph)
     setup_s = time.perf_counter() - t0
     return {"setup_s": setup_s, "n": csr.n, **_memory_kb()}
+
+
+def _rows_attach_then_close(name: str) -> None:
+    table, seg = attach_rows(name)
+    try:
+        assert table.sources
+    finally:
+        seg.close()
+
+
+def _worker_adopt_rows(name: str, n: int, seed: int) -> dict:
+    """Worker body: warm a cache by adopting the published row table."""
+    from repro.graph.shm import attach_rows_cached
+
+    graph = generate_isp_topology(n=n, seed=seed)
+    before = COUNTERS.snapshot()
+    t0 = time.perf_counter()
+    cache = SptCache(graph, weighted=True)
+    adopted = cache.adopt_rows(attach_rows_cached(name))
+    setup_s = time.perf_counter() - t0
+    delta = COUNTERS.delta(before)
+    return {
+        "setup_s": setup_s,
+        "rows": adopted,
+        "warm_row_builds": delta.warm_row_builds,
+        "dijkstra_relaxations": (
+            delta.dijkstra_relaxations + delta.csr_relaxations
+        ),
+        **_memory_kb(),
+    }
+
+
+def _worker_resettle_rows(sources: list[int], n: int, seed: int) -> dict:
+    """Worker body: the displaced path — re-settle every row locally."""
+    graph = generate_isp_topology(n=n, seed=seed)
+    before = COUNTERS.snapshot()
+    t0 = time.perf_counter()
+    cache = SptCache(graph, weighted=True)
+    cache.ensure_rows(sources)
+    setup_s = time.perf_counter() - t0
+    delta = COUNTERS.delta(before)
+    return {
+        "setup_s": setup_s,
+        "rows": len(sources),
+        "warm_row_builds": delta.warm_row_builds,
+        "dijkstra_relaxations": (
+            delta.dijkstra_relaxations + delta.csr_relaxations
+        ),
+        **_memory_kb(),
+    }
 
 
 def _one_worker(fn, *args) -> dict:
@@ -158,6 +220,56 @@ def main(argv=None) -> None:
     finally:
         seg.close()
         seg.unlink()
+
+    # -- warm rows: RROW publication vs. per-worker re-settle ------------
+    sources = list(range(min(args.n, 64)))
+    cache = SptCache(graph, weighted=True)
+    cache.ensure_rows(sources)
+    rows = cache.export_rows()
+    results["rows_settle_s"] = _timed(
+        lambda: SptCache(graph, weighted=True).ensure_rows(sources),
+        repeat=args.repeat,
+    )
+    row_seg = publish_rows(
+        "spt", cache.csr.n, True, cache.csr.source_version, rows
+    )
+    if row_seg is None:
+        raise SystemExit("row segment publication failed; nothing to measure")
+    try:
+        results["rows_publish_s"] = _timed(
+            lambda: publish_rows(
+                "spt", cache.csr.n, True, cache.csr.source_version, rows
+            ).__exit__(None, None, None),
+            repeat=args.repeat,
+        )
+        results["rows_attach_s"] = _timed(
+            _rows_attach_then_close, row_seg.name, repeat=args.repeat
+        )
+
+        def _adopt_once():
+            table, handle = attach_rows(row_seg.name)
+            try:
+                assert SptCache(graph, weighted=True).adopt_rows(table) \
+                    == len(sources)
+            finally:
+                handle.close()
+
+        results["rows_adopt_s"] = _timed(_adopt_once, repeat=args.repeat)
+
+        row_workers = {
+            "adopt": _one_worker(
+                _worker_adopt_rows, row_seg.name, args.n, args.seed
+            ),
+            "resettle": _one_worker(
+                _worker_resettle_rows, sources, args.n, args.seed
+            ),
+        }
+        assert row_workers["adopt"]["warm_row_builds"] == 0, row_workers
+        assert row_workers["adopt"]["rows"] == len(sources)
+        assert row_workers["resettle"]["warm_row_builds"] > 0
+    finally:
+        row_seg.close()
+        row_seg.unlink()
     assert residual_segments() == [], residual_segments()
 
     payload = {
@@ -172,8 +284,10 @@ def main(argv=None) -> None:
             + len(csr.weights) * csr.weights.itemsize
         ),
         "wall_clock_s": round(time.perf_counter() - wall_start, 4),
+        "warm_rows": len(sources),
         "results": {k: round(v, 6) for k, v in results.items()},
         "workers": workers,
+        "row_workers": row_workers,
         "speedups": {
             "attach_vs_rebuild_inproc": round(
                 results["csr_build_s"] / max(results["attach_s"], 1e-12), 2
@@ -181,6 +295,16 @@ def main(argv=None) -> None:
             "worker_attach_vs_rebuild": round(
                 workers["rebuild"]["setup_s"]
                 / max(workers["attach"]["setup_s"], 1e-12),
+                2,
+            ),
+            "rows_adopt_vs_resettle_inproc": round(
+                results["rows_settle_s"]
+                / max(results["rows_adopt_s"], 1e-12),
+                2,
+            ),
+            "row_worker_adopt_vs_resettle": round(
+                row_workers["resettle"]["setup_s"]
+                / max(row_workers["adopt"]["setup_s"], 1e-12),
                 2,
             ),
         },
@@ -196,6 +320,18 @@ def main(argv=None) -> None:
             csr_build_s=results["csr_build_s"],
             wa=workers["attach"]["setup_s"],
             wr=workers["rebuild"]["setup_s"],
+        )
+    )
+    print(
+        "rows ({rows}): adopt {adopt:.6f}s vs re-settle {settle:.6f}s "
+        "in-process; worker adopt {wa:.4f}s vs re-settle {wr:.4f}s "
+        "(adopt warm_row_builds={builds})".format(
+            rows=len(sources),
+            adopt=results["rows_adopt_s"],
+            settle=results["rows_settle_s"],
+            wa=row_workers["adopt"]["setup_s"],
+            wr=row_workers["resettle"]["setup_s"],
+            builds=row_workers["adopt"]["warm_row_builds"],
         )
     )
 

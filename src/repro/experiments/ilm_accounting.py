@@ -61,7 +61,7 @@ from ..graph.graph import Graph, Node
 from ..graph.paths import Path
 from ..kernels import kernel_backend
 from ..obs import heartbeat
-from ..perf import COUNTERS
+from ..perf import COUNTERS, warm_up_phase
 
 #: A path in CSR index space: the node-index sequence, source first.
 Chain = tuple[int, ...]
@@ -103,6 +103,27 @@ class IlmAccountant:
         self._pieces: set[Chain] = set()
         self._decomp_memo: dict[Chain, Optional[tuple[Chain, ...]]] = {}
         self._final: Optional[tuple[list[int], list[int], int]] = None
+        self.scenarios_processed = 0
+        self.demands_restored = 0
+        self.demands_unrestorable = 0
+
+    def reset_accounting(self) -> None:
+        """Zero the mergeable accounting state, keep the caches.
+
+        A worker process reuses one accountant per network/mode across
+        every chunk it pulls from the shared work queue: the demand
+        universe (chain indices, reverse edge/router maps, probe
+        weights) and the decomposition memo are pure functions of the
+        network and stay warm, while the per-chunk tallies exported by
+        :meth:`export_state` start from zero so the parent's merge sees
+        each chunk exactly once.
+        """
+        self._backup_naive = array(
+            "l", bytes(array("l").itemsize * self.csr.n)
+        )
+        self._primaries_touched = set()
+        self._pieces = set()
+        self._final = None
         self.scenarios_processed = 0
         self.demands_restored = 0
         self.demands_unrestorable = 0
@@ -169,11 +190,20 @@ class IlmAccountant:
             return
         by_edge: dict[tuple[int, int], list] = {}
         by_router: dict[int, list] = {}
-        if self._oracle is not None:
-            nodes = self.csr.nodes
-            self._oracle.warm_many(
-                nodes[si] for si in self._source_idx if si not in self._chains
-            )
+        # Universe warm-up: the oracle rows every demand chain reads
+        # are batch-warmed (and lazily swept by _chains_for) here —
+        # exactly the set a parent publishes, so builds inside this
+        # phase count as warm_row_builds.
+        with warm_up_phase():
+            if self._oracle is not None:
+                nodes = self.csr.nodes
+                self._oracle.warm_many(
+                    nodes[si]
+                    for si in self._source_idx
+                    if si not in self._chains
+                )
+            for si in self._source_idx:
+                self._chains_for(si)
         for si in self._source_idx:
             for ti, chain in self._chains_for(si).items():
                 demand = (si, ti)
@@ -213,6 +243,85 @@ class IlmAccountant:
                 continue
             grouped.setdefault(si, []).append(ti)
         return grouped
+
+    def plan_scenarios(
+        self, scenarios: list[FailureScenario]
+    ) -> tuple[list[int], list[int]]:
+        """Cost-model pass over *scenarios* (the fan-out scheduler input).
+
+        Returns ``(costs, touched)``: a per-scenario work estimate and
+        the sorted CSR indices of every source any scenario repairs.
+        The estimate is the summed
+        :meth:`~repro.graph.incremental.SptCache.repair_cost_estimate`
+        over the scenario's touched sources — pre-failure subtree sizes
+        below the dead links/routers, the dominant ``repair_spt`` term
+        — plus the affected-demand count (backup walks and
+        decomposition probes scale with it).  As a side effect this
+        warms the exact SPT row set a parallel run wants to publish,
+        which is the same row set a sequential run builds one scenario
+        at a time.  Deterministic: pure arithmetic over cached rows.
+        """
+        index = self.csr.index
+        cache = shared_spt_cache(self.graph, weighted=self.weighted)
+        grouped_list = [self._affected_by(s) for s in scenarios]
+        touched = sorted({si for g in grouped_list for si in g})
+        cache.ensure_rows(touched)
+        costs: list[int] = []
+        for scenario, grouped in zip(scenarios, grouped_list):
+            dead_pairs: list[tuple[int, int]] = []
+            for u, v in scenario.links:
+                iu, iv = index.get(u), index.get(v)
+                if iu is not None and iv is not None:
+                    dead_pairs.append((iu, iv))
+            dead_nodes = [
+                index[r] for r in scenario.routers if r in index
+            ]
+            cost = 0
+            for si, targets in grouped.items():
+                cost += cache.repair_cost_estimate(
+                    si, dead_pairs, dead_nodes
+                ) + len(targets)
+            costs.append(cost)
+        return costs, touched
+
+    def publish_warm_rows(self):
+        """Publish this accountant's warm rows for a scenario fan-out.
+
+        Ships every cached SPT row of the shared cache and every
+        complete oracle row (the sets :meth:`plan_scenarios` just
+        warmed, plus whatever earlier stages left behind) as two
+        ``RROW`` segments.  Returns ``(row_ref, segments)`` where
+        *row_ref* is the ``(spt name, oracle name)`` pair for
+        :func:`~repro.experiments.parallel.ilm_scenario_chunk` — or
+        ``None`` when nothing published — and *segments* are the
+        creator handles the caller must unlink after the fan-out.
+        """
+        from ..graph import shm
+
+        if not shm.shm_enabled():
+            return None, []
+        segments: list = []
+        spt_name = oracle_name = None
+        cache = shared_spt_cache(self.graph, weighted=self.weighted)
+        seg = shm.publish_rows(
+            "spt", self.csr.n, self.weighted, self.csr.source_version,
+            cache.export_rows(),
+        )
+        if seg is not None:
+            segments.append(seg)
+            spt_name = seg.name
+        if self._oracle is not None:
+            ocsr = self._oracle.csr()
+            seg = shm.publish_rows(
+                "oracle", ocsr.n, True, ocsr.source_version,
+                self._oracle.export_rows(),
+            )
+            if seg is not None:
+                segments.append(seg)
+                oracle_name = seg.name
+        if spt_name is None and oracle_name is None:
+            return None, segments
+        return (spt_name, oracle_name), segments
 
     def _decompose(self, chain: Chain) -> Optional[tuple[Chain, ...]]:
         """Min-pieces decomposition of a backup chain (memoized); None

@@ -34,6 +34,32 @@ to the sequential run:
   refs; workers rebuild locally, ``COUNTERS.shm_fallbacks`` records
   it) and the creator releases every segment in the experiment's
   ``finally`` — see :meth:`SuitePublication.release`.
+* **Warm rows, not N warm-ups.**  ``publish_suite(..., with_rows=True)``
+  additionally ships the parent's warm ``SptCache`` /
+  ``LazyDistanceOracle`` ``dist``/``pred`` rows as ``RROW`` segments
+  (:func:`repro.graph.shm.publish_rows`); workers adopt zero-copy
+  read-only row views (:meth:`SptCache.adopt_rows` /
+  :meth:`LazyDistanceOracle.adopt_rows`) instead of re-running the
+  parent's warm-up searches.  Adopted views are read-only buffers, so
+  ``repair_batch`` copy-on-repair mutations stay worker-local by
+  construction.  ``COUNTERS.worker_warm_row_builds`` — injected into
+  each chunk's counter delta by the heartbeat wrappers — records any
+  warm-up Dijkstra a worker still had to run itself.
+* **Cost-weighted scheduling.**  Count-based :func:`chunk_bounds`
+  balances *items*; :func:`weighted_chunks` balances *work*.  The
+  parent estimates per-scenario cost from pre-failure SPT subtree
+  sizes (:meth:`IlmAccountant.plan_scenarios`), LPT-packs scenarios
+  into ``4 x jobs`` bins, and submits the bins in descending-load
+  order — the executor's FIFO queue becomes a deterministic shared
+  work queue workers pull from, so the expensive hub-failure scenarios
+  start first and the tail stays flat.  Order-free
+  ``export_state``/``merge_state`` makes results
+  placement-independent; :func:`run_weighted` still reassembles chunk
+  payloads in queue order so the output is byte-identical to the
+  sequential run.  Each chunk's predicted cost rides the heartbeat
+  stream (``chunk-start``/``chunk-end`` ``cost`` field) so
+  ``repro.obs report``/``watch --cost-model`` can score the estimator
+  against actual wall time.
 
 ``--jobs 1`` (the default everywhere) bypasses this module entirely and
 runs the plain sequential loops; ``--jobs 0`` means "auto" —
@@ -51,10 +77,17 @@ from ..obs import heartbeat
 from ..obs.metrics import METRICS
 from ..perf import COUNTERS
 
-#: Segment-name pair shipped to workers per network:
-#: ``(graph CSR segment, padded-base CSR segment)`` — either may be
-#: ``None`` when publication fell back.
-ShmRef = Optional[tuple[Optional[str], Optional[str]]]
+#: Segment names shipped to workers per network: ``(graph CSR segment,
+#: padded-base CSR segment, SPT row segment, oracle row segment)`` —
+#: any slot may be ``None`` when publication fell back or was not
+#: requested, and two-slot refs (CSR only) remain valid.
+ShmRef = Optional[tuple[Optional[str], ...]]
+
+#: Per-fan-out row-segment name pair ``(SPT rows, oracle rows)`` for
+#: publications scoped to one stage (the ILM scenario fan-out ships the
+#: demand-universe rows this way, separately from the suite-level
+#: pair-source rows).
+RowRef = Optional[tuple[Optional[str], Optional[str]]]
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -122,7 +155,7 @@ def _worker_with_heartbeat(
     heartbeat.set_current_label(label)
     t0 = time.perf_counter()
     try:
-        result = worker(*common_args, start, end)
+        items, delta, metrics_delta = worker(*common_args, start, end)
     finally:
         heartbeat.set_current_label(None)
     heartbeat.emit(
@@ -132,7 +165,22 @@ def _worker_with_heartbeat(
         items=end - start,
         wall_s=round(time.perf_counter() - t0, 6),
     )
-    return result
+    return items, _tag_worker_builds(delta), metrics_delta
+
+
+def _tag_worker_builds(delta: dict) -> dict:
+    """Mirror a chunk's ``warm_row_builds`` into the worker-side counter.
+
+    Runs inside the worker, on the counter delta it is about to ship:
+    every warm-up row build the chunk performed is by definition a
+    *worker-side* build, so the parent's merged
+    ``worker_warm_row_builds`` totals exactly the warm-up duplication
+    the fan-out failed to eliminate (zero when row publication covered
+    everything).
+    """
+    delta = dict(delta)
+    delta["worker_warm_row_builds"] = delta.get("warm_row_builds", 0)
+    return delta
 
 
 def run_chunked(
@@ -184,6 +232,130 @@ def run_chunked(
     return ordered
 
 
+# -- cost-weighted scheduling -------------------------------------------------
+
+
+def weighted_chunks(
+    costs: Sequence[int], jobs: int
+) -> list[tuple[tuple[int, ...], int]]:
+    """LPT-pack item indices into cost-balanced chunks.
+
+    Deterministic longest-processing-time-first: items sorted by
+    ``(-cost, index)`` go one by one into the least-loaded of
+    ``min(n, 4 x jobs)`` bins (ties to the lowest bin id; zero-cost
+    items still count 1 so no bin starves).  Returns non-empty
+    ``(member indices, estimated load)`` chunks sorted by descending
+    load — submission in that order makes the executor's FIFO queue a
+    shared work queue where the heaviest chunks start first and the
+    light ones backfill the stragglers' shadow.  A pure function of
+    ``(costs, jobs)``: chunk membership never depends on pool timing.
+    """
+    n = len(costs)
+    if n == 0:
+        return []
+    bins = min(n, max(1, jobs) * 4)
+    loads = [0] * bins
+    members: list[list[int]] = [[] for _ in range(bins)]
+    for i in sorted(range(n), key=lambda i: (-costs[i], i)):
+        b = min(range(bins), key=lambda j: (loads[j], j))
+        members[b].append(i)
+        loads[b] += max(1, costs[i])
+    chunks = [
+        (tuple(m), load) for m, load in zip(members, loads) if m
+    ]
+    chunks.sort(key=lambda chunk: (-chunk[1], chunk[0]))
+    return chunks
+
+
+def _weighted_chunk_with_heartbeat(
+    label: str,
+    worker: Callable[..., tuple[list, dict, dict]],
+    common_args: tuple,
+    qpos: int,
+    indices: tuple[int, ...],
+    cost: int,
+) -> tuple[list, dict, dict]:
+    """Weighted-chunk twin of :func:`_worker_with_heartbeat`.
+
+    Chunks are identified by queue position (their members are scattered
+    index tuples, not ranges) and both lifecycle events carry the cost
+    model's prediction, so the telemetry stream holds the
+    predicted-vs-actual pair ``repro.obs report`` scores.
+    """
+    import tracemalloc
+
+    if tracemalloc.is_tracing():
+        tracemalloc.stop()
+    heartbeat.emit(
+        "chunk-start", label=label, chunk=[qpos, qpos + 1],
+        items=len(indices), cost=cost,
+    )
+    heartbeat.set_current_label(label)
+    t0 = time.perf_counter()
+    try:
+        items, delta, metrics_delta = worker(*common_args, qpos, indices)
+    finally:
+        heartbeat.set_current_label(None)
+    heartbeat.emit(
+        "chunk-end",
+        label=label,
+        chunk=[qpos, qpos + 1],
+        items=len(indices),
+        cost=cost,
+        wall_s=round(time.perf_counter() - t0, 6),
+    )
+    return items, _tag_worker_builds(delta), metrics_delta
+
+
+def run_weighted(
+    executor: Executor,
+    worker: Callable[..., tuple[list, dict, dict]],
+    common_args: tuple,
+    chunks: list[tuple[tuple[int, ...], int]],
+    jobs: int,
+    total: int,
+) -> list:
+    """Fan ``worker(*common_args, qpos, indices)`` out over cost chunks.
+
+    The :func:`run_chunked` twin for :func:`weighted_chunks` output:
+    chunks are submitted in the given (descending-load) order, chunk
+    payloads are reassembled by queue position, and every counter /
+    metrics delta merges into the parent.  Byte-identical output does
+    not depend on the reassembly order for mergeable state (the ILM
+    accountant's ``merge_state`` is order-free) but keeping it
+    deterministic makes the payload list stable anyway.
+    """
+    global _fanout_seq
+    label = f"{worker.__name__}#{_fanout_seq}"
+    _fanout_seq += 1
+    heartbeat.emit(
+        "fanout-start", label=label, total=total, chunks=len(chunks),
+        jobs=jobs,
+    )
+    t0 = time.perf_counter()
+    futures = {
+        executor.submit(
+            _weighted_chunk_with_heartbeat, label, worker, common_args,
+            qpos, indices, cost,
+        ): qpos
+        for qpos, (indices, cost) in enumerate(chunks)
+    }
+    by_pos: dict[int, list] = {}
+    for future, qpos in futures.items():
+        items, delta, metrics_delta = future.result()
+        by_pos[qpos] = items
+        COUNTERS.merge(delta)
+        METRICS.merge(metrics_delta)
+    ordered: list = []
+    for qpos in sorted(by_pos):
+        ordered.extend(by_pos[qpos])
+    heartbeat.emit(
+        "fanout-end", label=label, total=total, chunks=len(chunks),
+        jobs=jobs, wall_s=round(time.perf_counter() - t0, 6),
+    )
+    return ordered
+
+
 # -- shared-memory publication ------------------------------------------------
 
 
@@ -203,7 +375,7 @@ class SuitePublication:
         self._segments = segments
 
     def ref(self, index: int) -> ShmRef:
-        """The ``(graph, padded)`` segment-name pair for network *index*."""
+        """The segment-name tuple for network *index*."""
         if 0 <= index < len(self.refs):
             return self.refs[index]
         return None
@@ -221,35 +393,78 @@ class SuitePublication:
         self.release()
 
 
-def publish_suite(networks: Sequence, with_base: bool = True) -> SuitePublication:
+def publish_suite(
+    networks: Sequence,
+    with_base: bool = True,
+    with_rows: bool = False,
+    seed: int = 1,
+) -> SuitePublication:
     """Publish each network's CSR snapshot(s) into shared memory.
 
     *with_base* additionally publishes the padded-graph snapshot of the
     network's shared unique base set — the index space the distance
     oracle's flat rows live in (experiments that never touch a base
-    set, e.g. Table 3's bypass sweep, skip it).  Publication failures
-    leave ``None`` in the affected ref slot (workers rebuild locally);
-    the segments that did publish are still released normally.
+    set, e.g. Table 3's bypass sweep, skip it).  *with_rows* warms and
+    publishes the demand-pair-source rows of the network's shared
+    ``SptCache`` and base oracle (*seed* reproduces the pair sample) as
+    ``RROW`` segments, so case-evaluating workers adopt the parent's
+    warm rows instead of re-settling each source per process.
+    Publication failures leave ``None`` in the affected ref slot
+    (workers rebuild locally); the segments that did publish are still
+    released normally.
     """
-    from ..core.cache import shared_unique_base
+    from ..core.cache import shared_spt_cache, shared_unique_base
+    from ..failures.sampler import sample_pairs
     from ..graph import shm
     from ..graph.csr import shared_csr
 
     refs: list[ShmRef] = []
     segments: list = []
     for network in networks:
-        graph_name = padded_name = None
-        seg = shm.publish_csr(shared_csr(network.graph))
+        graph_name = padded_name = spt_name = oracle_name = None
+        csr = shared_csr(network.graph)
+        seg = shm.publish_csr(csr)
         if seg is not None:
             segments.append(seg)
             graph_name = seg.name
+        base = None
         if with_base:
-            padded = shared_unique_base(network.graph).padded
-            seg = shm.publish_csr(shared_csr(padded))
+            base = shared_unique_base(network.graph)
+            seg = shm.publish_csr(shared_csr(base.padded))
             if seg is not None:
                 segments.append(seg)
                 padded_name = seg.name
-        refs.append((graph_name, padded_name))
+        if with_rows and shm.shm_enabled():
+            pairs = sample_pairs(
+                network.graph, network.sample_pairs, seed=seed
+            )
+            sources = sorted({csr.index[pair[0]] for pair in pairs})
+            cache = shared_spt_cache(
+                network.graph, weighted=network.weighted
+            )
+            cache.ensure_rows(sources)
+            seg = shm.publish_rows(
+                "spt", csr.n, network.weighted, csr.source_version,
+                cache.export_rows(),
+            )
+            if seg is not None:
+                segments.append(seg)
+                spt_name = seg.name
+            oracle = getattr(base, "oracle", None)
+            if oracle is not None and not getattr(
+                oracle, "break_ties_by_hops", False
+            ):
+                nodes = csr.nodes
+                oracle.ensure_rows(nodes[si] for si in sources)
+                ocsr = oracle.csr()
+                seg = shm.publish_rows(
+                    "oracle", ocsr.n, True, ocsr.source_version,
+                    oracle.export_rows(),
+                )
+                if seg is not None:
+                    segments.append(seg)
+                    oracle_name = seg.name
+        refs.append((graph_name, padded_name, spt_name, oracle_name))
     return SuitePublication(refs, segments)
 
 
@@ -277,19 +492,52 @@ def _adopt_shared(graph, shm_ref: ShmRef, slot: int) -> None:
         COUNTERS.shm_fallbacks += 1
 
 
+def _adopt_row_slot(ref, slot: int, adopter) -> None:
+    """Worker side: attach row segment *slot* of *ref* and adopt it.
+
+    Same best-effort contract as :func:`_adopt_shared`: a missing or
+    mismatching segment bumps ``COUNTERS.shm_fallbacks`` and leaves the
+    consumer on its local warm-up path.
+    """
+    if not ref or slot >= len(ref):
+        return
+    name = ref[slot]
+    if not name:
+        return
+    from ..graph import shm
+
+    try:
+        adopter(shm.attach_rows_cached(name))
+    except Exception:
+        COUNTERS.shm_fallbacks += 1
+
+
 def _adopt_network(network, shm_ref: ShmRef, with_base: bool):
     """Adopt a network's published snapshot(s); returns its base set.
 
     The padded adoption must precede any oracle row computation, so
-    this runs first thing in every worker chunk.
+    this runs first thing in every worker chunk.  CSR slots first, then
+    the warm-row slots (row tables validate against the adopted
+    snapshots' shape and version).
     """
-    from ..core.cache import shared_unique_base
+    from ..core.cache import shared_spt_cache, shared_unique_base
 
     _adopt_shared(network.graph, shm_ref, 0)
+    _adopt_row_slot(
+        shm_ref, 2,
+        lambda table: shared_spt_cache(
+            network.graph, weighted=network.weighted
+        ).adopt_rows(table),
+    )
     if not with_base:
         return None
     base = shared_unique_base(network.graph)
     _adopt_shared(getattr(base, "padded", None), shm_ref, 1)
+    oracle = getattr(base, "oracle", None)
+    if oracle is not None and not getattr(
+        oracle, "break_ties_by_hops", False
+    ):
+        _adopt_row_slot(shm_ref, 3, oracle.adopt_rows)
     return base
 
 
@@ -304,6 +552,12 @@ def _network(scale: str, seed: int, index: int):
     from .networks import cached_suite
 
     return cached_suite(scale=scale, seed=seed)[index]
+
+
+#: Worker-process memo of (accountant, scenario list) per ILM fan-out
+#: configuration — the demand universe and decomposition memo are
+#: chunk-invariant, so a worker pays for them once per network/mode.
+_ILM_ACCOUNTANTS: dict = {}
 
 
 def table2_case_chunk(
@@ -377,18 +631,31 @@ def figure10_stretch_chunk(
 
 def ilm_scenario_chunk(
     scale: str, seed: int, index: int, mode: str, ilm_max_scenarios: int,
-    shm_ref: ShmRef, start: int, end: int,
+    shm_ref: ShmRef, row_ref: RowRef, qpos: int, indices: tuple[int, ...],
 ) -> tuple[list, dict, dict]:
-    """ILM-account failure scenarios ``[start:end)`` of one network/mode.
+    """ILM-account the scenarios at *indices* of one network/mode.
 
     Rebuilds the deterministic scenario list (sampled pairs -> failure
     cases -> deduplicated, thinned scenarios — exactly the sequential
     construction in :func:`~repro.experiments.table2.ilm_scenarios`),
-    accounts its slice, and ships the accountant's mergeable state; the
-    parent folds the chunk states together
+    adopts the fan-out's warm demand-universe rows (*row_ref*: SPT and
+    oracle ``RROW`` segment names published by
+    :func:`~repro.experiments.table2.evaluate_network` from the cost
+    model's planning pass), accounts its scattered scenario subset, and
+    ships the accountant's mergeable state; the parent folds the chunk
+    states together
     (:meth:`~repro.experiments.ilm_accounting.IlmAccountant.merge_state`)
-    for results byte-identical to the sequential loop.
+    for results byte-identical to the sequential loop regardless of
+    how scenarios were packed into chunks.
+
+    The accountant (and its scenario list) is memoized per
+    network/mode within the worker process: the demand universe and
+    decomposition memo are chunk-invariant pure caches, so a worker
+    pulling many small cost-weighted chunks from the shared queue pays
+    for them once, with :meth:`reset_accounting` zeroing the mergeable
+    tallies between chunks.
     """
+    from ..core.cache import shared_spt_cache
     from ..failures.sampler import sample_pairs
     from .ilm_accounting import IlmAccountant
     from .table2 import ilm_demand_sources, ilm_scenarios
@@ -398,16 +665,34 @@ def ilm_scenario_chunk(
     network = _network(scale, seed, index)
     graph = network.graph
     base = _adopt_network(network, shm_ref, with_base=True)
-    pairs = sample_pairs(graph, network.sample_pairs, seed=seed)
-    scenarios = ilm_scenarios(base, pairs, mode, ilm_max_scenarios)
-    accountant = IlmAccountant(
-        graph,
-        base,
-        demand_sources=ilm_demand_sources(graph, pairs),
-        weighted=network.weighted,
+    _adopt_row_slot(
+        row_ref, 0,
+        lambda table: shared_spt_cache(
+            graph, weighted=network.weighted
+        ).adopt_rows(table),
     )
+    oracle = getattr(base, "oracle", None)
+    if oracle is not None and not getattr(
+        oracle, "break_ties_by_hops", False
+    ):
+        _adopt_row_slot(row_ref, 1, oracle.adopt_rows)
+    key = (scale, seed, index, mode, ilm_max_scenarios)
+    cached = _ILM_ACCOUNTANTS.get(key)
+    if cached is None:
+        pairs = sample_pairs(graph, network.sample_pairs, seed=seed)
+        scenarios = ilm_scenarios(base, pairs, mode, ilm_max_scenarios)
+        accountant = IlmAccountant(
+            graph,
+            base,
+            demand_sources=ilm_demand_sources(graph, pairs),
+            weighted=network.weighted,
+        )
+        _ILM_ACCOUNTANTS[key] = (accountant, scenarios)
+    else:
+        accountant, scenarios = cached
+        accountant.reset_accounting()
     accountant.process_scenarios(
-        scenarios[start:end], progress_chunk=(start, end)
+        [scenarios[i] for i in indices], progress_chunk=(qpos, qpos + 1)
     )
     state = accountant.export_state()
     return [state], COUNTERS.delta(before).as_dict(), METRICS.delta(m_before)

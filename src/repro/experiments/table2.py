@@ -42,7 +42,9 @@ from .parallel import (
     publish_suite,
     resolve_jobs,
     run_chunked,
+    run_weighted,
     table2_case_chunk,
+    weighted_chunks,
 )
 from .reporting import format_table
 
@@ -270,13 +272,26 @@ def evaluate_network(
                 scenarios = ilm_scenarios(base, pairs, mode, ilm_max_scenarios)
                 if executor is not None and suite_ref is not None and jobs > 1:
                     scale, suite_seed, index = suite_ref
-                    chunk_exports = run_chunked(
-                        executor,
-                        ilm_scenario_chunk,
-                        (scale, suite_seed, index, mode, ilm_max_scenarios, shm_ref),
-                        len(scenarios),
-                        jobs,
-                    )
+                    # Cost-model pass: estimate each scenario's repair
+                    # work from pre-failure subtree sizes (warming the
+                    # exact row set the fan-out wants shipped), publish
+                    # the warm rows, and LPT-pack scenarios into
+                    # cost-balanced chunks submitted heaviest-first.
+                    costs, _touched = accountant.plan_scenarios(scenarios)
+                    row_ref, row_segments = accountant.publish_warm_rows()
+                    try:
+                        chunk_exports = run_weighted(
+                            executor,
+                            ilm_scenario_chunk,
+                            (scale, suite_seed, index, mode,
+                             ilm_max_scenarios, shm_ref, row_ref),
+                            weighted_chunks(costs, jobs),
+                            jobs,
+                            len(scenarios),
+                        )
+                    finally:
+                        for seg in row_segments:
+                            seg.unlink()
                     COUNTERS.ilm_scenario_chunks += len(chunk_exports)
                     for state in chunk_exports:
                         accountant.merge_state(state)
@@ -347,11 +362,14 @@ def run(
     publication = None
     try:
         if executor is not None:
-            # Publish every network's CSR (and padded-base CSR) before
-            # the first submit: workers attach one shared copy of the
-            # buffers instead of rebuilding their own.
+            # Publish every network's CSR (and padded-base CSR) plus
+            # the warm pair-source rows before the first submit:
+            # workers attach one shared copy of the buffers — and the
+            # parent's warm-up — instead of rebuilding their own.
             with timer.stage("shm-publish") if timer else _null():
-                publication = publish_suite(networks, with_base=True)
+                publication = publish_suite(
+                    networks, with_base=True, with_rows=True, seed=seed
+                )
         per_network = [
             evaluate_network(
                 n,

@@ -20,7 +20,7 @@ from typing import Iterable, Iterator, Optional
 
 from ..exceptions import NoPath
 from ..kernels import kernel_backend
-from ..perf import COUNTERS
+from ..perf import COUNTERS, in_warm_up, warm_up_phase
 from .csr import INF, CsrView, dijkstra_csr_canonical, shared_csr
 from .graph import Node
 from .paths import Path
@@ -193,7 +193,8 @@ class LazyDistanceOracle:
         """Make the row for *source* a full row."""
         if source in self._complete:
             return
-        if source in self._truncated:
+        promoted = source in self._truncated
+        if promoted:
             COUNTERS.oracle_promotions += 1
             self._truncated.discard(source)
         if self.break_ties_by_hops:
@@ -208,6 +209,12 @@ class LazyDistanceOracle:
             self._dist[source], self._pred[source] = arr_dist, arr_pred
         self._complete.add(source)
         COUNTERS.oracle_rows_full += 1
+        if not promoted and in_warm_up():
+            # Promotions are query-driven (a probe outran a truncated
+            # frontier) and cold builds outside a warm-up phase are
+            # demand work: only batch warm-up builds count as work that
+            # warm-row publication can eliminate.
+            COUNTERS.warm_row_builds += 1
 
     def _covered(self, row, t: Node) -> bool:
         """Is *t*'s label in this (possibly truncated) row final?"""
@@ -240,10 +247,13 @@ class LazyDistanceOracle:
         rows = kernel_backend().rows_many(view, idxs, unit=False)
         if rows is None:
             return
+        warm_up = in_warm_up()
         for s, i in zip(missing, idxs):
             self._dist[s], self._pred[s] = rows[i]
             self._complete.add(s)
             COUNTERS.oracle_rows_full += 1
+            if warm_up:
+                COUNTERS.warm_row_builds += 1
 
     def warm(self, source: Node, targets: Iterable[Node]) -> None:
         """Guarantee each target is settled or provably unreachable.
@@ -273,6 +283,8 @@ class LazyDistanceOracle:
             )
         self._dist[source], self._pred[source] = dist, pred
         if exhausted:
+            # A target-pruned query that happened to settle everything:
+            # demand-driven, so not accounted as warm-up duplication.
             self._complete.add(source)
             COUNTERS.oracle_rows_full += 1
         else:
@@ -350,3 +362,84 @@ class LazyDistanceOracle:
     def cached_sources(self) -> list[Node]:
         """Sources whose rows are currently cached."""
         return list(self._dist)
+
+    def ensure_rows(self, sources: Iterable[Node]) -> None:
+        """Build full rows for every listed source (publisher warm-up).
+
+        ``warm_many`` batches the cold sources through the kernel
+        backend, then a lazy ``_ensure`` sweep picks up whatever the
+        backend declined (reference backend, batches of one) plus any
+        truncated rows.  No-op in hop-count tie mode.
+        """
+        if self.break_ties_by_hops:
+            return
+        wanted = list(dict.fromkeys(sources))
+        with warm_up_phase():
+            self.warm_many(wanted)
+            for s in wanted:
+                self._ensure(s)
+
+    def export_rows(self) -> dict[int, tuple[list[float], list[int]]]:
+        """Complete array-mode rows keyed by CSR source index.
+
+        The publication payload for
+        :func:`repro.graph.shm.publish_rows`: truncated rows are
+        excluded (their ``INF`` labels are ambiguous — an adopter could
+        not tell unsettled from unreachable), and hop-count tie mode
+        exports nothing (dict rows have no flat layout).
+        """
+        if self.break_ties_by_hops:
+            return {}
+        index = self._csr_view().csr.index
+        return {
+            index[s]: (self._dist[s], self._pred[s])
+            for s in self._complete
+        }
+
+    def adopt_rows(self, table) -> int:
+        """Install warm full rows from an attached shm ``RowTable``.
+
+        Mirrors :meth:`repro.graph.incremental.SptCache.adopt_rows`:
+        only sources with **no cached row at all** are filled (a
+        truncated local row keeps its normal promotion path so
+        ``oracle_promotions`` accounting is undisturbed), the installed
+        views are zero-copy and read-only, and the only counter moved
+        is ``warm_rows_adopted`` — adoption must never look like
+        search work.  Returns the number of rows installed; raises
+        ``ValueError`` on a kind/shape/version mismatch or in
+        hop-count tie mode.
+        """
+        if self.break_ties_by_hops:
+            raise ValueError(
+                "cannot adopt array rows with break_ties_by_hops"
+            )
+        if table.kind != "oracle":
+            raise ValueError(
+                f"cannot adopt {table.kind!r} rows into a distance oracle"
+            )
+        csr = self._csr_view().csr
+        if table.n != csr.n:
+            raise ValueError(
+                f"row table has n={table.n}, oracle graph has n={csr.n}"
+            )
+        if (
+            table.source_version is not None
+            and csr.source_version is not None
+            and table.source_version != csr.source_version
+        ):
+            raise ValueError(
+                f"row table published for graph version "
+                f"{table.source_version}, oracle snapshot is version "
+                f"{csr.source_version}"
+            )
+        nodes = csr.nodes
+        adopted = 0
+        for i in table.sources:
+            s = nodes[i]
+            if s in self._dist:
+                continue
+            self._dist[s], self._pred[s] = table.row(i)
+            self._complete.add(s)
+            adopted += 1
+        COUNTERS.warm_rows_adopted += adopted
+        return adopted

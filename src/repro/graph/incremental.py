@@ -258,7 +258,8 @@ class SptCache:
     """
 
     __slots__ = (
-        "csr", "weighted", "_rows", "_children", "_reachable", "_spent"
+        "csr", "weighted", "_rows", "_children", "_reachable", "_spent",
+        "_sizes",
     )
 
     def __init__(self, graph, weighted: bool = True) -> None:
@@ -270,6 +271,8 @@ class SptCache:
         # they amortize across every failure case touching that source.
         self._children: dict[int, list[list[int]]] = {}
         self._reachable: dict[int, int] = {}
+        # Per-source subtree sizes of the pre-failure SPT (cost model).
+        self._sizes: dict[int, list[int]] = {}
         # Rent-to-buy ledger for backup_path: settle work spent on
         # targeted searches per source *before* its row exists.
         self._spent: dict[int, int] = {}
@@ -288,6 +291,7 @@ class SptCache:
                 dist, pred = bfs_csr(base, i)
             row = (dist, pred)
             self._rows[i] = row
+            COUNTERS.warm_row_builds += 1
         return row
 
     def warm_rows(self, source_idxs: Iterable[int]) -> None:
@@ -308,6 +312,75 @@ class SptCache:
             )
             if built:
                 self._rows.update(built)
+                COUNTERS.warm_row_builds += len(built)
+
+    def ensure_rows(self, source_idxs: Iterable[int]) -> None:
+        """Guarantee every listed source has a cached pre-failure row.
+
+        :meth:`warm_rows` plus a lazy-build sweep for whatever the
+        backend declined to batch (the reference backend batches
+        nothing) — the publisher-side primitive: a parent warms the
+        exact row set here, then ships it via
+        :func:`repro.graph.shm.publish_rows`.
+        """
+        idxs = list(dict.fromkeys(source_idxs))
+        self.warm_rows(idxs)
+        for i in idxs:
+            self._row(i)
+
+    def export_rows(self) -> dict[int, tuple[list[float], list[int]]]:
+        """Every cached pre-failure row, keyed by CSR source index.
+
+        The publication payload for :func:`repro.graph.shm.publish_rows`
+        — all cached rows are full canonical rows of the unmasked
+        graph, so they are safe to ship as-is.
+        """
+        return dict(self._rows)
+
+    def adopt_rows(self, table) -> int:
+        """Install warm rows from an attached shm ``RowTable``.
+
+        Fills **only missing** sources with the table's zero-copy
+        read-only ``(dist, pred)`` views — locally built or repaired
+        rows are never overwritten.  Adoption is bookkeeping, not
+        search work: it bumps ``COUNTERS.warm_rows_adopted`` and leaves
+        ``csr_settled``/``csr_relaxations`` untouched, so worker-side
+        counter deltas keep measuring real work.  A table published for
+        a different graph shape, query semantics, or consumer kind is
+        refused outright (``ValueError``) — adopting wrong rows would
+        silently corrupt every downstream repair.  Returns the number
+        of rows installed.
+        """
+        if table.kind != "spt":
+            raise ValueError(
+                f"cannot adopt {table.kind!r} rows into an SptCache"
+            )
+        if table.n != self.csr.n:
+            raise ValueError(
+                f"row table has n={table.n}, cache has n={self.csr.n}"
+            )
+        if table.weighted != self.weighted:
+            raise ValueError(
+                f"row table weighted={table.weighted}, "
+                f"cache weighted={self.weighted}"
+            )
+        if (
+            table.source_version is not None
+            and self.csr.source_version is not None
+            and table.source_version != self.csr.source_version
+        ):
+            raise ValueError(
+                f"row table published for graph version "
+                f"{table.source_version}, cache snapshot is version "
+                f"{self.csr.source_version}"
+            )
+        adopted = 0
+        for i in table.sources:
+            if i not in self._rows:
+                self._rows[i] = table.row(i)
+                adopted += 1
+        COUNTERS.warm_rows_adopted += adopted
+        return adopted
 
     def _affected(
         self,
@@ -330,6 +403,67 @@ class SptCache:
             dist, pred, self.csr.n, pairs, view.dead_nodes,
             children=children,
         )
+
+    def subtree_sizes(self, i: int) -> list[int]:
+        """Subtree size of every node in *i*'s pre-failure SPT.
+
+        ``sizes[v]`` counts the nodes whose shortest path from the
+        source routes through *v* (including *v* itself); unreachable
+        nodes get 0.  Computed in one pass over the reachable nodes in
+        descending-distance order — under positive edge weights a
+        child's label is strictly larger than its parent's, so each
+        node's total is final before it is pushed onto its parent.
+        Memoized per source alongside the children lists.
+        """
+        sizes = self._sizes.get(i)
+        if sizes is None:
+            dist, pred = self._row(i)
+            sizes = [0] * self.csr.n
+            order = sorted(
+                (v for v in range(self.csr.n) if dist[v] != INF),
+                key=dist.__getitem__,
+                reverse=True,
+            )
+            for v in order:
+                sizes[v] += 1
+                p = pred[v]
+                if p >= 0:
+                    sizes[p] += sizes[v]
+            self._sizes[i] = sizes
+        return sizes
+
+    def repair_cost_estimate(
+        self,
+        i: int,
+        dead_pairs: Iterable[tuple[int, int]],
+        dead_nodes: Iterable[int],
+    ) -> int:
+        """Estimated :func:`repair_spt` work for source *i* (cost model).
+
+        Sums the pre-failure subtree sizes hanging below each dead tree
+        edge and each dead reachable node — an upper-ish bound on the
+        affected region the repair will re-settle.  Overlapping dead
+        subtrees double-count, so the total is capped at the source's
+        reachable-node count (which is also the fallback recompute
+        cost).  Pure arithmetic over cached rows: no search work.
+        """
+        dist, pred = self._row(i)
+        sizes = self.subtree_sizes(i)
+        cost = 0
+        for u, v in dead_pairs:
+            if pred[v] == u:
+                cost += sizes[v]
+            elif pred[u] == v:
+                cost += sizes[u]
+        for x in dead_nodes:
+            if dist[x] != INF:
+                cost += sizes[x]
+        reachable = self._reachable.get(i)
+        if reachable is None:
+            reachable = self._reachable[i] = sum(
+                1 for d in dist if d != INF
+            )
+        return min(cost, reachable)
 
     def _repair_viable(self, i: int, affected: set[int]) -> bool:
         """Apply the fallback policy: small-enough affected set, live source."""

@@ -21,6 +21,17 @@ Segment layout (little-endian)::
     ...      pickled nodes list, then indptr/indices/weights raw bytes,
              each section 8-byte aligned in that fixed order
 
+A second segment type (magic ``b"RROW"``, its own
+``SHM_ROW_FORMAT_VERSION``) publishes the parent's *warm rows* — the
+pre-failure ``dist``/``pred`` buffers a ``SptCache`` or
+``LazyDistanceOracle`` settled before the fan-out — as one contiguous
+float64 block plus one int64 block behind a self-describing JSON header
+(tie order, dtypes, row length ``n``, ascending source-index table,
+graph ``source_version``, and a ``kind`` tag separating SPT rows from
+oracle rows).  Workers attach :class:`RowTable` views and adopt
+individual rows zero-copy and **read-only**; ``repair_spt`` copies
+before mutating, so repairs stay worker-local (copy-on-repair).
+
 Both sides derive section offsets from the header lengths with the same
 alignment rule, so the header stays self-describing and the layout has
 no pointer fields to corrupt.  Attach *validates* before it trusts:
@@ -86,6 +97,15 @@ SHM_FORMAT_VERSION = 1
 SHM_TIE_ORDER = "canonical"
 
 _MAGIC = b"RCSR"
+
+#: Magic + format version for warm-row table segments (the second
+#: segment type: pre-failure ``dist``/``pred`` rows published alongside
+#: the CSR so workers attach instead of re-running warm-up searches).
+#: Versioned independently of the CSR layout — the two formats evolve
+#: at different speeds.
+_ROW_MAGIC = b"RROW"
+SHM_ROW_FORMAT_VERSION = 1
+
 _PREAMBLE = struct.Struct("<4sII")
 _ALIGN = 8
 
@@ -319,31 +339,42 @@ def publish_csr(csr: CsrGraph) -> Optional[SharedCsrSegment]:
     return SharedCsrSegment(shm, creator=True)
 
 
-def _parse_header(buf: memoryview) -> tuple[dict, int]:
-    """Validate the preamble and return ``(header dict, data offset)``."""
+def _parse_preamble(
+    buf: memoryview, magic: bytes, version: int, what: str
+) -> tuple[dict, int]:
+    """Validate a segment preamble and return ``(header, data offset)``."""
     if len(buf) < _PREAMBLE.size:
-        raise ShmFormatError("segment too small for a CSR preamble")
-    magic, version, header_len = _PREAMBLE.unpack_from(buf, 0)
-    if magic != _MAGIC:
-        raise ShmFormatError(f"bad magic {magic!r}; not a CSR publication")
-    if version != SHM_FORMAT_VERSION:
+        raise ShmFormatError(f"segment too small for a {what} preamble")
+    got_magic, got_version, header_len = _PREAMBLE.unpack_from(buf, 0)
+    if got_magic != magic:
         raise ShmFormatError(
-            f"unsupported CSR segment format v{version} "
-            f"(this build speaks v{SHM_FORMAT_VERSION})"
+            f"bad magic {got_magic!r}; not a {what} publication"
+        )
+    if got_version != version:
+        raise ShmFormatError(
+            f"unsupported {what} segment format v{got_version} "
+            f"(this build speaks v{version})"
         )
     end = _PREAMBLE.size + header_len
     if end > len(buf):
-        raise ShmFormatError("truncated CSR segment header")
+        raise ShmFormatError(f"truncated {what} segment header")
     try:
         header = json.loads(bytes(buf[_PREAMBLE.size : end]).decode("utf-8"))
     except Exception as exc:
-        raise ShmFormatError(f"unreadable CSR segment header: {exc}") from exc
+        raise ShmFormatError(
+            f"unreadable {what} segment header: {exc}"
+        ) from exc
     if header.get("tie_order") != SHM_TIE_ORDER:
         raise ShmFormatError(
             f"segment published under tie order "
             f"{header.get('tie_order')!r}, expected {SHM_TIE_ORDER!r}"
         )
     return header, _aligned(end)
+
+
+def _parse_header(buf: memoryview) -> tuple[dict, int]:
+    """Validate the CSR preamble and return ``(header, data offset)``."""
+    return _parse_preamble(buf, _MAGIC, SHM_FORMAT_VERSION, "CSR")
 
 
 def attach_csr(name: str) -> tuple[CsrGraph, SharedCsrSegment]:
@@ -424,6 +455,223 @@ def detach_all() -> None:
     for _csr, seg in list(_ATTACHED.values()):
         seg.close()
     _ATTACHED.clear()
+    for _table, seg in list(_ATTACHED_ROWS.values()):
+        seg.close()
+    _ATTACHED_ROWS.clear()
+
+
+# -- warm-row table segments --------------------------------------------------
+
+#: dist rows are always packed as float64, pred rows as signed 64-bit —
+#: the exact layouts the canonical kernels produce, re-validated by
+#: itemsize on attach like the CSR sections.
+_ROW_DIST_TYPECODE = "d"
+_ROW_PRED_TYPECODE = "q"
+
+
+class RowTable:
+    """Read-only view over an attached warm-row publication.
+
+    One contiguous ``dist`` block (S x n float64) and one ``pred``
+    block (S x n int64) over the shared pages; :meth:`row` hands out
+    zero-copy **read-only** memoryview slices, so an adopter can never
+    scribble on another worker's warm state — ``repair_spt`` copies
+    before it mutates (copy-on-repair), which these views enforce at
+    the buffer level.
+    """
+
+    __slots__ = (
+        "kind", "n", "weighted", "source_version", "sources",
+        "_index", "_dist", "_pred", "segment",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        n: int,
+        weighted: bool,
+        source_version,
+        sources: tuple[int, ...],
+        dist: memoryview,
+        pred: memoryview,
+        segment: "SharedCsrSegment",
+    ) -> None:
+        self.kind = kind
+        self.n = n
+        self.weighted = weighted
+        self.source_version = source_version
+        self.sources = sources
+        self._index = {s: i for i, s in enumerate(sources)}
+        self._dist = dist
+        self._pred = pred
+        self.segment = segment
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    def __contains__(self, source_idx: int) -> bool:
+        return source_idx in self._index
+
+    def row(self, source_idx: int) -> tuple[memoryview, memoryview]:
+        """The ``(dist, pred)`` read-only views for *source_idx*."""
+        slot = self._index[source_idx]
+        lo, hi = slot * self.n, (slot + 1) * self.n
+        seg = self.segment
+        return (
+            seg._export(self._dist[lo:hi]),
+            seg._export(self._pred[lo:hi]),
+        )
+
+
+def publish_rows(
+    kind: str,
+    n: int,
+    weighted: bool,
+    source_version,
+    rows: dict,
+) -> Optional[SharedCsrSegment]:
+    """Publish warm ``dist``/``pred`` rows into a fresh ``RROW`` segment.
+
+    *rows* maps CSR source index -> ``(dist, pred)`` sequences of
+    length *n* (lists, arrays, or memoryviews — packed into float64 /
+    int64 blocks in ascending source order).  *kind* tags the consumer
+    ("spt" for :class:`~repro.graph.incremental.SptCache` rows,
+    "oracle" for distance-oracle rows) so an adopter can refuse rows
+    computed under different query semantics.  Returns ``None`` on the
+    same fallback conditions as :func:`publish_csr` (and for an empty
+    *rows* — a header-only segment helps nobody).
+    """
+    if not rows:
+        return None
+    if not shm_enabled():
+        COUNTERS.shm_fallbacks += 1
+        return None
+    sources = sorted(rows)
+    dist_block = array(_ROW_DIST_TYPECODE)
+    pred_block = array(_ROW_PRED_TYPECODE)
+    for s in sources:
+        dist, pred = rows[s]
+        if len(dist) != n or len(pred) != n:
+            COUNTERS.shm_fallbacks += 1
+            return None
+        dist_block.extend(dist)
+        pred_block.extend(pred)
+    header = json.dumps(
+        {
+            "tie_order": SHM_TIE_ORDER,
+            "kind": kind,
+            "n": n,
+            "weighted": bool(weighted),
+            "sources": sources,
+            "source_version": source_version,
+            "dist": {
+                "typecode": _ROW_DIST_TYPECODE,
+                "itemsize": dist_block.itemsize,
+                "bytes": dist_block.itemsize * len(dist_block),
+            },
+            "pred": {
+                "typecode": _ROW_PRED_TYPECODE,
+                "itemsize": pred_block.itemsize,
+                "bytes": pred_block.itemsize * len(pred_block),
+            },
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    dist_off = _aligned(_PREAMBLE.size + len(header))
+    dist_raw = memoryview(dist_block).cast("B")
+    pred_off = _aligned(dist_off + len(dist_raw))
+    pred_raw = memoryview(pred_block).cast("B")
+    total = max(_aligned(pred_off + len(pred_raw)), 1)
+    if total > shm_max_bytes():
+        COUNTERS.shm_fallbacks += 1
+        return None
+    try:
+        shm = _shared_memory.SharedMemory(create=True, size=total)
+    except Exception:
+        COUNTERS.shm_fallbacks += 1
+        return None
+    buf = shm.buf
+    buf[: _PREAMBLE.size] = _PREAMBLE.pack(
+        _ROW_MAGIC, SHM_ROW_FORMAT_VERSION, len(header)
+    )
+    buf[_PREAMBLE.size : _PREAMBLE.size + len(header)] = header
+    buf[dist_off : dist_off + len(dist_raw)] = dist_raw
+    buf[pred_off : pred_off + len(pred_raw)] = pred_raw
+    _CREATED.add(shm.name)
+    COUNTERS.shm_row_segments += 1
+    COUNTERS.warm_rows_published += len(sources)
+    return SharedCsrSegment(shm, creator=True)
+
+
+def attach_rows(name: str) -> tuple[RowTable, SharedCsrSegment]:
+    """Attach an ``RROW`` segment and wrap it in a :class:`RowTable`.
+
+    Zero-copy: the table's blocks are read-only memoryview casts over
+    the shared pages.  Raises :class:`ShmFormatError` on magic /
+    format-version / tie-order / dtype / layout mismatch (detaching
+    first), and whatever the platform raises when *name* is gone.
+    """
+    shm = _attach_untracked(name)
+    seg = SharedCsrSegment(shm, creator=False)
+    try:
+        base = seg._export(memoryview(shm.buf))
+        header, offset = _parse_preamble(
+            base, _ROW_MAGIC, SHM_ROW_FORMAT_VERSION, "warm-row"
+        )
+        n = int(header["n"])
+        sources = tuple(int(s) for s in header["sources"])
+        blocks: dict[str, memoryview] = {}
+        for sec_name in ("dist", "pred"):
+            entry = header[sec_name]
+            typecode = entry["typecode"]
+            if array(typecode).itemsize != entry["itemsize"]:
+                raise ShmFormatError(
+                    f"section {sec_name!r} published with itemsize "
+                    f"{entry['itemsize']}, local {typecode!r} has "
+                    f"{array(typecode).itemsize}"
+                )
+            end = offset + entry["bytes"]
+            if end > len(base):
+                raise ShmFormatError(f"truncated section {sec_name!r}")
+            view = base[offset:end].cast(typecode)
+            if len(view) != len(sources) * n:
+                raise ShmFormatError(
+                    f"section {sec_name!r} holds {len(view)} items, "
+                    f"expected {len(sources)} rows of {n}"
+                )
+            blocks[sec_name] = seg._export(view.toreadonly())
+            offset = _aligned(end)
+    except Exception:
+        seg.close()
+        raise
+    table = RowTable(
+        kind=header["kind"],
+        n=n,
+        weighted=bool(header["weighted"]),
+        source_version=header.get("source_version"),
+        sources=sources,
+        dist=blocks["dist"],
+        pred=blocks["pred"],
+        segment=seg,
+    )
+    COUNTERS.shm_row_attach += 1
+    return table, seg
+
+
+#: name -> (RowTable, segment): one attach per worker process per row
+#: segment.  Kept separate from the CSR memo — the two formats have
+#: different value types and the leak checks audit them independently.
+_ATTACHED_ROWS: dict[str, tuple[RowTable, SharedCsrSegment]] = {}
+
+
+def attach_rows_cached(name: str) -> RowTable:
+    """Per-process memoized :func:`attach_rows` (worker fan-out path)."""
+    cached = _ATTACHED_ROWS.get(name)
+    if cached is not None and not cached[1].closed:
+        return cached[0]
+    table, seg = attach_rows(name)
+    _ATTACHED_ROWS[name] = (table, seg)
+    return table
 
 
 # -- leak checking ------------------------------------------------------------

@@ -60,7 +60,12 @@ from . import heartbeat as hb
 from .events import EventLog
 from .ledger import comparable_history, read_entries
 from .metrics import rates_from_counters
-from .report import STRAGGLER_FACTOR, render_report, straggler_rows
+from .report import (
+    MISPREDICT_FACTOR,
+    STRAGGLER_FACTOR,
+    render_report,
+    straggler_rows,
+)
 from .trace import read_jsonl as read_trace_jsonl
 
 
@@ -450,7 +455,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def _render_watch(records: list[dict[str, Any]],
-                  straggler_factor: float) -> bool:
+                  straggler_factor: float,
+                  cost_model: bool = False) -> bool:
     """Print one progress snapshot; True when every fan-out completed."""
     if not records:
         print("(no heartbeats yet)")
@@ -507,6 +513,26 @@ def _render_watch(records: list[dict[str, Any]],
             chunk = r.get("chunk") or ["?", "?"]
             print(f"  {r.get('label', '?')} chunk [{chunk[0]}, {chunk[1]}) "
                   f"items={r.get('items', '?')} wall={r['wall_s']:.4f}s")
+    if cost_model:
+        scored = [r for r in rows if r.get("predicted_s") is not None]
+        if scored:
+            print("cost model (predicted vs actual chunk wall; "
+                  f"> {MISPREDICT_FACTOR:g}x off flagged MISPREDICT):")
+            for r in sorted(scored, key=lambda r: -r["wall_s"]):
+                chunk = r.get("chunk") or ["?", "?"]
+                ratio = r.get("cost_ratio")
+                ratio_s = f"{ratio:.2f}x" if ratio is not None else "?"
+                off = ratio is not None and (
+                    ratio > MISPREDICT_FACTOR
+                    or ratio < 1 / MISPREDICT_FACTOR
+                )
+                print(f"  {r.get('label', '?')} chunk "
+                      f"[{chunk[0]}, {chunk[1]}) cost={r.get('cost', '?')} "
+                      f"predicted={r['predicted_s']:.4f}s "
+                      f"actual={r['wall_s']:.4f}s ratio={ratio_s}"
+                      + ("  MISPREDICT" if off else ""))
+        else:
+            print("cost model: (no cost-weighted chunks yet)")
     return all_done
 
 
@@ -516,7 +542,8 @@ def cmd_watch(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: heartbeat dir {directory} does not exist")
     while True:
         records = hb.read_heartbeats(directory)
-        done = _render_watch(records, args.straggler_factor)
+        done = _render_watch(records, args.straggler_factor,
+                             cost_model=getattr(args, "cost_model", False))
         if done or not args.follow:
             return 0
         time.sleep(args.interval)
@@ -676,6 +703,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--straggler-factor", type=float, default=STRAGGLER_FACTOR,
         help="flag chunks slower than this multiple of their label's "
              f"median chunk wall time (default {STRAGGLER_FACTOR})",
+    )
+    watch.add_argument(
+        "--cost-model", action="store_true",
+        help="show predicted vs actual wall per cost-weighted chunk and "
+             f"flag predictions off by more than {MISPREDICT_FACTOR:g}x",
     )
     watch.set_defaults(func=cmd_watch)
 

@@ -62,8 +62,8 @@ ENV_DIR = "REPRO_HEARTBEAT_DIR"
 
 #: Stable (timing-free) fields, in projection order — the
 #: jobs-invariant view :func:`stable_projection` extracts.
-STABLE_FIELDS = ("kind", "label", "chunk", "items", "done", "total",
-                 "chunks", "jobs")
+STABLE_FIELDS = ("kind", "label", "chunk", "items", "cost", "done",
+                 "total", "chunks", "jobs")
 
 #: Rank used to order same-chunk events deterministically in a merge.
 _KIND_RANK = {

@@ -18,6 +18,11 @@ from typing import Any, Optional
 
 from .ledger import COMPARABILITY_KEYS, comparable_history
 
+#: A chunk whose actual wall lands beyond this factor of the cost
+#: model's prediction (either direction) is flagged as a misprediction
+#: in the worker-chunk tables.
+MISPREDICT_FACTOR = 2.0
+
 #: Chunks slower than this multiple of the median chunk wall time are
 #: flagged as stragglers (the default ``watch``/``report`` threshold).
 STRAGGLER_FACTOR = 1.5
@@ -92,20 +97,44 @@ def straggler_rows(
 
     Returns ``(rows, median_wall)`` where each row is the chunk-end
     record plus a ``straggler`` bool (wall > factor x median over its
-    label's chunks).
+    label's chunks).  Chunks carrying a cost-model estimate (the
+    ``cost`` field cost-weighted fan-outs emit) additionally get
+    ``predicted_s`` — the label's total chunk wall apportioned by cost
+    share — and ``cost_ratio`` (actual / predicted; ``None`` when the
+    prediction rounds to zero), the estimator score ``repro.obs
+    report`` / ``watch --cost-model`` display.
     """
     ends = [r for r in heartbeats
             if r.get("kind") == "chunk-end" and r.get("wall_s") is not None]
     by_label: dict[str, list[float]] = {}
+    cost_totals: dict[str, tuple[int, float]] = {}
     for r in ends:
-        by_label.setdefault(r.get("label", ""), []).append(r["wall_s"])
+        label = r.get("label", "")
+        by_label.setdefault(label, []).append(r["wall_s"])
+        if r.get("cost") is not None:
+            total_cost, total_wall = cost_totals.get(label, (0, 0.0))
+            cost_totals[label] = (
+                total_cost + max(1, r["cost"]), total_wall + r["wall_s"]
+            )
     medians = {
         label: statistics.median(walls) for label, walls in by_label.items()
     }
     rows = []
     for r in ends:
-        median = medians.get(r.get("label", ""), 0.0)
-        rows.append(dict(r, straggler=median > 0 and r["wall_s"] > factor * median))
+        label = r.get("label", "")
+        median = medians.get(label, 0.0)
+        row = dict(r, straggler=median > 0 and r["wall_s"] > factor * median)
+        if r.get("cost") is not None:
+            total_cost, total_wall = cost_totals[label]
+            predicted = (
+                total_wall * max(1, r["cost"]) / total_cost
+                if total_cost else 0.0
+            )
+            row["predicted_s"] = predicted
+            row["cost_ratio"] = (
+                r["wall_s"] / predicted if predicted > 1e-9 else None
+            )
+        rows.append(row)
     overall = statistics.median([r["wall_s"] for r in ends]) if ends else 0.0
     return rows, overall
 
@@ -191,26 +220,53 @@ def render_report(
     if heartbeats:
         rows_data, median = straggler_rows(heartbeats)
         if rows_data:
+            with_cost = any("predicted_s" in r for r in rows_data)
             parts.append("<h2>Worker chunks</h2>")
             parts.append(
                 f"<p class='muted'>median chunk wall {median:.4f}s; rows "
                 f"beyond {STRAGGLER_FACTOR}x their label's median are "
-                f"flagged as stragglers.</p>"
+                f"flagged as stragglers"
+                + (f"; cost-model predictions off by more than "
+                   f"{MISPREDICT_FACTOR:g}x are flagged as mispredictions"
+                   if with_cost else "")
+                + ".</p>"
             )
             rows, flags = [], []
             for r in sorted(rows_data,
                             key=lambda r: -r.get("wall_s", 0.0))[:50]:
                 chunk = r.get("chunk") or ["?", "?"]
-                rows.append([
+                marks = []
+                if r["straggler"]:
+                    marks.append("STRAGGLER")
+                ratio = r.get("cost_ratio")
+                mispredicted = ratio is not None and (
+                    ratio > MISPREDICT_FACTOR or ratio < 1 / MISPREDICT_FACTOR
+                )
+                if mispredicted:
+                    marks.append("MISPREDICT")
+                row = [
                     _cell(r.get("label", "")),
                     _cell(f"[{chunk[0]}, {chunk[1]})"),
                     _num(r.get("items", "–")),
                     _num(f"{r.get('wall_s', 0.0):.4f}"),
-                    _cell("STRAGGLER" if r["straggler"] else ""),
-                ])
-                flags.append(bool(r["straggler"]))
-            parts.append(_table(
-                ["worker", "chunk", "items", "wall s", ""], rows, flags))
+                ]
+                if with_cost:
+                    predicted = r.get("predicted_s")
+                    row.append(
+                        _num(f"{predicted:.4f}")
+                        if predicted is not None else _num("–")
+                    )
+                    row.append(
+                        _num(f"{ratio:.2f}x") if ratio is not None
+                        else _num("–")
+                    )
+                row.append(_cell(" ".join(marks)))
+                rows.append(row)
+                flags.append(bool(r["straggler"] or mispredicted))
+            headers = ["worker", "chunk", "items", "wall s"]
+            if with_cost:
+                headers += ["predicted s", "actual/pred"]
+            parts.append(_table(headers + [""], rows, flags))
 
     parts.append("</body></html>")
     return "".join(parts)

@@ -57,10 +57,34 @@ Counter meanings:
 ``ilm_scenario_chunks``
     Per-link ILM accounting fan-out: deterministic scenario chunks
     dispatched to ``--jobs`` workers (0 in a sequential run).
+``shm_row_segments`` / ``shm_row_attach``
+    Warm-row shared-memory substrate (:mod:`repro.graph.shm` ``RROW``
+    segments): row tables published by a creator process and read-only
+    attaches performed by workers.  Failures fall back to per-process
+    warm-up and count under ``shm_fallbacks`` like the CSR segments.
+``warm_rows_published`` / ``warm_rows_adopted``
+    Individual pre-failure ``dist``/``pred`` rows shipped through a row
+    segment and rows installed into a worker-side
+    ``SptCache``/``LazyDistanceOracle`` from an attached segment.
+    Adoption is bookkeeping, never search work: it must not move
+    ``csr_settled``/``csr_relaxations``.
+``warm_row_builds`` / ``worker_warm_row_builds``
+    Full pre-failure row constructions during *warm-up* (the batch
+    universe/planning Dijkstra/BFS runs that warm-row publication
+    exists to eliminate), and the subset of those performed inside
+    ``--jobs`` workers.  ``SptCache`` canonical rows always count;
+    oracle rows count only inside a :func:`warm_up_phase` block (the
+    demand-universe and planning warms) — demand-driven oracle work
+    (truncated-row promotions, targeted probes, decomposition row
+    fetches) is query cost, not duplicated warm-up, and is tracked by
+    the search counters instead.  With publication on,
+    ``worker_warm_row_builds`` dropping to zero is the proof that
+    workers attach instead of re-settling sources.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, fields, replace
 
 
@@ -90,6 +114,12 @@ class PerfCounters:
     shm_attach: int = 0
     shm_fallbacks: int = 0
     ilm_scenario_chunks: int = 0
+    shm_row_segments: int = 0
+    shm_row_attach: int = 0
+    warm_rows_published: int = 0
+    warm_rows_adopted: int = 0
+    warm_row_builds: int = 0
+    worker_warm_row_builds: int = 0
 
     def snapshot(self) -> "PerfCounters":
         """An immutable copy of the current values."""
@@ -123,3 +153,29 @@ class PerfCounters:
 
 #: The process-wide counter singleton every hot path reports to.
 COUNTERS = PerfCounters()
+
+_warm_up_depth = 0
+
+
+@contextmanager
+def warm_up_phase():
+    """Mark the dynamic extent of a batch warm-up.
+
+    Oracle full-row builds bump ``warm_row_builds`` only inside this
+    context (universe warming, publication planning): those are the
+    rows a parent can ship through an ``RROW`` segment, so a worker
+    rebuilding one is duplicated warm-up.  Demand-driven oracle builds
+    outside the context are query work and stay out of the counter.
+    Re-entrant; cheap enough for per-fan-out use, not per-row.
+    """
+    global _warm_up_depth
+    _warm_up_depth += 1
+    try:
+        yield
+    finally:
+        _warm_up_depth -= 1
+
+
+def in_warm_up() -> bool:
+    """Is a :func:`warm_up_phase` block active on this thread?"""
+    return _warm_up_depth > 0

@@ -35,8 +35,10 @@ from repro.graph.shm import (
     ShmFormatError,
     attach_csr,
     attach_csr_cached,
+    attach_rows,
     detach_all,
     publish_csr,
+    publish_rows,
     residual_segments,
     segment_exists,
 )
@@ -361,4 +363,387 @@ class TestIlmJobsIdentity:
         monkeypatch.setenv("REPRO_SHM", "0")
         parallel = self._rows(jobs=4)
         assert parallel == sequential
+        assert residual_segments() == []
+
+
+# -- warm-row (RROW) segments -------------------------------------------------
+
+
+def _warm_spt_cache(graph, sources=(0, 1, 2), weighted=True):
+    """A fresh (non-shared) SptCache with rows built for *sources*."""
+    from repro.graph.incremental import SptCache
+
+    cache = SptCache(graph, weighted=weighted)
+    cache.ensure_rows(sources)
+    return cache
+
+
+def publish_rows_or_skip(kind, n, weighted, version, rows):
+    seg = publish_rows(kind, n, weighted, version, rows)
+    if seg is None:
+        pytest.skip("shared memory unavailable on this platform")
+    return seg
+
+
+class TestRowSegmentRoundTrip:
+    def test_attach_reproduces_rows_exactly(self):
+        graph = grid_graph(3, 4)
+        cache = _warm_spt_cache(graph, sources=(0, 3, 7))
+        csr = cache.csr
+        with publish_rows_or_skip(
+            "spt", csr.n, True, csr.source_version, cache.export_rows()
+        ) as seg:
+            table, handle = attach_rows(seg.name)
+            try:
+                assert table.kind == "spt"
+                assert table.n == csr.n
+                assert table.weighted is True
+                assert table.source_version == csr.source_version
+                assert table.sources == (0, 3, 7)
+                for i in table.sources:
+                    dist, pred = cache.export_rows()[i]
+                    got_dist, got_pred = table.row(i)
+                    assert list(got_dist) == list(dist)
+                    assert list(got_pred) == list(pred)
+            finally:
+                handle.close()
+
+    def test_attached_rows_are_read_only_views(self):
+        graph = grid_graph(2, 3)
+        cache = _warm_spt_cache(graph, sources=(0,))
+        csr = cache.csr
+        with publish_rows_or_skip(
+            "spt", csr.n, True, csr.source_version, cache.export_rows()
+        ) as seg:
+            table, handle = attach_rows(seg.name)
+            try:
+                dist, pred = table.row(0)
+                assert isinstance(dist, memoryview) and dist.readonly
+                assert isinstance(pred, memoryview) and pred.readonly
+                with pytest.raises(TypeError):
+                    dist[0] = 0.0
+                with pytest.raises(TypeError):
+                    pred[0] = 0
+            finally:
+                handle.close()
+
+    def test_publication_counters_move(self):
+        from repro.perf import COUNTERS
+
+        graph = path_graph(5)
+        cache = _warm_spt_cache(graph, sources=(0, 1))
+        csr = cache.csr
+        before = COUNTERS.snapshot()
+        with publish_rows_or_skip(
+            "spt", csr.n, True, csr.source_version, cache.export_rows()
+        ) as seg:
+            table, handle = attach_rows(seg.name)
+            handle.close()
+        delta = COUNTERS.delta(before)
+        assert delta.shm_row_segments == 1
+        assert delta.shm_row_attach == 1
+        assert delta.warm_rows_published == 2
+
+
+class TestRowSegmentValidation:
+    def _corrupt(self, seg, offset: int, payload: bytes) -> None:
+        view = shm._attach_untracked(seg.name)
+        try:
+            view.buf[offset : offset + len(payload)] = payload
+        finally:
+            view.close()
+
+    def _published(self):
+        graph = path_graph(4)
+        cache = _warm_spt_cache(graph, sources=(0,))
+        csr = cache.csr
+        return publish_rows_or_skip(
+            "spt", csr.n, True, csr.source_version, cache.export_rows()
+        )
+
+    def test_format_version_mismatch_is_refused(self):
+        with self._published() as seg:
+            self._corrupt(seg, 4, (999).to_bytes(4, "little"))
+            with pytest.raises(ShmFormatError, match="format v999"):
+                attach_rows(seg.name)
+
+    def test_bad_magic_is_refused(self):
+        with self._published() as seg:
+            self._corrupt(seg, 0, b"NOPE")
+            with pytest.raises(ShmFormatError, match="magic"):
+                attach_rows(seg.name)
+
+    def test_csr_segment_is_not_a_row_segment(self):
+        csr = shared_csr(path_graph(4))
+        with publish_or_skip(csr) as seg:
+            with pytest.raises(ShmFormatError, match="magic"):
+                attach_rows(seg.name)
+
+    def test_foreign_tie_order_is_refused(self, monkeypatch):
+        with self._published() as seg:
+            monkeypatch.setattr(shm, "SHM_TIE_ORDER", "hops")
+            with pytest.raises(ShmFormatError, match="tie order"):
+                attach_rows(seg.name)
+
+    def test_attach_after_unlink_raises(self):
+        seg = self._published()
+        name = seg.name
+        seg.unlink()
+        assert not segment_exists(name)
+        with pytest.raises(Exception):
+            attach_rows(name)
+        assert residual_segments() == []
+
+    def test_adopt_refuses_wrong_kind(self):
+        graph = path_graph(4)
+        cache = _warm_spt_cache(graph, sources=(0,))
+        csr = cache.csr
+        with publish_rows_or_skip(
+            "oracle", csr.n, True, csr.source_version, cache.export_rows()
+        ) as seg:
+            table, handle = attach_rows(seg.name)
+            try:
+                fresh = _warm_spt_cache(graph, sources=())
+                with pytest.raises(ValueError, match="cannot adopt"):
+                    fresh.adopt_rows(table)
+            finally:
+                handle.close()
+
+    def test_adopt_refuses_wrong_shape_and_flavor(self):
+        graph = path_graph(4)
+        cache = _warm_spt_cache(graph, sources=(0,))
+        csr = cache.csr
+        with publish_rows_or_skip(
+            "spt", csr.n, True, csr.source_version, cache.export_rows()
+        ) as seg:
+            table, handle = attach_rows(seg.name)
+            try:
+                from repro.graph.incremental import SptCache
+
+                other = SptCache(path_graph(6), weighted=True)
+                with pytest.raises(ValueError, match="n="):
+                    other.adopt_rows(table)
+                unweighted = SptCache(path_graph(4), weighted=False)
+                with pytest.raises(ValueError, match="weighted"):
+                    unweighted.adopt_rows(table)
+            finally:
+                handle.close()
+
+
+class TestRowSegmentLifecycle:
+    def test_unlink_leaves_no_residue(self):
+        graph = four_cycle()
+        cache = _warm_spt_cache(graph, sources=(0, 1))
+        csr = cache.csr
+        seg = publish_rows_or_skip(
+            "spt", csr.n, True, csr.source_version, cache.export_rows()
+        )
+        name = seg.name
+        assert segment_exists(name)
+        seg.unlink()
+        assert not segment_exists(name)
+        assert residual_segments() == []
+
+    def test_attach_cache_survives_creator_unlink(self):
+        """POSIX keeps the mapping alive: a memoized attach outlives the
+        creator's unlink (the fan-out unlinks right after the last
+        future resolves while workers may still hold their views)."""
+        from repro.graph.shm import attach_rows_cached
+
+        graph = path_graph(5)
+        cache = _warm_spt_cache(graph, sources=(0,))
+        csr = cache.csr
+        seg = publish_rows_or_skip(
+            "spt", csr.n, True, csr.source_version, cache.export_rows()
+        )
+        expected = [list(b) for b in cache.export_rows()[0]]
+        table = attach_rows_cached(seg.name)
+        seg.unlink()
+        dist, pred = table.row(0)
+        assert [list(dist), list(pred)] == expected
+        detach_all()
+        assert residual_segments() == []
+
+    def test_disabled_publication_falls_back(self, monkeypatch):
+        from repro.perf import COUNTERS
+
+        graph = path_graph(3)
+        cache = _warm_spt_cache(graph, sources=(0,))
+        csr = cache.csr
+        monkeypatch.setenv("REPRO_SHM", "0")
+        before = COUNTERS.shm_fallbacks
+        assert publish_rows(
+            "spt", csr.n, True, csr.source_version, cache.export_rows()
+        ) is None
+        assert COUNTERS.shm_fallbacks == before + 1
+
+    def test_empty_rows_do_not_publish_or_fall_back(self):
+        from repro.perf import COUNTERS
+
+        before = COUNTERS.shm_fallbacks
+        assert publish_rows("spt", 4, True, None, {}) is None
+        assert COUNTERS.shm_fallbacks == before
+
+    def test_copy_on_repair_keeps_shared_rows_intact(self):
+        from repro.failures.models import FailureScenario
+        from repro.graph.incremental import SptCache
+
+        graph = grid_graph(3, 3)
+        cache = _warm_spt_cache(graph, sources=(0,))
+        csr = cache.csr
+        pristine = [list(b) for b in cache.export_rows()[0]]
+        with publish_rows_or_skip(
+            "spt", csr.n, True, csr.source_version, cache.export_rows()
+        ) as seg:
+            table, handle = attach_rows(seg.name)
+            try:
+                adopter = SptCache(graph, weighted=True)
+                assert adopter.adopt_rows(table) == 1
+                nodes = csr.nodes
+                scenario = FailureScenario.single_link(nodes[0], nodes[1])
+                view = adopter.view_for(scenario)
+                dist, pred = adopter._repaired_row_idx(0, view)
+                # The repair produced a post-failure row...
+                assert list(dist) != pristine[0] or list(pred) != pristine[1]
+                # ...while the shared pre-failure buffers are untouched.
+                got_dist, got_pred = table.row(0)
+                assert [list(got_dist), list(got_pred)] == pristine
+            finally:
+                handle.close()
+
+
+class TestWorkerWarmUpAccounting:
+    """Satellite: adoption is bookkeeping, never search work, and the
+    fan-out's worker-side warm-up counters prove it end to end."""
+
+    def test_adoption_moves_no_search_counters(self):
+        from repro.graph.incremental import SptCache
+        from repro.perf import COUNTERS
+
+        graph = grid_graph(3, 4)
+        cache = _warm_spt_cache(graph, sources=(0, 5))
+        csr = cache.csr
+        with publish_rows_or_skip(
+            "spt", csr.n, True, csr.source_version, cache.export_rows()
+        ) as seg:
+            table, handle = attach_rows(seg.name)
+            try:
+                fresh = SptCache(graph, weighted=True)
+                before = COUNTERS.snapshot()
+                assert fresh.adopt_rows(table) == 2
+                delta = COUNTERS.delta(before)
+                assert delta.warm_rows_adopted == 2
+                assert delta.csr_settled == 0
+                assert delta.csr_relaxations == 0
+                assert delta.dijkstra_relaxations == 0
+                assert delta.dijkstra_settled == 0
+                assert delta.warm_row_builds == 0
+            finally:
+                handle.close()
+
+    def _evaluate(self, jobs: int, with_rows: bool) -> tuple[dict, object]:
+        from repro.core.cache import clear_cache
+        from repro.perf import COUNTERS
+
+        # Start from cold shared caches: fork-started workers inherit
+        # the parent's warm state, which would mask the adopt-vs-rebuild
+        # distinction this class is pinning.
+        clear_cache()
+        network = cached_suite(scale="tiny", seed=1)[0]
+        executor = make_executor(jobs) if jobs > 1 else None
+        publication = None
+        before = COUNTERS.snapshot()
+        try:
+            if executor is not None:
+                publication = publish_suite(
+                    [network], with_base=True, with_rows=with_rows, seed=1
+                )
+            rows = table2.evaluate_network(
+                network,
+                modes=("link",),
+                seed=1,
+                with_multiplicity=False,
+                ilm_accounting="per-link",
+                jobs=jobs,
+                suite_ref=("tiny", 1, 0),
+                executor=executor,
+                shm_ref=publication.ref(0) if publication else None,
+            )
+        finally:
+            if executor is not None:
+                executor.shutdown()
+            if publication is not None:
+                publication.release()
+        return rows, COUNTERS.delta(before)
+
+    def test_ilm_work_counter_parity_weighted_chunks_vs_sequential(self):
+        """Pinned parity: the cost-weighted partition performs exactly
+        the sequential run's repair work — same repairs, same re-settled
+        vertices, same fallbacks — just distributed."""
+        from repro.experiments.parallel import weighted_chunks
+        from repro.perf import COUNTERS
+
+        network = cached_suite(scale="tiny", seed=1)[0]
+        base = shared_unique_base(network.graph)
+        pairs = sample_pairs(network.graph, network.sample_pairs, seed=1)
+        scenarios = table2.ilm_scenarios(base, pairs, "link", 200)
+
+        def accountant():
+            return IlmAccountant(
+                network.graph,
+                base,
+                demand_sources=table2.ilm_demand_sources(
+                    network.graph, pairs
+                ),
+                weighted=network.weighted,
+            )
+
+        sequential = accountant()
+        before = COUNTERS.snapshot()
+        sequential.process_scenarios(scenarios)
+        seq = COUNTERS.delta(before)
+
+        planner = accountant()
+        costs, _touched = planner.plan_scenarios(scenarios)
+        chunks = weighted_chunks(costs, jobs=4)
+        covered = sorted(i for indices, _cost in chunks for i in indices)
+        assert covered == list(range(len(scenarios)))
+
+        before = COUNTERS.snapshot()
+        merged = accountant()
+        for indices, _cost in chunks:
+            worker = accountant()
+            worker.process_scenarios([scenarios[i] for i in indices])
+            merged.merge_state(worker.export_state())
+        par = COUNTERS.delta(before)
+
+        for name in ("spt_repairs", "spt_nodes_resettled", "spt_fallbacks"):
+            assert getattr(par, name) == getattr(seq, name), name
+        assert merged.stretch_factors() == sequential.stretch_factors()
+        assert merged.table_sizes() == sequential.table_sizes()
+
+    def test_jobs4_rows_identical_and_workers_adopt(self):
+        """End to end: publication on, jobs-4 payload rows byte-identical
+        to jobs-1, workers adopt instead of re-settling (their warm-up
+        counter is zero)."""
+        probe = shm.publish_csr(shared_csr(path_graph(3)))
+        if probe is None:
+            pytest.skip("shared memory unavailable on this platform")
+        probe.unlink()
+        detach_all()
+        seq_rows, seq = self._evaluate(jobs=1, with_rows=False)
+        par_rows, par = self._evaluate(jobs=4, with_rows=True)
+        assert par_rows == seq_rows
+        assert seq.worker_warm_row_builds == 0
+        assert par.worker_warm_row_builds == 0
+        assert par.warm_rows_adopted > 0
+        assert par.shm_row_segments > 0
+        assert residual_segments() == []
+
+    def test_worker_warm_up_returns_without_publication(self, monkeypatch):
+        """The counter measures real duplication: with REPRO_SHM=0 the
+        workers are back to re-settling sources per process."""
+        monkeypatch.setenv("REPRO_SHM", "0")
+        _rows, par = self._evaluate(jobs=4, with_rows=True)
+        assert par.worker_warm_row_builds > 0
         assert residual_segments() == []
