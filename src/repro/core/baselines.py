@@ -16,19 +16,21 @@ benchmarks can measure it:
 * :class:`KShortestPathsScheme` — the k cheapest simple paths
   pre-established per demand [7]; on failure, traffic takes the first
   surviving one.
+* :class:`MaxFlowScheme` — every edge-disjoint path pre-established;
+  maximal coverage, maximal footprint.
 
-Both report the same :class:`BaselineOutcome` shape so the comparison
-benchmark can score RBPC against them on quality (stretch vs. the true
-post-failure shortest path), coverage, and pre-provisioned ILM load.
+All three implement the uniform
+:class:`~repro.policies.base.RestorationPolicy` contract —
+``provision(source, target)`` returns the pre-established routes
+(primary first) as one flat tuple, ``restore`` is the shared failover
+(first surviving provisioned route), and ``ilm_entries`` charges
+exactly what was provisioned — so the comparison benchmarks and the
+``--policy`` flag treat them interchangeably with the paper's scheme.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
-
 from ..exceptions import NoPath
-from ..failures.models import FailureScenario
 from ..graph.graph import Graph, Node
 from ..graph.ksp import (
     edge_disjoint_backup,
@@ -37,67 +39,45 @@ from ..graph.ksp import (
     yen_k_shortest_paths,
 )
 from ..graph.paths import Path
-from ..graph.shortest_paths import shortest_path
-from .base_paths import BaseSet
+from ..policies.base import RestorationOutcome, RestorationPolicy
+
+#: The historical name of the per-(demand, scenario) outcome shape;
+#: the policy layer generalized it without changing the fields.
+BaselineOutcome = RestorationOutcome
 
 
-@dataclass(frozen=True)
-class BaselineOutcome:
-    """What one scheme delivers for one (demand, failure scenario)."""
-
-    restored: bool
-    route: Optional[Path]
-    stretch: Optional[float]  # route cost / optimal restoration cost
-
-
-def _score(graph: Graph, scenario: FailureScenario, route: Optional[Path],
-           source: Node, target: Node, weighted: bool) -> BaselineOutcome:
-    if route is None or scenario.disturbs(route):
-        return BaselineOutcome(restored=False, route=None, stretch=None)
-    view = scenario.apply(graph)
-    try:
-        optimal = shortest_path(view, source, target, weighted=weighted)
-    except NoPath:
-        # Nothing could have restored this; the surviving route is a bonus.
-        return BaselineOutcome(restored=True, route=route, stretch=1.0)
-    optimal_cost = optimal.cost(graph) if weighted else float(optimal.hops)
-    route_cost = route.cost(graph) if weighted else float(route.hops)
-    stretch = route_cost / optimal_cost if optimal_cost > 0 else 1.0
-    return BaselineOutcome(restored=True, route=route, stretch=stretch)
-
-
-class DisjointBackupScheme:
+class DisjointBackupScheme(RestorationPolicy):
     """Pre-established edge-disjoint backup per demand ([16, 3]-style)."""
+
+    name = "disjoint"
+    title = "Suurballe disjoint backup"
 
     def __init__(
         self,
         graph: Graph,
-        base: BaseSet,
+        base=None,
         weighted: bool = True,
         suurballe: bool = True,
         disjointness: str = "edge",
     ) -> None:
         if disjointness not in ("edge", "node"):
             raise ValueError(f"unknown disjointness {disjointness!r}")
-        self.graph = graph
-        self.base = base
-        self.weighted = weighted
+        super().__init__(graph, base, weighted)
         self.suurballe = suurballe
         #: "edge" protects against link failures; "node" additionally
         #: against single interior-router failures (primary-preserving
         #: mode only — Suurballe optimizes the edge-disjoint pair).
         self.disjointness = disjointness
-        self._plans: dict[tuple[Node, Node], tuple[Path, Optional[Path]]] = {}
 
-    def provision(self, source: Node, target: Node) -> tuple[Path, Optional[Path]]:
-        """Compute (and cache) the primary/backup pair for a demand.
+    def provision(self, source: Node, target: Node) -> tuple[Path, ...]:
+        """Compute (and cache) the primary/backup routes for a demand.
 
         With *suurballe*, both paths come from the optimal disjoint
         pair (the primary may then differ from the shortest path — the
         quality compromise the paper describes); otherwise the primary
-        is the base path and the backup avoids all its edges.  The
-        backup is ``None`` when the endpoints are separated by a cut
-        edge.
+        is the base path and the backup avoids all its edges.  The plan
+        is a bare ``(primary,)`` when the endpoints are separated by a
+        cut edge.
         """
         plan = self._plans.get((source, target))
         if plan is not None:
@@ -114,29 +94,12 @@ class DisjointBackupScheme:
                 backup = node_disjoint_backup(self.graph, primary)
             else:
                 backup = edge_disjoint_backup(self.graph, primary)
-        self._plans[(source, target)] = (primary, backup)
-        return primary, backup
-
-    def restore(
-        self, source: Node, target: Node, scenario: FailureScenario
-    ) -> BaselineOutcome:
-        """Outcome for a failure: switch to the backup iff it survived."""
-        primary, backup = self.provision(source, target)
-        if not scenario.disturbs(primary):
-            return _score(self.graph, scenario, primary, source, target, self.weighted)
-        return _score(self.graph, scenario, backup, source, target, self.weighted)
-
-    def ilm_entries(self) -> int:
-        """ILM load of everything provisioned (one entry per router per LSP)."""
-        total = 0
-        for primary, backup in self._plans.values():
-            total += len(primary.nodes)
-            if backup is not None:
-                total += len(backup.nodes)
-        return total
+        plan = (primary,) if backup is None else (primary, backup)
+        self._plans[(source, target)] = plan
+        return plan
 
 
-class MaxFlowScheme:
+class MaxFlowScheme(RestorationPolicy):
     """All edge-disjoint paths pre-established per demand ([7]'s max-flow).
 
     The maximal pre-provisioning a topology allows: every edge-disjoint
@@ -147,70 +110,55 @@ class MaxFlowScheme:
     stretched survivors.
     """
 
-    def __init__(self, graph: Graph, weighted: bool = True) -> None:
-        self.graph = graph
-        self.weighted = weighted
-        self._plans: dict[tuple[Node, Node], list[Path]] = {}
+    name = "maxflow"
+    title = "max-flow disjoint paths"
 
-    def provision(self, source: Node, target: Node) -> list[Path]:
+    def provision(self, source: Node, target: Node) -> tuple[Path, ...]:
         """Compute (and cache) this scheme's plan for the demand."""
         plan = self._plans.get((source, target))
         if plan is None:
             from ..graph.maxflow import edge_disjoint_paths
 
-            plan = sorted(
-                edge_disjoint_paths(self.graph, source, target),
-                key=lambda p: p.cost(self.graph),
+            plan = tuple(
+                sorted(
+                    edge_disjoint_paths(self.graph, source, target),
+                    key=lambda p: p.cost(self.graph),
+                )
             )
             self._plans[(source, target)] = plan
         return plan
 
-    def restore(
-        self, source: Node, target: Node, scenario: FailureScenario
-    ) -> BaselineOutcome:
-        """Traffic takes the cheapest pre-established disjoint path that survived."""
-        for route in self.provision(source, target):
-            if not scenario.disturbs(route):
-                return _score(self.graph, scenario, route, source, target, self.weighted)
-        return BaselineOutcome(restored=False, route=None, stretch=None)
 
-    def ilm_entries(self) -> int:
-        """Total ILM entries the provisioned plans consume."""
-        return sum(
-            len(route.nodes) for plan in self._plans.values() for route in plan
-        )
-
-
-class KShortestPathsScheme:
+class KShortestPathsScheme(RestorationPolicy):
     """k pre-established cheapest simple paths per demand ([7]-style)."""
 
-    def __init__(self, graph: Graph, k: int = 3, weighted: bool = True) -> None:
+    name = "ksp"
+    title = "k-shortest-paths"
+
+    def __init__(
+        self, graph: Graph, base=None, k: int = 3, weighted: bool = True
+    ) -> None:
         if k < 1:
             raise ValueError("k must be >= 1")
-        self.graph = graph
+        super().__init__(graph, base, weighted)
         self.k = k
-        self.weighted = weighted
-        self._plans: dict[tuple[Node, Node], list[Path]] = {}
+        self.title = f"{k}-shortest-paths"
 
-    def provision(self, source: Node, target: Node) -> list[Path]:
+    def provision(self, source: Node, target: Node) -> tuple[Path, ...]:
         """Compute (and cache) this scheme's plan for the demand."""
         plan = self._plans.get((source, target))
         if plan is None:
-            plan = yen_k_shortest_paths(self.graph, source, target, self.k)
+            plan = tuple(
+                yen_k_shortest_paths(self.graph, source, target, self.k)
+            )
             self._plans[(source, target)] = plan
         return plan
 
-    def restore(
-        self, source: Node, target: Node, scenario: FailureScenario
-    ) -> BaselineOutcome:
-        """Traffic takes the cheapest pre-established path that survived."""
-        for route in self.provision(source, target):
-            if not scenario.disturbs(route):
-                return _score(self.graph, scenario, route, source, target, self.weighted)
-        return BaselineOutcome(restored=False, route=None, stretch=None)
 
-    def ilm_entries(self) -> int:
-        """Total ILM entries the provisioned plans consume."""
-        return sum(
-            len(route.nodes) for plan in self._plans.values() for route in plan
-        )
+__all__ = [
+    "BaselineOutcome",
+    "DisjointBackupScheme",
+    "KShortestPathsScheme",
+    "MaxFlowScheme",
+    "RestorationOutcome",
+]

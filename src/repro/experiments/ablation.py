@@ -24,7 +24,6 @@ from ..core.base_paths import (
     expanded_base_set,
     provision_base_set,
 )
-from ..core.baselines import DisjointBackupScheme, KShortestPathsScheme, MaxFlowScheme
 from ..core.decomposition import greedy_decompose, min_pieces_decompose
 from ..core.restoration import SourceRouterRbpc, plan_restoration
 from ..exceptions import NoPath, NoRestorationPath
@@ -36,18 +35,36 @@ from ..mpls.merging import provision_all_trees, provision_edge_lsps
 from ..mpls.network import MplsNetwork
 from ..obs import activate_from_args, add_obs_arguments, bench_observability
 from ..perf import COUNTERS
+from ..policies import (
+    DEFAULT_POLICY,
+    active_failure_model_name,
+    active_policy_name,
+    add_policy_arguments,
+    apply_policy_arguments,
+    make_failure_model,
+    make_policy,
+    policy_names,
+)
 from ..topology.isp import generate_isp_topology
 from .bench import StageTimer, write_bench_json
 from .reporting import format_table
 
 
-def _workload(graph, base, pairs):
-    """(backup path, scenario, demand) per on-path single-link failure."""
+def _workload(graph, base, pairs, model=None):
+    """(backup path, scenario, demand) per on-path single-link failure.
+
+    A non-default failure *model* expands each failed link into its
+    correlated fault set before the backup search; the default model's
+    expansion is the single link itself.
+    """
     cases = []
     for s, t in pairs:
         primary = base.path_for(s, t)
         for failed in primary.edge_keys():
-            scenario = FailureScenario.link_set([failed])
+            if model is not None:
+                scenario = model.scenario_for_link(failed)
+            else:
+                scenario = FailureScenario.link_set([failed])
             try:
                 backup = shortest_path(scenario.apply(graph), s, t)
             except NoPath:
@@ -174,9 +191,17 @@ def provisioning_report(graph, base) -> str:
     )
 
 
-def baseline_report(graph, base, pairs) -> str:
-    """Score RBPC against the related-work baselines."""
-    cases = _workload(graph, base, pairs)
+def baseline_report(graph, base, pairs, model=None) -> str:
+    """Score RBPC against every other registered restoration policy.
+
+    Registry-driven: any policy registered under
+    :data:`repro.policies.POLICIES` (baselines, MRC, the do-not-restore
+    floor, future additions) lands in the comparison automatically,
+    labeled by its ``title``.  RBPC itself is scored through
+    :func:`~repro.core.restoration.plan_restoration`, the full
+    provisioning-aware pipeline the other reports exercise.
+    """
+    cases = _workload(graph, base, pairs, model=model)
     rows = []
 
     restored = 0
@@ -188,17 +213,16 @@ def baseline_report(graph, base, pairs) -> str:
             pass
     rows.append(["RBPC", f"{100.0 * restored / len(cases):.1f}%", "1.000"])
 
-    for name, scheme in (
-        ("Suurballe disjoint backup", DisjointBackupScheme(graph, base)),
-        ("3-shortest-paths", KShortestPathsScheme(graph, k=3)),
-        ("max-flow disjoint paths", MaxFlowScheme(graph)),
-    ):
+    for name in policy_names():
+        if name == DEFAULT_POLICY:
+            continue
+        scheme = make_policy(name, graph, base=base, weighted=True)
         outcomes = [scheme.restore(s, t, sc) for _, sc, (s, t) in cases]
         covered = [o for o in outcomes if o.restored]
         stretches = [o.stretch for o in covered if o.stretch is not None]
         rows.append(
             [
-                name,
+                scheme.title,
                 f"{100.0 * len(covered) / len(outcomes):.1f}%",
                 f"{sum(stretches) / len(stretches):.3f}" if stretches else "-",
             ]
@@ -222,9 +246,11 @@ def main(argv: list[str] | None = None) -> str:
              "'-' disables)",
     )
     add_kernel_argument(parser)
+    add_policy_arguments(parser)
     add_obs_arguments(parser)
     args = parser.parse_args(argv)
     apply_kernel(args)
+    apply_policy_arguments(args)
     activate_from_args(args)
 
     timer = StageTimer(prefix="ablation")
@@ -232,8 +258,11 @@ def main(argv: list[str] | None = None) -> str:
     with timer.stage("workload"):
         graph = generate_isp_topology(n=args.size, seed=args.seed)
         base = UniqueShortestPathsBase(graph)
+        model = make_failure_model(
+            active_failure_model_name(), graph, seed=args.seed
+        )
         pairs = sample_pairs(graph, args.pairs, seed=args.seed)
-        cases = _workload(graph, base, pairs)
+        cases = _workload(graph, base, pairs, model=model)
 
     sections = []
     for stage, build in (
@@ -242,7 +271,7 @@ def main(argv: list[str] | None = None) -> str:
         ("base_set", lambda: base_set_report(graph, pairs)),
         ("signaling", lambda: signaling_report(graph, base, pairs)),
         ("provisioning", lambda: provisioning_report(graph, base)),
-        ("baselines", lambda: baseline_report(graph, base, pairs)),
+        ("baselines", lambda: baseline_report(graph, base, pairs, model=model)),
     ):
         with timer.stage(stage):
             sections.append(build())
@@ -255,6 +284,8 @@ def main(argv: list[str] | None = None) -> str:
             "size": args.size,
             "pairs": args.pairs,
             "seed": args.seed,
+            "policy": active_policy_name(),
+            "failure_model": active_failure_model_name(),
             "cases": len(cases),
             "wall_clock_s": round(timer.total(), 4),
             "stages": timer.as_dict(),

@@ -136,12 +136,15 @@ def bench_header() -> dict[str, Any]:
     from ..graph.incremental import repair_fallback_fraction
     from ..graph.shm import shm_enabled
     from ..kernels import backend_name
+    from ..policies import active_failure_model_name, active_policy_name
 
     return {
         "tie_order": TIE_ORDER,
         "repair_fallback": repair_fallback_fraction(),
         "shm_enabled": shm_enabled(),
         "kernel_backend": backend_name(),
+        "policy": active_policy_name(),
+        "failure_model": active_failure_model_name(),
         "jobs": 1,
         "git_sha": git_sha(),
         "repro_version": __version__,

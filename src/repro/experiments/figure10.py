@@ -26,6 +26,13 @@ from ..graph.incremental import fast_shortest_path
 from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
 from ..kernels import add_kernel_argument, apply_kernel
 from ..perf import COUNTERS
+from ..policies import (
+    active_failure_model_name,
+    active_policy_name,
+    add_policy_arguments,
+    apply_policy_arguments,
+    make_failure_model,
+)
 from .bench import (
     StageTimer,
     add_repair_fallback_argument,
@@ -82,19 +89,31 @@ class StretchSamples:
 
 
 def collect_pair_samples(
-    graph: Graph, weighted: bool, base: BaseSet, pair: tuple[Node, Node]
+    graph: Graph,
+    weighted: bool,
+    base: BaseSet,
+    pair: tuple[Node, Node],
+    model=None,
 ) -> list[tuple[str, Optional[float], Optional[float]]]:
     """Stretch samples for one demand pair's sampled 1-link failures.
 
     Returns ``(strategy, cost stretch or None, hop stretch or None)``
     tuples in deterministic case order — the unit the parallel runner
-    fans out and reassembles.
+    fans out and reassembles.  A non-default failure *model* expands
+    each sampled link into its correlated fault set: the optimum is
+    recomputed on the surviving subgraph and a local route disturbed by
+    a correlated casualty counts as a failed restoration (no sample) —
+    both checks are no-ops under the default model, whose expansion
+    returns the sampled scenario itself.
     """
     items: list[tuple[str, Optional[float], Optional[float]]] = []
     primary = base.path_for(*pair)
     for case in link_failure_cases(pair, primary, k=1):
         failed = next(iter(case.scenario.links))
-        view = case.scenario.apply(graph)
+        scenario = (
+            model.expand(case.scenario) if model is not None else case.scenario
+        )
+        view = scenario.apply(graph)
         try:
             # Dispatches to the shared SPT cache: the pair's pre-failure
             # row is computed once and repaired per failure case, like
@@ -113,6 +132,8 @@ def collect_pair_samples(
             try:
                 route = route_fn(graph, primary, failed, weighted=weighted)
             except NoRestorationPath:
+                continue
+            if scenario is not case.scenario and scenario.disturbs(route):
                 continue
             cost = route.cost(graph) / optimal_cost if optimal_cost > 0 else None
             hops = route.hops / optimal_hops if optimal_hops > 0 else None
@@ -136,14 +157,16 @@ def _assemble(
 
 
 def collect(
-    graph: Graph, weighted: bool, n_pairs: int, seed: int = 1
+    graph: Graph, weighted: bool, n_pairs: int, seed: int = 1, model=None
 ) -> dict[str, StretchSamples]:
     """Stretch samples for both strategies over sampled 1-link failures."""
     base = shared_unique_base(graph)
     pairs = sample_pairs(graph, n_pairs, seed=seed)
     items: list[tuple[str, Optional[float], Optional[float]]] = []
     for pair in pairs:
-        items.extend(collect_pair_samples(graph, weighted, base, pair))
+        items.extend(
+            collect_pair_samples(graph, weighted, base, pair, model=model)
+        )
     return _assemble(items)
 
 
@@ -169,19 +192,29 @@ def render(samples: dict[str, StretchSamples]) -> str:
 
 
 def run(
-    scale: str = "small", seed: int = 1, jobs: int = 1
+    scale: str = "small",
+    seed: int = 1,
+    jobs: int = 1,
+    failure_model: Optional[str] = None,
 ) -> dict[str, StretchSamples]:
     """Figure 10 runs on the weighted ISP network (as in the paper).
 
     With ``jobs > 1`` the demand pairs are fanned out over worker
     processes; chunk reassembly keeps the sample order — and hence
     every histogram — byte-identical to the sequential run.
+    *failure_model* defaults to the active registry selection.
     """
     isp = cached_suite(scale=scale, seed=seed)[0]
     jobs = resolve_jobs(jobs)
+    model_name = (
+        failure_model if failure_model is not None else active_failure_model_name()
+    )
     executor = make_executor(jobs)
     if executor is None:
-        return collect(isp.graph, isp.weighted, isp.sample_pairs, seed=seed)
+        model = make_failure_model(model_name, isp.graph, seed=seed)
+        return collect(
+            isp.graph, isp.weighted, isp.sample_pairs, seed=seed, model=model
+        )
     pairs = sample_pairs(isp.graph, isp.sample_pairs, seed=seed)
     publication = publish_suite([isp], with_base=True)
     try:
@@ -189,7 +222,7 @@ def run(
             items = run_chunked(
                 executor,
                 figure10_stretch_chunk,
-                (scale, seed, publication.ref(0)),
+                (scale, seed, publication.ref(0), model_name),
                 len(pairs),
                 jobs,
             )
@@ -214,10 +247,12 @@ def main(argv: list[str] | None = None) -> str:
     )
     add_repair_fallback_argument(parser)
     add_kernel_argument(parser)
+    add_policy_arguments(parser)
     add_obs_arguments(parser)
     args = parser.parse_args(argv)
     apply_repair_fallback(args)  # before any worker fork
     apply_kernel(args)  # before any worker fork
+    apply_policy_arguments(args)  # before any worker fork
     activate_from_args(args)
     timer = StageTimer(prefix="figure10")
     before = COUNTERS.snapshot()
@@ -234,6 +269,8 @@ def main(argv: list[str] | None = None) -> str:
             "scale": args.scale,
             "seed": args.seed,
             "jobs": args.jobs,
+            "policy": active_policy_name(),
+            "failure_model": active_failure_model_name(),
             "wall_clock_s": round(timer.total(), 4),
             "stages": timer.as_dict(),
             "samples": {

@@ -505,6 +505,7 @@ class IlmAccountant:
         for a given scenario chunk regardless of processing order.
         """
         return {
+            "policy": "concatenation",
             "backup_naive": self._backup_naive.tobytes(),
             "primaries": sorted(self._primaries_touched),
             "pieces": sorted(self._pieces),
@@ -520,6 +521,14 @@ class IlmAccountant:
         are a pure function of that state, merging per-chunk exports in
         any order reproduces the sequential run byte-for-byte.
         """
+        policy = state.get("policy", "concatenation")
+        if policy != "concatenation":
+            # The piece-sharing model below is the concatenation
+            # scheme's; silently folding another policy's tallies would
+            # corrupt the ILM columns.
+            raise ValueError(
+                f"cannot merge ILM state computed under policy {policy!r}"
+            )
         incoming = array("l")
         incoming.frombytes(state["backup_naive"])
         backup_naive = self._backup_naive

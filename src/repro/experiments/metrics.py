@@ -54,8 +54,15 @@ class CaseResult:
 
     @property
     def pc_length(self) -> int:
-        """The paper's PC length: components in the minimal concatenation."""
+        """The paper's PC length: components in the minimal concatenation.
+
+        Policies that restore onto a single pre-provisioned route (the
+        baselines, MRC) carry no decomposition; their restored route is
+        one piece by definition.
+        """
         if self.decomposition is None:
+            if self.restorable:
+                return 1
             raise ValueError("case is not restorable")
         return self.decomposition.num_pieces
 
@@ -168,9 +175,16 @@ def ilm_stretch_factors(results: list[CaseResult]) -> tuple[float, float]:
             _add_path_entries(naive_counter, result.primary)
         if not result.restorable:
             continue
-        assert result.decomposition is not None and result.backup is not None
+        assert result.backup is not None
         _add_path_entries(naive_counter, result.backup)
-        for piece in result.decomposition.pieces:
+        # Decomposition-free policies provision their restored route
+        # whole: the route itself is the single shared "piece".
+        pieces = (
+            result.decomposition.pieces
+            if result.decomposition is not None
+            else (result.backup,)
+        )
+        for piece in pieces:
             if piece not in base_paths:
                 base_paths.add(piece)
                 _add_path_entries(base_counter, piece)

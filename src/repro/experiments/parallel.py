@@ -562,56 +562,68 @@ _ILM_ACCOUNTANTS: dict = {}
 
 def table2_case_chunk(
     scale: str, seed: int, index: int, mode: str, shm_ref: ShmRef,
-    start: int, end: int,
+    policy: str, failure_model: str, start: int, end: int,
 ) -> tuple[list, dict, dict]:
-    """Evaluate the failure cases of demand pairs ``[start:end)``."""
-    from ..failures.sampler import cases_for_pair, sample_pairs
-    from .table2 import run_case
+    """Evaluate the failure cases of demand pairs ``[start:end)``.
+
+    *policy* and *failure_model* are registry names — the worker
+    rebuilds both from its own deterministic state (policies and
+    models are pure functions of ``(graph, seed)``), so the fan-out
+    ships strings, never pickled policy objects, and survives both
+    ``fork`` and ``spawn`` start methods.
+    """
+    from ..failures.sampler import sample_pairs
+    from ..policies import make_failure_model, make_policy
 
     before = COUNTERS.snapshot()
     m_before = METRICS.snapshot()
     network = _network(scale, seed, index)
     graph = network.graph
     base = _adopt_network(network, shm_ref, with_base=True)
+    active = make_policy(policy, graph, base=base, weighted=network.weighted)
+    model = make_failure_model(failure_model, graph, seed=seed)
     pairs = sample_pairs(graph, network.sample_pairs, seed=seed)
     results = []
     for pair in pairs[start:end]:
         primary = base.path_for(*pair)
-        for case in cases_for_pair(pair, primary, mode):
-            results.append(run_case(graph, base, case, network.weighted))
+        for case in model.cases_for_pair(pair, primary, mode):
+            results.append(active.evaluate_case(case))
     return results, COUNTERS.delta(before).as_dict(), METRICS.delta(m_before)
 
 
 def table3_bypass_chunk(
-    scale: str, seed: int, index: int, shm_ref: ShmRef, start: int, end: int
+    scale: str, seed: int, index: int, shm_ref: ShmRef, failure_model: str,
+    start: int, end: int,
 ) -> tuple[list, dict, dict]:
     """Bypass hop counts (None for bridges) of links ``[start:end)``."""
-    from ..core.local_restoration import bypass_path
-    from ..exceptions import NoRestorationPath
+    from .table3 import link_bypass_hops
 
     before = COUNTERS.snapshot()
     m_before = METRICS.snapshot()
     network = _network(scale, seed, index)
     graph = network.graph
     _adopt_network(network, shm_ref, with_base=False)
+    from ..policies import make_failure_model
+
+    model = make_failure_model(failure_model, graph, seed=seed)
     edges = list(graph.edges())[start:end]
-    hops: list[Optional[int]] = []
-    for u, v in edges:
-        try:
-            hops.append(bypass_path(graph, u, v, weighted=network.weighted).hops)
-        except NoRestorationPath:
-            hops.append(None)
+    hops = [
+        link_bypass_hops(graph, u, v, network.weighted, model)
+        for u, v in edges
+    ]
     return hops, COUNTERS.delta(before).as_dict(), METRICS.delta(m_before)
 
 
 def figure10_stretch_chunk(
-    scale: str, seed: int, shm_ref: ShmRef, start: int, end: int
+    scale: str, seed: int, shm_ref: ShmRef, failure_model: str,
+    start: int, end: int,
 ) -> tuple[list, dict, dict]:
     """Per-pair stretch sample tuples for demand pairs ``[start:end)``.
 
     Each item is ``(strategy name, cost stretch or None, hop stretch or
     None)`` in the exact order the sequential ``collect`` loop appends.
     """
+    from ..policies import make_failure_model
     from .figure10 import collect_pair_samples
 
     before = COUNTERS.snapshot()
@@ -620,18 +632,22 @@ def figure10_stretch_chunk(
     from ..failures.sampler import sample_pairs
 
     base = _adopt_network(network, shm_ref, with_base=True)
+    model = make_failure_model(failure_model, network.graph, seed=seed)
     pairs = sample_pairs(network.graph, network.sample_pairs, seed=seed)
     items: list[tuple[str, Optional[float], Optional[float]]] = []
     for pair in pairs[start:end]:
         items.extend(
-            collect_pair_samples(network.graph, network.weighted, base, pair)
+            collect_pair_samples(
+                network.graph, network.weighted, base, pair, model=model
+            )
         )
     return items, COUNTERS.delta(before).as_dict(), METRICS.delta(m_before)
 
 
 def ilm_scenario_chunk(
     scale: str, seed: int, index: int, mode: str, ilm_max_scenarios: int,
-    shm_ref: ShmRef, row_ref: RowRef, qpos: int, indices: tuple[int, ...],
+    shm_ref: ShmRef, row_ref: RowRef, failure_model: str,
+    qpos: int, indices: tuple[int, ...],
 ) -> tuple[list, dict, dict]:
     """ILM-account the scenarios at *indices* of one network/mode.
 
@@ -657,6 +673,7 @@ def ilm_scenario_chunk(
     """
     from ..core.cache import shared_spt_cache
     from ..failures.sampler import sample_pairs
+    from ..policies import make_failure_model
     from .ilm_accounting import IlmAccountant
     from .table2 import ilm_demand_sources, ilm_scenarios
 
@@ -676,11 +693,14 @@ def ilm_scenario_chunk(
         oracle, "break_ties_by_hops", False
     ):
         _adopt_row_slot(row_ref, 1, oracle.adopt_rows)
-    key = (scale, seed, index, mode, ilm_max_scenarios)
+    key = (scale, seed, index, mode, ilm_max_scenarios, failure_model)
     cached = _ILM_ACCOUNTANTS.get(key)
     if cached is None:
+        model = make_failure_model(failure_model, graph, seed=seed)
         pairs = sample_pairs(graph, network.sample_pairs, seed=seed)
-        scenarios = ilm_scenarios(base, pairs, mode, ilm_max_scenarios)
+        scenarios = ilm_scenarios(
+            base, pairs, mode, ilm_max_scenarios, model=model
+        )
         accountant = IlmAccountant(
             graph,
             base,

@@ -11,6 +11,12 @@ from pathlib import Path as FilePath
 from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
 from ..kernels import add_kernel_argument, apply_kernel
 from ..perf import COUNTERS
+from ..policies import (
+    active_failure_model_name,
+    active_policy_name,
+    add_policy_arguments,
+    apply_policy_arguments,
+)
 from . import figure10, table1, table2, table3, theory_figures
 from .bench import (
     StageTimer,
@@ -67,10 +73,12 @@ def main(argv: list[str] | None = None) -> str:
     )
     add_repair_fallback_argument(parser)
     add_kernel_argument(parser)
+    add_policy_arguments(parser)
     add_obs_arguments(parser)
     args = parser.parse_args(argv)
     apply_repair_fallback(args)  # before any worker fork
     apply_kernel(args)  # before any worker fork
+    apply_policy_arguments(args)  # before any worker fork
     activate_from_args(args)
     timer = StageTimer(prefix="runner")
     before = COUNTERS.snapshot()
@@ -92,6 +100,8 @@ def main(argv: list[str] | None = None) -> str:
             "scale": args.scale,
             "seed": args.seed,
             "jobs": args.jobs,
+            "policy": active_policy_name(),
+            "failure_model": active_failure_model_name(),
             "ilm_accounting": args.ilm,
             "ilm_max_scenarios": table2.ILM_MAX_SCENARIOS,
             "wall_clock_s": round(timer.total(), 4),

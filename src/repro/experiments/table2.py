@@ -16,15 +16,21 @@ from dataclasses import asdict, replace
 from typing import Optional
 
 from ..core.base_paths import UniqueShortestPathsBase
-from ..core.cache import shared_spt_cache, shared_unique_base
-from ..core.decomposition import min_pieces_decompose
-from ..exceptions import NoPath
-from ..failures.sampler import FAILURE_MODES, FailureCase, cases_for_pair, sample_pairs
+from ..core.cache import shared_unique_base
+from ..failures.sampler import FAILURE_MODES, FailureCase, sample_pairs
 from ..graph.graph import Graph
 from ..graph.spt import ShortestPathDag
 from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
-from ..obs.metrics import DEPTH_EDGES, METRICS, STRETCH_EDGES
 from ..kernels import add_kernel_argument, apply_kernel
+from ..policies import (
+    DEFAULT_POLICY,
+    active_failure_model_name,
+    active_policy_name,
+    add_policy_arguments,
+    apply_policy_arguments,
+    make_failure_model,
+    make_policy,
+)
 from ..perf import COUNTERS
 from .bench import (
     StageTimer,
@@ -85,53 +91,17 @@ def run_case(
 ) -> CaseResult:
     """Evaluate one (demand, scenario) unit: backup path + decomposition.
 
-    The backup search runs on the shared SPT cache under the canonical
-    tie contract: weighted and unweighted networks alike repair the
-    cached pre-failure source row (decremental SPT repair, a few dozen
-    re-settled nodes per case) and read the backup off its predecessor
-    chain; a targeted canonical search takes over only when the
-    fallback threshold trips.  The result is node-identical to a
-    from-scratch canonical kernel run and cost-identical to
-    ``shortest_path`` on the filtered view.
+    The historical entry point, kept as a thin delegator to the
+    default policy: the backup search runs on the shared SPT cache
+    under the canonical tie contract and the decomposition DP covers
+    the result with the fewest base LSPs.  The pipeline body lives in
+    :meth:`~repro.policies.schemes.ConcatenationPolicy.evaluate_case`
+    (moved there verbatim), so this function and the policy layer are
+    byte-identical by construction.
     """
-    primary_cost = case.primary_path.cost(graph)
-    try:
-        backup = shared_spt_cache(graph, weighted).backup_path(
-            case.source, case.destination, case.scenario
-        )
-    except NoPath:
-        if METRICS.enabled:
-            METRICS.counter("table2.unrestorable_cases").inc()
-        return CaseResult(
-            source=case.source,
-            destination=case.destination,
-            scenario=case.scenario,
-            primary=case.primary_path,
-            primary_cost=primary_cost,
-            backup=None,
-            backup_cost=None,
-            decomposition=None,
-        )
-    decomposition = min_pieces_decompose(backup, base, allow_edges=True)
-    backup_cost = backup.cost(graph)
-    if METRICS.enabled:
-        if primary_cost:
-            METRICS.histogram("table2.path_stretch", STRETCH_EDGES).observe(
-                backup_cost / primary_cost
-            )
-        METRICS.histogram("table2.pc_length", DEPTH_EDGES).observe(
-            decomposition.num_pieces
-        )
-    return CaseResult(
-        source=case.source,
-        destination=case.destination,
-        scenario=case.scenario,
-        primary=case.primary_path,
-        primary_cost=primary_cost,
-        backup=backup,
-        backup_cost=backup_cost,
-        decomposition=decomposition,
-    )
+    from ..policies.schemes import ConcatenationPolicy
+
+    return ConcatenationPolicy(graph, base, weighted).evaluate_case(case)
 
 
 #: Demand universes above this node count use sampled sources only in
@@ -156,18 +126,21 @@ def ilm_demand_sources(graph: Graph, pairs) -> Optional[list]:
     return sorted({s for s, _ in pairs}, key=repr)
 
 
-def ilm_scenarios(base, pairs, mode: str, max_scenarios: int):
+def ilm_scenarios(base, pairs, mode: str, max_scenarios: int, model=None):
     """The deterministic scenario list for one network/mode.
 
-    Sampled pairs -> per-pair failure cases -> deduplicated scenarios,
-    thinned to *max_scenarios* by an evenly spaced subsample (keeps the
+    Sampled pairs -> per-pair failure cases (expanded by the active
+    failure *model*) -> deduplicated scenarios, thinned to
+    *max_scenarios* by an evenly spaced subsample (keeps the
     accounting tractable on the quadratic two-failure modes without
     biasing toward any demand).  Workers rebuild this list from the
     same inputs, so chunk bounds index the identical sequence.
     """
+    if model is None:
+        model = make_failure_model(active_failure_model_name(), base.graph)
     cases: list[FailureCase] = []
     for pair in pairs:
-        cases.extend(cases_for_pair(pair, base.path_for(*pair), mode))
+        cases.extend(model.cases_for_pair(pair, base.path_for(*pair), mode))
     scenarios = scenarios_from_cases(cases)
     if len(scenarios) > max_scenarios:
         step = len(scenarios) / max_scenarios
@@ -188,6 +161,8 @@ def evaluate_network(
     shm_ref: ShmRef = None,
     timer: Optional[StageTimer] = None,
     stats: Optional[dict] = None,
+    policy: Optional[str] = None,
+    failure_model: Optional[str] = None,
 ) -> dict[str, TableTwoRow]:
     """All Table 2 rows for one network.
 
@@ -211,13 +186,31 @@ def evaluate_network(
     :func:`~repro.experiments.parallel.publish_suite`).
     *timer*/*stats*, when given, receive per-stage wall-clock and case
     counts for the BENCH output.
+
+    *policy*/*failure_model* select the restoration policy and the
+    failure model by registry name (``None`` reads the active
+    selection, i.e. the ``--policy``/``--failure-model`` flags or the
+    ``REPRO_POLICY``/``REPRO_FAILURE_MODEL`` environment).  The
+    defaults route every case through the exact pre-policy pipeline.
     """
     if ilm_accounting not in ("per-pair", "per-link"):
         raise ValueError(f"unknown ilm_accounting {ilm_accounting!r}")
+    policy_name = policy if policy is not None else active_policy_name()
+    model_name = (
+        failure_model if failure_model is not None else active_failure_model_name()
+    )
+    if ilm_accounting == "per-link" and policy_name != DEFAULT_POLICY:
+        raise ValueError(
+            "per-link ILM accounting is defined for the concatenation "
+            f"policy only (got policy {policy_name!r}); use the default "
+            "per-pair accounting to compare policies"
+        )
     timer = timer if timer is not None else StageTimer()
     stats = stats if stats is not None else {}
     graph = network.graph
     base = shared_unique_base(graph)
+    active = make_policy(policy_name, graph, base=base, weighted=network.weighted)
+    model = make_failure_model(model_name, graph, seed=seed)
     pairs = sample_pairs(graph, network.sample_pairs, seed=seed)
     with timer.stage("primaries"):
         primaries = {pair: base.path_for(*pair) for pair in pairs}
@@ -244,16 +237,15 @@ def evaluate_network(
                 results = run_chunked(
                     executor,
                     table2_case_chunk,
-                    (scale, suite_seed, index, mode, shm_ref),
+                    (scale, suite_seed, index, mode, shm_ref,
+                     policy_name, model_name),
                     len(pairs),
                     jobs,
                 )
             else:
                 for pair in pairs:
-                    for case in cases_for_pair(pair, primaries[pair], mode):
-                        results.append(
-                            run_case(graph, base, case, network.weighted)
-                        )
+                    for case in model.cases_for_pair(pair, primaries[pair], mode):
+                        results.append(active.evaluate_case(case))
         stats["cases"] = stats.get("cases", 0) + len(results)
         row = build_row(
             network.name,
@@ -269,7 +261,9 @@ def evaluate_network(
                     demand_sources=ilm_demand_sources(graph, pairs),
                     weighted=network.weighted,
                 )
-                scenarios = ilm_scenarios(base, pairs, mode, ilm_max_scenarios)
+                scenarios = ilm_scenarios(
+                    base, pairs, mode, ilm_max_scenarios, model=model
+                )
                 if executor is not None and suite_ref is not None and jobs > 1:
                     scale, suite_seed, index = suite_ref
                     # Cost-model pass: estimate each scenario's repair
@@ -284,7 +278,7 @@ def evaluate_network(
                             executor,
                             ilm_scenario_chunk,
                             (scale, suite_seed, index, mode,
-                             ilm_max_scenarios, shm_ref, row_ref),
+                             ilm_max_scenarios, shm_ref, row_ref, model_name),
                             weighted_chunks(costs, jobs),
                             jobs,
                             len(scenarios),
@@ -349,11 +343,14 @@ def run(
     jobs: int = 1,
     timer: Optional[StageTimer] = None,
     stats: Optional[dict] = None,
+    policy: Optional[str] = None,
+    failure_model: Optional[str] = None,
 ) -> dict[str, list[TableTwoRow]]:
     """Full Table 2: mode -> rows across the four networks.
 
     ``jobs > 1`` fans the failure cases out over worker processes
     (``0`` = auto); the rows are byte-identical regardless of *jobs*.
+    *policy*/*failure_model* default to the active registry selection.
     """
     jobs = resolve_jobs(jobs)
     with timer.stage("topologies") if timer else _null():
@@ -382,6 +379,8 @@ def run(
                 shm_ref=publication.ref(index) if publication else None,
                 timer=timer,
                 stats=stats,
+                policy=policy,
+                failure_model=failure_model,
             )
             for index, n in enumerate(networks)
         ]
@@ -429,10 +428,12 @@ def main(argv: list[str] | None = None) -> str:
     )
     add_repair_fallback_argument(parser)
     add_kernel_argument(parser)
+    add_policy_arguments(parser)
     add_obs_arguments(parser)
     args = parser.parse_args(argv)
     apply_repair_fallback(args)  # before any worker fork
     apply_kernel(args)  # before any worker fork
+    apply_policy_arguments(args)  # before any worker fork
     activate_from_args(args)
     timer = StageTimer(prefix="table2")
     stats: dict = {}
@@ -459,6 +460,8 @@ def main(argv: list[str] | None = None) -> str:
             "seed": args.seed,
             "jobs": args.jobs,
             "modes": list(args.modes),
+            "policy": active_policy_name(),
+            "failure_model": active_failure_model_name(),
             "ilm_accounting": args.ilm,
             "ilm_max_scenarios": ILM_MAX_SCENARIOS,
             "wall_clock_s": round(timer.total(), 4),

@@ -14,11 +14,20 @@ import argparse
 from typing import Optional
 
 from ..core.local_restoration import bypass_path
-from ..exceptions import NoRestorationPath
+from ..exceptions import NoPath, NoRestorationPath
 from ..graph.graph import Graph
+from ..graph.shortest_paths import shortest_path
 from ..obs import TRACER, activate_from_args, add_obs_arguments, bench_observability
 from ..obs.metrics import DEPTH_EDGES, METRICS
 from ..kernels import add_kernel_argument, apply_kernel
+from ..policies import (
+    DEFAULT_FAILURE_MODEL,
+    active_failure_model_name,
+    active_policy_name,
+    add_policy_arguments,
+    apply_policy_arguments,
+    make_failure_model,
+)
 from ..perf import COUNTERS
 from .bench import (
     StageTimer,
@@ -47,8 +56,31 @@ PAPER_TABLE3 = {
 MAX_REPORTED_HOPS = 9
 
 
+def link_bypass_hops(
+    graph: Graph, u, v, weighted: bool, model=None
+) -> Optional[int]:
+    """Hop count of the min-cost bypass of link ``(u, v)``; None for bridges.
+
+    Under the default (independent) failure model this is exactly
+    :func:`~repro.core.local_restoration.bypass_path` — byte-identical
+    to the pre-policy sweep.  A correlated model expands the link into
+    its full fault set first (e.g. the whole SRLG group), so the bypass
+    must survive every correlated casualty, not just the link itself.
+    """
+    if model is None or model.name == DEFAULT_FAILURE_MODEL:
+        try:
+            return bypass_path(graph, u, v, weighted=weighted).hops
+        except NoRestorationPath:
+            return None
+    view = model.scenario_for_link((u, v)).apply(graph)
+    try:
+        return shortest_path(view, u, v, weighted=weighted).hops
+    except NoPath:
+        return None
+
+
 def bypass_distribution(
-    graph: Graph, weighted: bool, max_links: int | None = None
+    graph: Graph, weighted: bool, max_links: int | None = None, model=None
 ) -> tuple[dict[int, float], float]:
     """``(percent per hop count, percent of bridge links)`` over all links.
 
@@ -59,10 +91,7 @@ def bypass_distribution(
     for u, v in graph.edges():
         if max_links is not None and len(hops_list) >= max_links:
             break
-        try:
-            hops_list.append(bypass_path(graph, u, v, weighted=weighted).hops)
-        except NoRestorationPath:
-            hops_list.append(None)
+        hops_list.append(link_bypass_hops(graph, u, v, weighted, model))
     return _aggregate(hops_list)
 
 
@@ -94,21 +123,29 @@ def run(
     seed: int = 1,
     max_links: int | None = None,
     jobs: int = 1,
+    failure_model: Optional[str] = None,
 ) -> dict[str, tuple[dict[int, float], float]]:
     """Distribution per network name.
 
     With ``jobs > 1`` the links of each network are fanned out over
     worker processes; reassembly in link order keeps the distribution
-    byte-identical to the sequential run.
+    byte-identical to the sequential run.  *failure_model* defaults to
+    the active registry selection.
     """
     jobs = resolve_jobs(jobs)
+    model_name = (
+        failure_model if failure_model is not None else active_failure_model_name()
+    )
     executor = make_executor(jobs)
     results: dict[str, tuple[dict[int, float], float]] = {}
     networks = cached_suite(scale=scale, seed=seed)
     if executor is None:
         for network in networks:
             results[network.name] = bypass_distribution(
-                network.graph, network.weighted, max_links=max_links
+                network.graph,
+                network.weighted,
+                max_links=max_links,
+                model=make_failure_model(model_name, network.graph, seed=seed),
             )
         return results
     # Bypass sweeps never touch a base set, so only the graph CSRs are
@@ -123,7 +160,7 @@ def run(
                 hops_list = run_chunked(
                     executor,
                     table3_bypass_chunk,
-                    (scale, seed, index, publication.ref(index)),
+                    (scale, seed, index, publication.ref(index), model_name),
                     n_links,
                     jobs,
                 )
@@ -185,10 +222,12 @@ def main(argv: list[str] | None = None) -> str:
     )
     add_repair_fallback_argument(parser)
     add_kernel_argument(parser)
+    add_policy_arguments(parser)
     add_obs_arguments(parser)
     args = parser.parse_args(argv)
     apply_repair_fallback(args)  # before any worker fork
     apply_kernel(args)  # before any worker fork
+    apply_policy_arguments(args)  # before any worker fork
     activate_from_args(args)
     timer = StageTimer(prefix="table3")
     before = COUNTERS.snapshot()
@@ -210,6 +249,8 @@ def main(argv: list[str] | None = None) -> str:
             "scale": args.scale,
             "seed": args.seed,
             "jobs": args.jobs,
+            "policy": active_policy_name(),
+            "failure_model": active_failure_model_name(),
             "wall_clock_s": round(timer.total(), 4),
             "stages": timer.as_dict(),
             "counters": counters,

@@ -13,12 +13,39 @@ from .sampler import (
     sample_pairs,
 )
 
+_GENERATOR_EXPORTS = frozenset(
+    {
+        "FailureModel",
+        "IndependentLinkFailures",
+        "RegionalFailures",
+        "RouterLinkFailures",
+        "SrlgFailures",
+    }
+)
+
+
+def __getattr__(name: str):
+    # The generator classes register with repro.policies, which itself
+    # imports this package — resolve them lazily to keep the import
+    # graph acyclic.
+    if name in _GENERATOR_EXPORTS:
+        from . import generators
+
+        return getattr(generators, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "FAILURE_MODES",
     "FailureCase",
+    "FailureModel",
     "FailureScenario",
     "ISP_SAMPLE_PAIRS",
+    "IndependentLinkFailures",
     "LARGE_GRAPH_SAMPLE_PAIRS",
+    "RegionalFailures",
+    "RouterLinkFailures",
+    "SrlgFailures",
     "cases_for_pair",
     "link_failure_cases",
     "random_link_scenarios",

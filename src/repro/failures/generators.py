@@ -1,0 +1,171 @@
+"""Failure models — pluggable generators of :class:`FailureScenario` streams.
+
+Generalizes the paper's Section 5 sampling (:mod:`repro.failures.sampler`)
+behind one contract: a :class:`FailureModel` turns a demand pair's
+on-path failure enumeration into the scenario stream an experiment
+actually evaluates.  The default :class:`IndependentLinkFailures`
+delegates verbatim to the sampler, so default runs are byte-identical;
+the other models *expand* each sampled fault into the correlated set a
+real outage would take down:
+
+* :class:`SrlgFailures` — shared-risk link groups: a deterministic
+  seeded partition of the links into groups of ``group_size``; one
+  link failing drags its whole group (conduit cut, card failure).
+  With the default group size of 2 every single-link sample becomes a
+  k=2 scenario — the regime the Bodwin–Wang restoration lemmas
+  (arXiv:2309.07964) bound.
+* :class:`RegionalFailures` — a radius-1 regional cut: every link
+  incident to either endpoint of a failed link goes down with it.
+* :class:`RouterLinkFailures` — router failures modeled at the link
+  layer: a failed router is replaced by the failure of all its
+  incident links (the router's control plane survives; its interfaces
+  do not).
+
+Every model is a pure function of ``(graph, seed)``; scenario streams
+are deterministic and safe to rebuild inside worker processes from the
+model's registry name.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Iterator
+
+from ..graph.graph import Edge, Graph, edge_key
+from ..policies.registry import FAILURE_MODELS
+from .models import FailureScenario
+from .sampler import FailureCase, cases_for_pair
+
+
+class FailureModel:
+    """Base failure model: sampler cases, optionally expanded.
+
+    Subclasses override :meth:`expand` to grow a sampled fault set into
+    the correlated scenario their regime implies.  The base
+    implementation is the identity, which makes the default model's
+    case stream *the same objects* the sampler yields.
+    """
+
+    #: Registry key (``--failure-model`` value).
+    name: str = ""
+
+    def __init__(self, graph: Graph, seed: int = 1) -> None:
+        self.graph = graph
+        self.seed = seed
+
+    def expand(self, scenario: FailureScenario) -> FailureScenario:
+        """The full correlated fault set implied by *scenario*."""
+        return scenario
+
+    def cases_for_pair(
+        self, pair, primary, mode: str
+    ) -> Iterator[FailureCase]:
+        """The sampler's cases for *pair*, each expanded by this model."""
+        for case in cases_for_pair(pair, primary, mode):
+            expanded = self.expand(case.scenario)
+            if expanded is case.scenario:
+                yield case
+            else:
+                yield replace(case, scenario=expanded)
+
+    def scenario_for_link(self, edge: Edge) -> FailureScenario:
+        """The scenario this model implies for one failed link."""
+        return self.expand(FailureScenario.link_set([edge]))
+
+
+class IndependentLinkFailures(FailureModel):
+    """Today's behavior: each sampled fault fails independently."""
+
+    name = "independent"
+
+
+class SrlgFailures(FailureModel):
+    """Shared-risk link groups: one link down takes its group down."""
+
+    name = "srlg"
+
+    def __init__(
+        self, graph: Graph, seed: int = 1, group_size: int = 2
+    ) -> None:
+        super().__init__(graph, seed=seed)
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        self.group_size = group_size
+        # Deterministic partition: canonical edge order, seeded shuffle,
+        # consecutive slices of group_size.  A pure function of
+        # (graph, seed, group_size), so parent and workers agree.
+        edges = sorted(
+            (edge_key(u, v) for u, v in graph.edges()), key=repr
+        )
+        rng = random.Random(seed)
+        rng.shuffle(edges)
+        self._group_of: dict[Edge, frozenset[Edge]] = {}
+        for start in range(0, len(edges), group_size):
+            group = frozenset(edges[start:start + group_size])
+            for edge in group:
+                self._group_of[edge] = group
+
+    def group_of(self, edge: Edge) -> frozenset[Edge]:
+        """The risk group containing *edge* (singleton if unknown)."""
+        return self._group_of.get(edge_key(*edge), frozenset({edge_key(*edge)}))
+
+    def expand(self, scenario: FailureScenario) -> FailureScenario:
+        links: set[Edge] = set(scenario.links)
+        for edge in scenario.links:
+            links |= self.group_of(edge)
+        if links == set(scenario.links):
+            return scenario
+        return FailureScenario(
+            links=frozenset(links), routers=scenario.routers
+        )
+
+
+class RegionalFailures(FailureModel):
+    """Radius-1 regional cut around every failed element."""
+
+    name = "regional"
+
+    def expand(self, scenario: FailureScenario) -> FailureScenario:
+        links: set[Edge] = set(scenario.links)
+        endpoints = {node for edge in scenario.links for node in edge}
+        endpoints |= set(scenario.routers)
+        for node in endpoints:
+            if self.graph.has_node(node):
+                for neighbor in self.graph.neighbors(node):
+                    links.add(edge_key(node, neighbor))
+        if links == set(scenario.links) and not scenario.routers:
+            return scenario
+        return FailureScenario(
+            links=frozenset(links), routers=scenario.routers
+        )
+
+
+class RouterLinkFailures(FailureModel):
+    """Router failures at the link layer: all incident links go down.
+
+    Failed routers are converted into the failure of every incident
+    link; pure link failures pass through unchanged.  Pairs naturally
+    with the ``router``/``two-routers`` sampling modes.
+    """
+
+    name = "router-links"
+
+    def expand(self, scenario: FailureScenario) -> FailureScenario:
+        if not scenario.routers:
+            return scenario
+        links: set[Edge] = set(scenario.links)
+        for router in scenario.routers:
+            if self.graph.has_node(router):
+                for neighbor in self.graph.neighbors(router):
+                    links.add(edge_key(router, neighbor))
+        return FailureScenario(links=frozenset(links), routers=frozenset())
+
+
+for _model in (
+    IndependentLinkFailures,
+    SrlgFailures,
+    RegionalFailures,
+    RouterLinkFailures,
+):
+    FAILURE_MODELS.register(_model.name, _model)

@@ -254,9 +254,10 @@ def cmd_diff(args: argparse.Namespace) -> int:
     if old_sha and new_sha and old_sha != new_sha:
         print(f"note: comparing across commits ({old_sha} vs {new_sha})")
 
-    # tie_order / repair_fallback / shm_enabled / kernel_backend /
-    # jobs: policy fields stamped by write_bench_json — runs under
-    # different tie rules, fallback thresholds, shared-memory
+    # policy / failure_model / tie_order / repair_fallback /
+    # shm_enabled / kernel_backend / jobs: policy fields stamped by
+    # write_bench_json — runs under different restoration policies,
+    # failure models, tie rules, fallback thresholds, shared-memory
     # availability, kernel backends, or fan-out widths do different
     # work or time it differently (worker-side counters merge into the
     # totals; backends share counters but not wall-clock), so their
@@ -264,6 +265,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
     # as before).
     for key in (
         "name", "scale", "seed", "cases",
+        "policy", "failure_model",
         "tie_order", "repair_fallback", "shm_enabled", "kernel_backend",
         "jobs",
     ):

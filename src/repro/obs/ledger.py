@@ -65,6 +65,8 @@ COMPARABILITY_KEYS = (
     "seed",
     "cases",
     "modes",
+    "policy",
+    "failure_model",
     "ilm_accounting",
     "tie_order",
     "repair_fallback",

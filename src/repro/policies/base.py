@@ -1,0 +1,193 @@
+"""The pluggable restoration-policy contract.
+
+A :class:`RestorationPolicy` answers the two questions every
+restoration scheme in the literature answers, under one signature:
+
+* :meth:`provision` — which routes are pre-established for a demand
+  (the paper's base LSPs, a disjoint pair, k shortest paths, one route
+  per MRC configuration, ...);
+* :meth:`restore` — given a failure scenario, which route carries the
+  demand now, and at what stretch against the true post-failure
+  optimum.
+
+The concatenation scheme of the paper, the related-work baselines in
+:mod:`repro.core.baselines`, the multiple-routing-configurations
+policy (arXiv:1212.0311) and the do-nothing drop policy all implement
+it; the experiment drivers select one by name through the registry in
+:mod:`repro.policies.registry`.  The default policy routes through
+exactly the code the hard-wired pipeline ran before this layer
+existed, so default runs stay byte-identical (pinned by
+``tests/test_policies.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..exceptions import NoPath
+from ..failures.models import FailureScenario
+from ..graph.graph import Graph, Node
+from ..graph.paths import Path
+from ..graph.shortest_paths import shortest_path
+
+if TYPE_CHECKING:
+    from ..core.base_paths import BaseSet
+    from ..experiments.metrics import CaseResult
+    from ..failures.sampler import FailureCase
+
+
+@dataclass(frozen=True)
+class RestorationOutcome:
+    """What one policy delivers for one (demand, failure scenario).
+
+    ``pieces`` is the concatenation witness when the policy builds its
+    route from pre-provisioned segments (the paper's scheme); policies
+    that switch to a single pre-established LSP leave it ``None``.
+    """
+
+    restored: bool
+    route: Optional[Path]
+    stretch: Optional[float]  # route cost / optimal restoration cost
+    pieces: Optional[tuple[Path, ...]] = None
+
+
+class RestorationPolicy(abc.ABC):
+    """Uniform contract for restoration schemes (see module docstring).
+
+    Subclasses set :attr:`name` (the registry key) and :attr:`title`
+    (the human label used in reports), implement :meth:`provision`,
+    and may override :meth:`restore` — the default implements the
+    failover family shared by every pre-established-routes scheme:
+    traffic takes the first provisioned route the scenario left alive.
+    """
+
+    #: Registry key (``--policy`` value).
+    name: str = ""
+    #: Human-readable label for reports.
+    title: str = ""
+    #: Whether the hybrid simulation applies interim local patches
+    #: while this policy is active.
+    uses_local_patch: bool = True
+    #: Whether the demand's source re-routes after the failure floods.
+    uses_source_restore: bool = True
+    #: Whether the per-link ILM accounting of
+    #: :mod:`repro.experiments.ilm_accounting` models this policy
+    #: (only the concatenation scheme shares base LSPs across failures).
+    supports_ilm_accounting: bool = False
+
+    def __init__(
+        self,
+        graph: Graph,
+        base: Optional["BaseSet"] = None,
+        weighted: bool = True,
+    ) -> None:
+        self.graph = graph
+        self._base = base
+        self.weighted = weighted
+        self._plans: dict[tuple[Node, Node], tuple[Path, ...]] = {}
+
+    @property
+    def base(self) -> "BaseSet":
+        """The base set this policy plans against (lazily shared).
+
+        Policies that never consult a base set (e.g. max-flow) never
+        pay for one; the rest resolve the process-wide shared instance
+        so oracle rows warm once per graph.
+        """
+        if self._base is None:
+            from ..core.cache import shared_unique_base
+
+            self._base = shared_unique_base(self.graph)
+        return self._base
+
+    # -- contract ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def provision(self, source: Node, target: Node) -> tuple[Path, ...]:
+        """The pre-established routes for a demand, primary first.
+
+        Every policy returns the same shape — a (possibly length-1)
+        tuple of paths — cached per demand so :meth:`ilm_entries` can
+        charge exactly what was provisioned.
+        """
+
+    def restore(
+        self, source: Node, target: Node, scenario: FailureScenario
+    ) -> RestorationOutcome:
+        """Outcome under *scenario*: first surviving provisioned route.
+
+        The shared failover semantics: walk the provisioned routes in
+        provision order and take the first one the scenario does not
+        disturb.  Schemes that compute routes after the failure
+        (concatenation, MRC) override this.
+        """
+        for route in self.provision(source, target):
+            if not scenario.disturbs(route):
+                return self.score(route, source, target, scenario)
+        return RestorationOutcome(restored=False, route=None, stretch=None)
+
+    def ilm_entries(self) -> int:
+        """ILM load of everything provisioned (one entry per router per LSP)."""
+        return sum(
+            len(route.nodes)
+            for plan in self._plans.values()
+            for route in plan
+        )
+
+    # -- shared helpers ------------------------------------------------------
+
+    def score(
+        self,
+        route: Optional[Path],
+        source: Node,
+        target: Node,
+        scenario: FailureScenario,
+        pieces: Optional[tuple[Path, ...]] = None,
+    ) -> RestorationOutcome:
+        """Score *route* against the optimal post-failure restoration."""
+        if route is None or scenario.disturbs(route):
+            return RestorationOutcome(restored=False, route=None, stretch=None)
+        view = scenario.apply(self.graph)
+        try:
+            optimal = shortest_path(view, source, target, weighted=self.weighted)
+        except NoPath:
+            # Nothing could have restored this; the surviving route is a bonus.
+            return RestorationOutcome(
+                restored=True, route=route, stretch=1.0, pieces=pieces
+            )
+        optimal_cost = (
+            optimal.cost(self.graph) if self.weighted else float(optimal.hops)
+        )
+        route_cost = (
+            route.cost(self.graph) if self.weighted else float(route.hops)
+        )
+        stretch = route_cost / optimal_cost if optimal_cost > 0 else 1.0
+        return RestorationOutcome(
+            restored=True, route=route, stretch=stretch, pieces=pieces
+        )
+
+    def evaluate_case(self, case: "FailureCase") -> "CaseResult":
+        """One Table 2 experimental unit under this policy.
+
+        The generic mapping from :meth:`restore` to the experiment's
+        :class:`~repro.experiments.metrics.CaseResult`; the
+        concatenation policy overrides it with the original (counter-
+        instrumented) pipeline body so default runs stay byte-identical.
+        """
+        from ..experiments.metrics import CaseResult
+
+        primary_cost = case.primary_path.cost(self.graph)
+        outcome = self.restore(case.source, case.destination, case.scenario)
+        backup = outcome.route if outcome.restored else None
+        return CaseResult(
+            source=case.source,
+            destination=case.destination,
+            scenario=case.scenario,
+            primary=case.primary_path,
+            primary_cost=primary_cost,
+            backup=backup,
+            backup_cost=backup.cost(self.graph) if backup is not None else None,
+            decomposition=None,
+        )

@@ -109,11 +109,19 @@ class RestorationSimulation:
         model: FloodingModel = FloodingModel(),
         local_strategy: LocalStrategy = LocalStrategy.EDGE_BYPASS,
         weighted: bool = True,
+        *,
+        policy=None,
     ) -> None:
         self.network = network
         self.base = base
         self.model = model
         self.local_strategy = local_strategy
+        #: The active :class:`~repro.policies.base.RestorationPolicy`,
+        #: consulted for its reaction hooks: ``uses_local_patch`` gates
+        #: step 2's interim patches, ``uses_source_restore`` gates step
+        #: 4's source re-route.  ``None`` (the default) behaves exactly
+        #: like the concatenation policy — both hooks on.
+        self.policy = policy
         self.queue = EventQueue()
         self.local = LocalRbpc(network, base, lsp_registry, weighted=weighted)
         self.source_scheme = SourceRouterRbpc(network, base, lsp_registry, weighted=weighted)
@@ -250,6 +258,8 @@ class RestorationSimulation:
             self._down_at.pop(edge_key(u, v), None)
 
     def _apply_local_patches(self, router: Node, failed: Edge) -> None:
+        if self.policy is not None and not self.policy.uses_local_patch:
+            return
         for demand in self.demands.values():
             if demand.locally_patched or demand.source_restored:
                 continue
@@ -327,6 +337,8 @@ class RestorationSimulation:
             )
 
     def _source_reacts(self, router: Node, ad: LinkStateAd, demands) -> None:
+        if self.policy is not None and not self.policy.uses_source_restore:
+            return
         for demand in demands:
             if ad.up:
                 if demand.source_restored:

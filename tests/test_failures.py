@@ -4,6 +4,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.failures.generators import (
+    IndependentLinkFailures,
+    RegionalFailures,
+    RouterLinkFailures,
+    SrlgFailures,
+)
 from repro.failures.models import FailureScenario
 from repro.failures.sampler import (
     FAILURE_MODES,
@@ -49,6 +55,64 @@ class TestScenario:
 
     def test_empty(self):
         assert FailureScenario().is_empty
+
+
+class TestScenarioEdgeCases:
+    def test_link_set_deduplicates_both_orientations(self):
+        s = FailureScenario.link_set([(1, 2), (2, 1), (1, 2)])
+        assert s.links == frozenset({(1, 2)})
+        assert s.k_links == 1
+
+    def test_router_set(self):
+        s = FailureScenario.router_set([3, 2, 3])
+        assert s.routers == frozenset({2, 3})
+        assert s.k_routers == 2 and s.k_links == 0
+
+    def test_merge_unions_both_kinds(self):
+        a = FailureScenario.link_set([(1, 2)]).merge(
+            FailureScenario.single_router(3)
+        )
+        b = FailureScenario.link_set([(2, 1), (2, 3)]).merge(
+            FailureScenario.router_set([3, 4])
+        )
+        merged = a.merge(b)
+        assert merged.links == frozenset({(1, 2), (2, 3)})
+        assert merged.routers == frozenset({3, 4})
+
+    def test_merge_with_empty_is_identity(self):
+        s = FailureScenario.link_set([(1, 2)]).merge(
+            FailureScenario.single_router(4)
+        )
+        assert s.merge(FailureScenario()) == s
+        assert FailureScenario().merge(s) == s
+
+    def test_empty_scenario_disturbs_nothing(self, diamond):
+        empty = FailureScenario()
+        assert not empty.disturbs(Path([1, 2, 4]))
+        assert empty.effective_k_edges(diamond) == 0
+        view = empty.apply(diamond)
+        assert view.has_edge(1, 2) and view.has_node(3)
+
+    def test_effective_k_multi_link_router_combo(self, diamond):
+        # Links (1,2) and (3,4) plus router 2 (incident to 1,3,4):
+        # (1,2) is both failed and incident — counted once.
+        s = FailureScenario.link_set([(1, 2), (3, 4)]).merge(
+            FailureScenario.single_router(2)
+        )
+        assert s.effective_k_edges(diamond) == 4
+
+    def test_effective_k_ignores_absent_routers(self, diamond):
+        s = FailureScenario.single_router(99)
+        assert s.effective_k_edges(diamond) == 0
+
+    def test_disturbs_multi_link_router_combo(self):
+        s = FailureScenario.link_set([(2, 3)]).merge(
+            FailureScenario.single_router(5)
+        )
+        assert s.disturbs(Path([1, 2, 3, 4]))  # via the failed link
+        assert s.disturbs(Path([4, 5, 6]))  # via the failed router
+        assert not s.disturbs(Path([1, 6, 7]))
+        assert s.disturbs(Path([5]))  # endpoint router counts too
 
 
 class TestSamplePairs:
@@ -136,3 +200,84 @@ class TestRandomScenarios:
         g = Graph.from_edges([(1, 2)])
         with pytest.raises(ValueError):
             random_link_scenarios(g, 1, k=2)
+
+
+class TestFailureModels:
+    def test_default_model_yields_sampler_cases_unchanged(self, small_isp):
+        from repro.core.cache import shared_unique_base
+
+        model = IndependentLinkFailures(small_isp)
+        pair = sample_pairs(small_isp, 4, seed=2)[0]
+        primary = shared_unique_base(small_isp).path_for(*pair)
+        assert list(model.cases_for_pair(pair, primary, "link")) == list(
+            cases_for_pair(pair, primary, "link")
+        )
+
+    def test_identity_expand_returns_same_object(self, small_isp):
+        model = IndependentLinkFailures(small_isp)
+        s = FailureScenario.link_set([(1, 2)])
+        assert model.expand(s) is s
+
+    def test_srlg_partition_is_deterministic_and_total(self, small_isp):
+        a = SrlgFailures(small_isp, seed=3)
+        b = SrlgFailures(small_isp, seed=3)
+        for u, v in small_isp.edges():
+            group = a.group_of((u, v))
+            assert group == b.group_of((u, v))
+            assert (min(u, v), max(u, v)) in group or any(
+                e in group for e in [(u, v), (v, u)]
+            )
+            assert 1 <= len(group) <= 2
+
+    def test_srlg_expand_drags_the_whole_group(self, small_isp):
+        model = SrlgFailures(small_isp, seed=1)
+        edge = next(iter(small_isp.edges()))
+        scenario = model.scenario_for_link(edge)
+        assert scenario.links == model.group_of(edge)
+        assert scenario.k_links == len(model.group_of(edge))
+
+    def test_srlg_expand_is_idempotent_and_preserves_identity(self, small_isp):
+        model = SrlgFailures(small_isp, seed=1)
+        edge = next(iter(small_isp.edges()))
+        expanded = model.scenario_for_link(edge)
+        # Already group-closed: expand must hand back the same object
+        # (the cases_for_pair fast path depends on it).
+        assert model.expand(expanded) is expanded
+
+    def test_srlg_group_size_validated(self, small_isp):
+        with pytest.raises(ValueError):
+            SrlgFailures(small_isp, group_size=0)
+
+    def test_regional_cut_takes_incident_links(self, diamond):
+        model = RegionalFailures(diamond)
+        scenario = model.scenario_for_link((1, 2))
+        # Everything incident to 1 or 2 goes down.
+        assert scenario.links == frozenset(
+            {(1, 2), (1, 3), (2, 3), (2, 4)}
+        )
+
+    def test_router_links_model_converts_routers(self, diamond):
+        model = RouterLinkFailures(diamond)
+        scenario = model.expand(FailureScenario.single_router(2))
+        assert scenario.routers == frozenset()
+        assert scenario.links == frozenset({(1, 2), (2, 3), (2, 4)})
+
+    def test_router_links_passthrough_for_pure_links(self, diamond):
+        model = RouterLinkFailures(diamond)
+        s = FailureScenario.link_set([(1, 2)])
+        assert model.expand(s) is s
+
+    def test_expanded_cases_keep_the_sampled_pair(self, small_isp):
+        from repro.core.cache import shared_unique_base
+
+        model = SrlgFailures(small_isp, seed=1)
+        pair = sample_pairs(small_isp, 1, seed=9)[0]
+        primary = shared_unique_base(small_isp).path_for(*pair)
+        raw = list(cases_for_pair(pair, primary, "link"))
+        expanded = list(model.cases_for_pair(pair, primary, "link"))
+        assert len(raw) == len(expanded)
+        for before, after in zip(raw, expanded):
+            assert after.source == before.source
+            assert after.destination == before.destination
+            assert after.primary_path == before.primary_path
+            assert before.scenario.links <= after.scenario.links
