@@ -1,23 +1,29 @@
-"""Kernel backend benchmarks: vectorized numpy vs. the reference loops.
+"""Kernel backend benchmarks: numpy and native vs. the reference loops.
 
-Times the three dispatch points of :mod:`repro.kernels` head to head on
-the experiment suite's own topology generators, asserting bit-identical
+Times the dispatch points of :mod:`repro.kernels` head to head on the
+experiment suite's own topology generators, asserting bit-identical
 outputs while it measures:
 
 * **batched row building** — ``rows_many`` over a block of sources vs.
   the per-source reference kernels (heap Dijkstra on weighted graphs,
   frontier BFS on unit graphs), on the ISP, Internet, and AS families;
-* **SPT re-settle** — the vectorized Ramalingam–Reps repair vs. the
-  boundary-offer loop, on hub failures with large affected subtrees;
-* **flat ILM decomposition** — the masked matrix DP vs. the forward
+* **single-source full rows** — one exhaustive ``dijkstra_canonical``
+  call at a time, the shape ``SptCache`` misses and oracle promotions
+  pay for (numpy's ``SINGLE_MIN_N`` gate applies; native has none);
+* **targeted early-exit searches** — ``dijkstra_canonical`` with a
+  small target set, the ``fast_shortest_path`` probe shape numpy hands
+  back to the reference loop by design;
+* **SPT re-settle** — Ramalingam–Reps repair vs. the boundary-offer
+  loop, on hub failures with large affected subtrees;
+* **flat ILM decomposition** — the accelerated DP vs. the forward
   reference DP on long concatenation chains.
 
 Emits ``results/BENCH_kernels.json`` in the established BENCH schema
-(per-section timings, speedup ratios, the work-counter delta).
-``--smoke`` shrinks sizes and repeats to a CI-friendly run that still
-asserts every equivalence.  Without numpy installed the script still
-runs and emits a payload recording that only the reference backend was
-measured — a fresh clone must pass every CLI.
+(per-section timings, per-backend speedup ratios, the work-counter
+delta).  ``--smoke`` shrinks sizes and repeats to a CI-friendly run
+that still asserts every equivalence.  Backends that cannot load are
+skipped with a note in the payload (``backends_skipped``) — a fresh
+clone without numpy or a C toolchain must pass every CLI.
 """
 
 from __future__ import annotations
@@ -37,10 +43,25 @@ from repro.topology import (
     generate_isp_topology,
 )
 
+#: Accelerated backends measured this run, and why any were skipped.
+BACKENDS: dict = {}
+SKIPPED: dict[str, str] = {}
+
 try:
     from repro.kernels import numpy_backend as npk
+
+    BACKENDS["numpy"] = npk
 except ImportError:  # pragma: no cover - exercised on clones without numpy
     npk = None
+    SKIPPED["numpy"] = "numpy not importable ([accel] extra)"
+
+try:
+    from repro.kernels import native_backend as natk
+
+    BACKENDS["native"] = natk
+except ImportError as exc:  # pragma: no cover - exercised without a toolchain
+    natk = None
+    SKIPPED["native"] = str(exc).splitlines()[0][:200]
 
 
 def _timed(fn, repeat: int):
@@ -68,16 +89,65 @@ def _reference_rows(view, sources, unit):
 def _row_section(results, label, graph, unit, n_sources, repeat):
     view = as_view(shared_csr(graph))
     sources = list(range(min(n_sources, view.csr.n)))
+    expected = _reference_rows(view, sources, unit)
     results[f"{label}_python_s"] = _timed(
         lambda: _reference_rows(view, sources, unit), repeat
     )
-    if npk is not None:
-        results[f"{label}_numpy_s"] = _timed(
-            lambda: npk.rows_many(view, sources, unit), repeat
+    for name, mod in BACKENDS.items():
+        got = mod.rows_many(view, sources, unit)
+        assert got == expected, f"{label}: {name} disagrees"
+        results[f"{label}_{name}_s"] = _timed(
+            lambda mod=mod: mod.rows_many(view, sources, unit), repeat
         )
-        assert npk.rows_many(view, sources, unit) == _reference_rows(
-            view, sources, unit
-        ), f"{label}: backends disagree"
+
+
+def _single_source_section(results, label, graph, n_sources, repeat):
+    """One exhaustive canonical Dijkstra per call — no batching to hide in."""
+    view = as_view(shared_csr(graph))
+    sources = list(range(min(n_sources, view.csr.n)))
+    expected = [pyk.dijkstra_canonical(view, s) for s in sources]
+
+    def run(mod):
+        return [mod.dijkstra_canonical(view, s) for s in sources]
+
+    results[f"{label}_python_s"] = _timed(lambda: run(pyk), repeat)
+    for name, mod in BACKENDS.items():
+        assert run(mod) == expected, f"{label}: {name} disagrees"
+        results[f"{label}_{name}_s"] = _timed(
+            lambda mod=mod: run(mod), repeat
+        )
+
+
+def _targeted_section(results, label, graph, n_queries, repeat):
+    """Early-exit probes with a single target — the oracle's query shape."""
+    view = as_view(shared_csr(graph))
+    n = view.csr.n
+    rng = random.Random(3)
+    queries = [
+        (rng.randrange(n), [rng.randrange(n)]) for _ in range(n_queries)
+    ]
+    expected = [
+        pyk.dijkstra_canonical(view, s, targets) for s, targets in queries
+    ]
+
+    def run(mod):
+        return [
+            mod.dijkstra_canonical(view, s, targets) for s, targets in queries
+        ]
+
+    results[f"{label}_python_s"] = _timed(lambda: run(pyk), repeat)
+    for name, mod in BACKENDS.items():
+        assert run(mod) == expected, f"{label}: {name} disagrees"
+        results[f"{label}_{name}_s"] = _timed(
+            lambda mod=mod: run(mod), repeat
+        )
+
+
+def _repair_entry(name, mod):
+    """numpy's vectorized body is called directly (its size gate would
+    route the benchmark back to the loop being measured); native has no
+    gate, so the public entry point is the native path already."""
+    return mod._repair_resettle_vec if name == "numpy" else mod.repair_resettle
 
 
 def _repair_section(results, graph, repeat):
@@ -107,26 +177,27 @@ def _repair_section(results, graph, repeat):
     affected.discard(0)
     view = base.without(edges=[(nodes[pred[victim]], nodes[victim])])
     results["repair_affected_nodes"] = len(affected)
+    ref = pyk.repair_resettle(view, 0, list(dist), list(pred), set(affected), False)
     results["repair_python_s"] = _timed(
         lambda: pyk.repair_resettle(
             view, 0, list(dist), list(pred), set(affected), False
         ),
         repeat,
     )
-    if npk is not None:
-        results["repair_numpy_s"] = _timed(
-            lambda: npk._repair_resettle_vec(
+    for name, mod in BACKENDS.items():
+        entry = _repair_entry(name, mod)
+        got = entry(view, 0, list(dist), list(pred), set(affected), False)
+        assert got == ref, f"repair: {name} disagrees"
+        results[f"repair_{name}_s"] = _timed(
+            lambda entry=entry: entry(
                 view, 0, list(dist), list(pred), set(affected), False
             ),
             repeat,
         )
-        ref = pyk.repair_resettle(
-            view, 0, list(dist), list(pred), set(affected), False
-        )
-        vec = npk._repair_resettle_vec(
-            view, 0, list(dist), list(pred), set(affected), False
-        )
-        assert vec == ref, "repair: backends disagree"
+
+
+def _decompose_entry(name, mod):
+    return mod._decompose_flat_vec if name == "numpy" else mod.decompose_flat
 
 
 def _decompose_section(results, graph, anchors, repeat):
@@ -165,16 +236,16 @@ def _decompose_section(results, graph, anchors, repeat):
     }
     row_for = rows.__getitem__
     results["decompose_chain_len"] = len(chain)
+    ref = pyk.decompose_flat(chain, cum, row_for)
     results["decompose_python_s"] = _timed(
         lambda: pyk.decompose_flat(chain, cum, row_for), repeat
     )
-    if npk is not None:
-        results["decompose_numpy_s"] = _timed(
-            lambda: npk._decompose_flat_vec(chain, cum, row_for), repeat
+    for name, mod in BACKENDS.items():
+        entry = _decompose_entry(name, mod)
+        assert entry(chain, cum, row_for) == ref, f"decompose: {name} disagrees"
+        results[f"decompose_{name}_s"] = _timed(
+            lambda entry=entry: entry(chain, cum, row_for), repeat
         )
-        assert npk._decompose_flat_vec(chain, cum, row_for) == pyk.decompose_flat(
-            chain, cum, row_for
-        ), "decompose: backends disagree"
 
 
 def main(argv=None) -> None:
@@ -188,7 +259,7 @@ def main(argv=None) -> None:
     parser.add_argument(
         "--smoke", action="store_true",
         help="CI smoke mode: tiny graphs, fewer repeats; every "
-             "numpy-vs-python equivalence assertion still runs",
+             "backend-vs-python equivalence assertion still runs",
     )
     parser.add_argument(
         "--bench-json", type=str, default=None,
@@ -199,12 +270,14 @@ def main(argv=None) -> None:
 
     if args.smoke:
         sizes = {"isp": 120, "internet": 300, "as": 300,
-                 "repair_isp": 400, "anchors": 6}
+                 "repair_isp": 400, "anchors": 6,
+                 "single_sources": 8, "targeted_queries": 20}
         args.repeat = min(args.repeat, 2)
         args.sources = min(args.sources, 60)
     else:
         sizes = {"isp": 200, "internet": 4000, "as": 2000,
-                 "repair_isp": 2000, "anchors": 16}
+                 "repair_isp": 2000, "anchors": 16,
+                 "single_sources": 24, "targeted_queries": 120}
 
     before = COUNTERS.snapshot()
     wall_start = time.perf_counter()
@@ -221,16 +294,22 @@ def main(argv=None) -> None:
     _row_section(results, "rows_as_graph", generate_as_graph(
         n=sizes["as"], seed=args.seed), True, args.sources, args.repeat)
     repair_graph = generate_isp_topology(n=sizes["repair_isp"], seed=args.seed)
+    _single_source_section(results, "single_source", repair_graph,
+                           sizes["single_sources"], args.repeat)
+    _targeted_section(results, "targeted", repair_graph,
+                      sizes["targeted_queries"], args.repeat)
     _repair_section(results, repair_graph, args.repeat)
     _decompose_section(results, repair_graph, sizes["anchors"], args.repeat)
 
-    speedups = {}
+    speedups: dict[str, dict[str, float]] = {name: {} for name in BACKENDS}
     for key in sorted(results):
-        if key.endswith("_numpy_s"):
-            stem = key[: -len("_numpy_s")]
-            speedups[stem] = round(
-                results[f"{stem}_python_s"] / max(results[key], 1e-12), 2
-            )
+        for name in BACKENDS:
+            suffix = f"_{name}_s"
+            if key.endswith(suffix):
+                stem = key[: -len(suffix)]
+                speedups[name][stem] = round(
+                    results[f"{stem}_python_s"] / max(results[key], 1e-12), 2
+                )
 
     payload = {
         "name": "kernels",
@@ -240,6 +319,7 @@ def main(argv=None) -> None:
         "sizes": sizes,
         "smoke": bool(args.smoke),
         "backends_measured": available_backends(),
+        "backends_skipped": SKIPPED,
         "wall_clock_s": round(time.perf_counter() - wall_start, 4),
         "results": {
             k: (round(v, 6) if isinstance(v, float) else v)
@@ -251,8 +331,9 @@ def main(argv=None) -> None:
     if args.bench_json != "-":
         out = write_bench_json("kernels", payload, path=args.bench_json)
         print(f"wrote {out}")
-    for stem, ratio in speedups.items():
-        print(f"{stem}: {ratio}x")
+    for name, ratios in speedups.items():
+        for stem, ratio in ratios.items():
+            print(f"{stem} [{name}]: {ratio}x")
 
 
 if __name__ == "__main__":

@@ -220,7 +220,7 @@ class CsrView:
 
     __slots__ = (
         "csr", "dead_edges", "dead_nodes", "_edge_mask", "_node_mask",
-        "np_state",
+        "np_state", "native_state",
     )
 
     def __init__(
@@ -235,6 +235,7 @@ class CsrView:
         self._edge_mask: Optional[bytearray] = None
         self._node_mask: Optional[bytearray] = None
         self.np_state = None
+        self.native_state = None
 
     def masks(self) -> tuple[bytearray, bytearray]:
         """Flat 0/1 ``(edge slot, node index)`` masks — 1 marks dead.

@@ -4,7 +4,7 @@ Every hot loop of the reproduction — canonical Dijkstra/BFS row
 building (:mod:`repro.graph.csr`), decremental SPT re-settling
 (:mod:`repro.graph.incremental`), and the flat ILM decomposition DP
 (:mod:`repro.experiments.ilm_accounting`) — dispatches through the
-backend selected here.  Two backends ship:
+backend selected here.  Three backends ship:
 
 ``python``
     The reference implementation: the original pure-Python loops over
@@ -23,14 +23,23 @@ backend selected here.  Two backends ship:
     bit-for-bit identical to the reference backend; the equivalence is
     pinned by ``tests/test_kernels.py``.
 
+``native``
+    The reference loops compiled: C kernels built at first use with the
+    system ``cc`` (cached shared object, zero Python dependencies)
+    and driven through ``ctypes`` over the same CSR buffers and masks.
+    Runs the *same algorithm* as the reference backend instruction for
+    instruction, so outputs and counters stay bit-identical at every
+    input size — including the targeted searches, single-source rows,
+    and small repairs the numpy backend gates back to Python.
+
 Selection: the ``REPRO_KERNEL`` environment variable (``python``,
-``numpy``, or ``auto`` — the default), or ``--kernel`` on every
-experiment CLI (:func:`add_kernel_argument` / :func:`apply_kernel`).
-``auto`` prefers numpy when it imports and silently falls back to the
-reference backend otherwise — numpy stays an optional ``[accel]``
-extra, never a dependency.  The active backend name is stamped into
-every ``BENCH_*.json`` header as ``kernel_backend`` and treated as an
-obs-diff comparability key.
+``numpy``, ``native``, or ``auto`` — the default), or ``--kernel`` on
+every experiment CLI (:func:`add_kernel_argument` / :func:`apply_kernel`).
+``auto`` prefers native when a C toolchain is present, then numpy when
+it imports, and silently falls back to the reference backend otherwise
+— both accelerated backends stay optional, never dependencies.  The
+active backend name is stamped into every ``BENCH_*.json`` header as
+``kernel_backend`` and treated as an obs-diff comparability key.
 """
 
 from __future__ import annotations
@@ -39,13 +48,18 @@ import os
 from typing import Any, Optional
 
 #: Recognized values for REPRO_KERNEL / --kernel.
-KERNEL_CHOICES = ("auto", "python", "numpy")
+KERNEL_CHOICES = ("auto", "python", "numpy", "native")
 
 _BACKEND = None  # resolved backend module, cached per process
 
 
 def _resolve(name: str):
-    """Import and return the backend module for *name*."""
+    """Import and return the backend module for *name*.
+
+    Explicit names fail loudly (``native`` without a toolchain, or
+    ``numpy`` without numpy, raise ``ImportError``); ``auto`` walks
+    native → numpy → python, taking the first backend that imports.
+    """
     if name == "python":
         from . import python_backend
 
@@ -54,7 +68,17 @@ def _resolve(name: str):
         from . import numpy_backend
 
         return numpy_backend
+    if name == "native":
+        from . import native_backend
+
+        return native_backend
     if name == "auto":
+        try:
+            from . import native_backend
+
+            return native_backend
+        except ImportError:
+            pass
         try:
             from . import numpy_backend
 
@@ -84,7 +108,7 @@ def kernel_backend():
 
 
 def backend_name() -> str:
-    """Name of the active backend (``"python"`` or ``"numpy"``)."""
+    """Name of the active backend (``python``/``numpy``/``native``)."""
     return kernel_backend().NAME
 
 
@@ -111,6 +135,12 @@ def available_backends() -> list[str]:
         names.append("numpy")
     except ImportError:
         pass
+    try:
+        from . import native_backend  # noqa: F401
+
+        names.append("native")
+    except ImportError:
+        pass
     return names
 
 
@@ -119,8 +149,9 @@ def add_kernel_argument(parser: Any) -> None:
     parser.add_argument(
         "--kernel", choices=list(KERNEL_CHOICES), default=None,
         help="kernel backend for the canonical path engine (default: env "
-             "REPRO_KERNEL or 'auto' — numpy when importable, else the "
-             "pure-python reference; outputs are bit-identical either way)",
+             "REPRO_KERNEL or 'auto' — native when a C toolchain is "
+             "present, else numpy when importable, else the pure-python "
+             "reference; outputs are bit-identical in every case)",
     )
 
 

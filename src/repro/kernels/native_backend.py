@@ -1,0 +1,468 @@
+"""Native C kernels for the canonical path engine (``REPRO_KERNEL=native``).
+
+**Why this is legal.**  Unlike the numpy backend — which recomputes the
+canonical labels by a different (vectorized) algorithm and argues
+fixpoint equality — this backend runs *the same algorithm* as the
+pure-Python reference (:mod:`repro.kernels.python_backend`), compiled:
+the same lazy binary heap keyed by ``(distance, node index)``, the same
+canonical tie rules, the same relaxation order, and counter
+accumulation at the same program points, over IEEE-754 doubles with FP
+contraction disabled.  Outputs and perf counters are therefore bitwise
+identical to the reference backend at **every** input size — there are
+no eligibility gates here, which is the point: the single-source rows,
+targeted early-exit searches, small Ramalingam–Reps repairs, and short
+decomposition chains that the numpy backend hands back to the Python
+loops (``SINGLE_MIN_N``/``REPAIR_MIN_AFFECTED``/``DECOMPOSE_MIN_CHAIN``)
+all run native.
+
+**No new dependencies.**  The kernels live in ``_native.c`` next to
+this file and are compiled at first use with the system C compiler
+(``$CC``, else the first of ``cc``/``gcc``/``clang`` on PATH) into a
+shared object cached under ``~/.cache/repro/`` (override with
+``REPRO_NATIVE_CACHE``), keyed by the SHA-256 of the source text plus
+the compiler's version banner — editing the source or switching
+toolchains recompiles, everything else reuses the cached build.
+Importing this module raises :class:`ImportError` when no toolchain is
+available, so ``REPRO_KERNEL=auto`` silently degrades to the numpy or
+reference backend while an explicit ``REPRO_KERNEL=native`` fails
+loudly.
+
+**Zero-copy.**  The C entry points take raw pointers into the existing
+CSR buffers — ``array.array`` snapshots or shared-memory memoryview
+casts from :mod:`repro.graph.shm` — and the per-view dead masks;
+addresses are resolved once and cached on the snapshot
+(``CsrGraph.np_cache``) and view (``CsrView.native_state``).  Calls
+release the GIL (plain ``ctypes`` foreign calls), so ``--jobs`` workers
+and threads overlap native settles.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import operator
+import os
+import shutil
+import subprocess
+from array import array
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+from ..perf import COUNTERS
+
+NAME = "native"
+INF = float("inf")
+
+_SOURCE_PATH = Path(__file__).with_name("_native.c")
+
+#: Sources per batched C call: bounds the transient ``dist``/``pred``
+#: block at a few MB while amortizing call overhead across the batch.
+ROWS_CHUNK = 256
+
+
+class NativeUnavailable(ImportError):
+    """The native backend cannot be built/loaded in this environment.
+
+    Subclasses :class:`ImportError` so ``REPRO_KERNEL=auto`` falls back
+    through its normal import-failure path.
+    """
+
+
+# -- compile-at-first-use build cache -----------------------------------------
+
+
+def find_compiler() -> Optional[str]:
+    """Absolute path of the C compiler to use, or ``None``.
+
+    ``$CC`` wins when it resolves; otherwise the first of ``cc``,
+    ``gcc``, ``clang`` found on PATH.
+    """
+    override = os.environ.get("CC", "").strip()
+    candidates = (override,) if override else ()
+    for name in (*candidates, "cc", "gcc", "clang"):
+        if not name:
+            continue
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def cache_dir() -> Path:
+    """Directory holding compiled kernel objects."""
+    override = os.environ.get("REPRO_NATIVE_CACHE", "").strip()
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def _compiler_tag(cc: str) -> str:
+    """Version banner used in the cache key (toolchain switch ⇒ rebuild)."""
+    try:
+        proc = subprocess.run(
+            [cc, "--version"], capture_output=True, text=True, timeout=60
+        )
+        banner = (proc.stdout or proc.stderr).splitlines()
+        return banner[0] if banner else ""
+    except (OSError, subprocess.SubprocessError):
+        return ""
+
+
+#: ``-ffp-contract=off`` forbids fused multiply-add contraction so every
+#: float64 addition rounds exactly like CPython's — bit-identity with the
+#: reference backend depends on it.
+_CFLAGS = ("-O2", "-std=c99", "-fPIC", "-shared", "-ffp-contract=off")
+
+
+def build_library(
+    source: Path = _SOURCE_PATH, cache: Optional[Path] = None
+) -> Path:
+    """Compile (or reuse) the kernel shared object; returns its path.
+
+    The output name is keyed by the SHA-256 of the source bytes, the
+    compiler version banner, and the compile flags, so a stale cache
+    entry can never be served for edited source (or changed codegen)
+    and concurrent builders race benignly (build to a pid-suffixed temp
+    file, publish with an atomic ``os.replace``).
+    """
+    cc = find_compiler()
+    if cc is None:
+        raise NativeUnavailable(
+            "native kernel backend needs a C compiler: none of $CC, cc, "
+            "gcc, clang resolved on PATH (REPRO_KERNEL=auto falls back "
+            "automatically; explicit REPRO_KERNEL=native does not)"
+        )
+    text = source.read_bytes()
+    key = hashlib.sha256(
+        text
+        + b"\x00" + _compiler_tag(cc).encode("utf-8", "replace")
+        + b"\x00" + " ".join(_CFLAGS).encode("ascii")
+    ).hexdigest()[:20]
+    out_dir = cache if cache is not None else cache_dir()
+    so_path = out_dir / f"repro_native-{key}.so"
+    if so_path.exists():
+        return so_path
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tmp = out_dir / f"repro_native-{key}.{os.getpid()}.tmp.so"
+    cmd = [cc, *_CFLAGS, "-o", str(tmp), str(source), "-lm"]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+    except OSError as exc:
+        raise NativeUnavailable(f"failed to invoke {cc}: {exc}") from exc
+    if proc.returncode != 0:
+        tmp.unlink(missing_ok=True)
+        raise NativeUnavailable(
+            "native kernel compilation failed:\n"
+            + (proc.stderr or proc.stdout).strip()[:2000]
+        )
+    os.replace(tmp, so_path)
+    return so_path
+
+
+def _load() -> ctypes.CDLL:
+    if array("l").itemsize != 8:
+        raise NativeUnavailable(
+            "native kernel backend assumes 64-bit C long CSR buffers"
+        )
+    so_path = build_library()
+    try:
+        return ctypes.CDLL(str(so_path))
+    except OSError:
+        # A truncated/foreign cache entry: rebuild once, then give up.
+        so_path.unlink(missing_ok=True)
+        try:
+            return ctypes.CDLL(str(build_library()))
+        except OSError as exc:  # pragma: no cover - corrupt toolchain
+            raise NativeUnavailable(f"cannot load native kernels: {exc}")
+
+
+_i64 = ctypes.c_int64
+_i64p = ctypes.POINTER(ctypes.c_int64)
+_ptr = ctypes.c_void_p
+_ROW_CB = ctypes.CFUNCTYPE(ctypes.c_void_p, ctypes.c_int64)
+
+_LIB = _load()
+
+_LIB.repro_dijkstra.restype = ctypes.c_int
+_LIB.repro_dijkstra.argtypes = [
+    _ptr, _ptr, _ptr, _i64, _ptr, _ptr, _i64, _ptr, _i64, _ptr, _ptr,
+    _i64p, _i64p, _i64p,
+]
+_LIB.repro_bfs.restype = ctypes.c_int
+_LIB.repro_bfs.argtypes = [
+    _ptr, _ptr, _i64, _ptr, _ptr, _i64, _i64, _ptr, _ptr, _i64p, _i64p,
+]
+_LIB.repro_rows_many.restype = ctypes.c_int
+_LIB.repro_rows_many.argtypes = [
+    _ptr, _ptr, _ptr, _i64, _ptr, _ptr, _ptr, _i64, _i64, _ptr, _ptr,
+    _i64p, _i64p,
+]
+_LIB.repro_repair.restype = ctypes.c_int
+_LIB.repro_repair.argtypes = [
+    _ptr, _ptr, _ptr, _i64, _ptr, _ptr, _ptr, _i64, _ptr, _i64, _ptr, _ptr,
+    _i64p, _i64p,
+]
+_LIB.repro_decompose.restype = ctypes.c_int
+_LIB.repro_decompose.argtypes = [
+    _i64, _ptr, ctypes.c_double, _ROW_CB, _ptr, _ptr, _i64p,
+]
+
+
+def library_path() -> Path:
+    """Path of the shared object backing the loaded kernels."""
+    return Path(_LIB._name)
+
+
+def _check(status: int) -> None:
+    if status == -1:
+        raise MemoryError("native kernel allocation failed")
+    if status != 0:
+        raise RuntimeError(f"native kernel failed with status {status}")
+
+
+# -- zero-copy pointer plumbing ------------------------------------------------
+
+
+def _addr_of(buf) -> tuple[int, object]:
+    """``(base address, keepalive)`` of a contiguous buffer, zero-copy.
+
+    ``array.array`` exposes its address directly; anything else goes
+    through the writable buffer protocol (shared-memory memoryview
+    casts, bytearray masks).  Empty buffers yield a null pointer — the
+    kernels never dereference them (no slots / no nodes to scan).
+    """
+    if isinstance(buf, array):
+        return (buf.buffer_info()[0] if len(buf) else 0), buf
+    view = buf if isinstance(buf, memoryview) else memoryview(buf)
+    if view.nbytes == 0:
+        return 0, view
+    if view.readonly:
+        view = memoryview(bytearray(view))
+    pin = (ctypes.c_char * view.nbytes).from_buffer(view)
+    return ctypes.addressof(pin), (view, pin)
+
+
+def _graph_ptrs(csr) -> tuple[int, int, int, object]:
+    """``(indptr, indices, weights)`` addresses, cached per snapshot."""
+    cache = csr.np_cache
+    if cache is None:
+        cache = csr.np_cache = {}
+    ptrs = cache.get("native")
+    if ptrs is None:
+        indptr, k1 = _addr_of(csr.indptr)
+        indices, k2 = _addr_of(csr.indices)
+        weights, k3 = _addr_of(csr.weights)
+        ptrs = cache["native"] = (indptr, indices, weights, (k1, k2, k3))
+    return ptrs
+
+
+def _view_ptrs(view) -> tuple[int, int, object]:
+    """``(edge_dead, node_dead)`` mask addresses, cached per view."""
+    state = view.native_state
+    if state is None:
+        edge_mask, node_mask = view.masks()
+        edge_dead, k1 = _addr_of(edge_mask)
+        node_dead, k2 = _addr_of(node_mask)
+        state = view.native_state = (edge_dead, node_dead, (k1, k2))
+    return state
+
+
+# -- backend interface ---------------------------------------------------------
+
+
+def dijkstra_canonical(
+    view, source: int, targets: Optional[Iterable[int]] = None
+) -> tuple[list[float], list[int], bool]:
+    """Canonical Dijkstra rows — native at every size, targeted or not."""
+    csr = view.csr
+    n = csr.n
+    indptr, indices, weights, _keep = _graph_ptrs(csr)
+    edge_dead, node_dead, _vkeep = _view_ptrs(view)
+    dist = array("d", bytes(8 * n))
+    pred = array("q", bytes(8 * n))
+    if targets is None:
+        t_addr, t_len = 0, -1
+        t_arr = None
+    else:
+        t_arr = array("q", list(targets))
+        t_addr = t_arr.buffer_info()[0] if len(t_arr) else 0
+        t_len = len(t_arr)
+    exhausted = _i64()
+    relaxations = _i64()
+    settled = _i64()
+    _check(_LIB.repro_dijkstra(
+        indptr, indices, weights, n, edge_dead, node_dead, source,
+        t_addr, t_len, dist.buffer_info()[0], pred.buffer_info()[0],
+        ctypes.byref(exhausted), ctypes.byref(relaxations),
+        ctypes.byref(settled),
+    ))
+    del t_arr
+    COUNTERS.csr_relaxations += relaxations.value
+    COUNTERS.csr_settled += settled.value
+    return dist.tolist(), pred.tolist(), bool(exhausted.value)
+
+
+def bfs(view, source: int, target: int = -1) -> tuple[list[float], list[int]]:
+    """Canonical index-ordered BFS with early target exit — native."""
+    csr = view.csr
+    n = csr.n
+    indptr, indices, _weights, _keep = _graph_ptrs(csr)
+    edge_dead, node_dead, _vkeep = _view_ptrs(view)
+    dist = array("d", bytes(8 * n))
+    pred = array("q", bytes(8 * n))
+    relaxations = _i64()
+    settled = _i64()
+    _check(_LIB.repro_bfs(
+        indptr, indices, n, edge_dead, node_dead, source, target,
+        dist.buffer_info()[0], pred.buffer_info()[0],
+        ctypes.byref(relaxations), ctypes.byref(settled),
+    ))
+    COUNTERS.csr_relaxations += relaxations.value
+    COUNTERS.csr_settled += settled.value
+    return dist.tolist(), pred.tolist()
+
+
+_ROWS_SCRATCH: dict[int, tuple[array, array]] = {}
+
+
+def _rows_scratch(entries: int) -> tuple[array, array]:
+    """Reusable per-chunk output blocks (the kernel overwrites every
+    entry of each requested row, so stale contents are never read).
+    Keyed by size, capped at one cached pair — chunk sizes repeat."""
+    cached = _ROWS_SCRATCH.get(entries)
+    if cached is None:
+        cached = (array("d", bytes(8 * entries)), array("q", bytes(8 * entries)))
+        _ROWS_SCRATCH.clear()
+        _ROWS_SCRATCH[entries] = cached
+    return cached
+
+
+def rows_many(
+    view, sources: list[int], unit: bool
+) -> dict[int, tuple[list[float], list[int]]]:
+    """Batched exhaustive rows, one C call per source chunk.
+
+    Equivalent to the caller's per-source reference loop (same per-row
+    algorithm, counters summed instead of flushed per source), so —
+    unlike the numpy backend — it also serves directed snapshots.
+    """
+    out: dict[int, tuple[list[float], list[int]]] = {}
+    if not sources:
+        return out
+    csr = view.csr
+    n = csr.n
+    indptr, indices, weights, _keep = _graph_ptrs(csr)
+    edge_dead, node_dead, _vkeep = _view_ptrs(view)
+    srcs = list(sources)
+    block = min(len(srcs), ROWS_CHUNK)
+    dist_block, pred_block = _rows_scratch(n * block)
+    dist_mv = memoryview(dist_block)
+    pred_mv = memoryview(pred_block)
+    relaxations = _i64()
+    settled = _i64()
+    total_relax = 0
+    total_settled = 0
+    for lo in range(0, len(srcs), block):
+        chunk = srcs[lo:lo + block]
+        chunk_arr = array("q", chunk)
+        _check(_LIB.repro_rows_many(
+            indptr, indices, weights, n, edge_dead, node_dead,
+            chunk_arr.buffer_info()[0], len(chunk), 1 if unit else 0,
+            dist_block.buffer_info()[0], pred_block.buffer_info()[0],
+            ctypes.byref(relaxations), ctypes.byref(settled),
+        ))
+        total_relax += relaxations.value
+        total_settled += settled.value
+        for k, src in enumerate(chunk):
+            out[src] = (
+                dist_mv[k * n:(k + 1) * n].tolist(),
+                pred_mv[k * n:(k + 1) * n].tolist(),
+            )
+    COUNTERS.csr_relaxations += total_relax
+    COUNTERS.csr_settled += total_settled
+    return out
+
+
+def repair_resettle(
+    view,
+    source: int,
+    dist: list[float],
+    pred: list[int],
+    affected: set[int],
+    unit: bool,
+) -> tuple[list[float], list[int]]:
+    """Ramalingam–Reps re-settle — native at every affected-set size."""
+    csr = view.csr
+    n = csr.n
+    indptr, indices, weights, _keep = _graph_ptrs(csr)
+    edge_dead, node_dead, _vkeep = _view_ptrs(view)
+    new_dist = array("d", dist)
+    new_pred = array("q", pred)
+    aff = array("q", sorted(affected))
+    aff_mask = bytearray(n)
+    for x in affected:
+        aff_mask[x] = 1
+    mask_addr, mask_keep = _addr_of(aff_mask)
+    relaxations = _i64()
+    settled = _i64()
+    _check(_LIB.repro_repair(
+        indptr, indices, weights, n, edge_dead, node_dead,
+        aff.buffer_info()[0], len(aff), mask_addr, 1 if unit else 0,
+        new_dist.buffer_info()[0], new_pred.buffer_info()[0],
+        ctypes.byref(relaxations), ctypes.byref(settled),
+    ))
+    del mask_keep
+    COUNTERS.spt_nodes_resettled += settled.value
+    COUNTERS.csr_relaxations += relaxations.value
+    return new_dist.tolist(), new_pred.tolist()
+
+
+def decompose_flat(
+    chain: tuple[int, ...],
+    cum: list[float],
+    row_for: Callable[[int], list[float]],
+) -> tuple[list[int], list[int], int]:
+    """Min-pieces decomposition DP with lazy oracle-row fetches.
+
+    Rows cross back into Python through a ctypes callback exactly when
+    the reference loop would fetch them (memoized per ``j`` on the C
+    side), compacted to chain positions on the way in — the DP only
+    reads ``row[chain[i]]``, so each fetch converts ``len(chain)``
+    doubles instead of a whole n-node row.  A raising ``row_for``
+    aborts the DP and re-raises here.
+    """
+    from ..graph.shortest_paths import EPSILON
+
+    n = len(chain)
+    if n == 0:
+        return [], [], 0
+    if n > 1:
+        compact = operator.itemgetter(*chain)
+    else:
+        compact = None  # single-element chains never fetch a row
+    cum_arr = array("d", cum)
+    best = array("q", bytes(8 * n))
+    choice = array("q", bytes(8 * n))
+    probes = _i64()
+    keepalive: list[array] = []
+    failure: list[BaseException] = []
+
+    @_ROW_CB
+    def _fetch(j: int):
+        try:
+            row = array("d", compact(row_for(j)))
+            keepalive.append(row)
+            return row.buffer_info()[0]
+        except BaseException as exc:  # propagated around the C frame
+            failure.append(exc)
+            return None
+
+    status = _LIB.repro_decompose(
+        n, cum_arr.buffer_info()[0],
+        float(EPSILON), _fetch, best.buffer_info()[0],
+        choice.buffer_info()[0], ctypes.byref(probes),
+    )
+    if failure:
+        raise failure[0]
+    _check(status)
+    return best.tolist(), choice.tolist(), probes.value

@@ -1,4 +1,4 @@
-"""Kernel backend equivalence: the numpy backend vs. the reference.
+"""Kernel backend equivalence: the accelerated backends vs. the reference.
 
 The backend contract (:mod:`repro.kernels`) is that every backend is a
 drop-in for the pure-Python reference — same rows, same repaired SPTs,
@@ -6,18 +6,22 @@ same decomposition columns, same perf counters, bit for bit.  This
 suite pins that contract over a representative of every topology
 family the repo generates (the same 13-family sweep as
 ``tests/test_shm.py``), for clean views and for views with dead edges
-and dead nodes, under the scipy settle stage *and* the Bellman–Ford
-fallback the backend uses when scipy is absent.
+and dead nodes, for **both** accelerated backends: ``numpy`` (under
+the scipy settle stage *and* the Bellman–Ford fallback it uses when
+scipy is absent) and ``native`` (the compiled C kernels).
 
-The vectorized stages are called directly (``_repair_resettle_vec``,
-``_decompose_flat_vec``) so the size gates — which route small inputs
-to the reference loops — cannot hide a divergence.
+The numpy vectorized stages are called directly
+(``_repair_resettle_vec``, ``_decompose_flat_vec``) so the size gates
+— which route small inputs to the reference loops — cannot hide a
+divergence; the native backend has no gates, so its public entry
+points are exercised at every input size.
 
 Tie-heavy graphs matter most here: on unit-weight topologies (grid,
 cycle, comb) nearly every node has several tight parents, so any
 deviation from the canonical ``(dist[parent], parent index)`` rule
-shows up immediately.  Everything numpy-specific is skipped when numpy
-is not installed; the selection tests below run regardless.
+shows up immediately.  Backend-specific cases are skipped when that
+backend is unavailable (numpy not installed / no C toolchain); the
+selection tests below run regardless.
 """
 
 from __future__ import annotations
@@ -57,11 +61,37 @@ try:  # try/except, not find_spec: a broken numpy must also skip
 
     numpy_missing = False
 except ImportError:
+    npk = None
     numpy_missing = True
+
+try:  # importing builds the cached .so; no toolchain must skip
+    from repro.kernels import native_backend as natk
+
+    native_missing = False
+except ImportError:
+    natk = None
+    native_missing = True
 
 requires_numpy = pytest.mark.skipif(
     numpy_missing, reason="numpy not installed ([accel] extra)"
 )
+requires_native = pytest.mark.skipif(
+    native_missing, reason="no C toolchain for the native backend"
+)
+
+#: The accelerated backends every bit-identity case runs against.
+ACCEL_PARAMS = pytest.mark.parametrize("accel", ["numpy", "native"])
+
+
+def _accel_module(accel):
+    """The backend module for *accel*, skipping when unavailable."""
+    if accel == "numpy":
+        if numpy_missing:
+            pytest.skip("numpy not installed ([accel] extra)")
+        return npk
+    if native_missing:
+        pytest.skip("no C toolchain for the native backend")
+    return natk
 
 #: Same representatives as the shared-memory sweep in tests/test_shm.py.
 TOPOLOGY_FAMILIES = [
@@ -117,62 +147,87 @@ def _reference_rows(view, sources, unit):
     return rows, COUNTERS.delta(before)
 
 
-@requires_numpy
 class TestRowsBitIdentity:
-    """Batched vectorized rows == per-source reference rows, exactly."""
+    """Batched accelerated rows == per-source reference rows, exactly."""
 
-    def _assert_family(self, family):
+    def _assert_family(self, family, mod):
         graph = family()
         for label, view in _view_variants(graph):
             sources = _alive_sources(view)
             for unit in (False, True):
                 expected, ref_delta = _reference_rows(view, sources, unit)
                 before = COUNTERS.snapshot()
-                got = npk.rows_many(view, sources, unit)
-                vec_delta = COUNTERS.delta(before)
+                got = mod.rows_many(view, sources, unit)
+                acc_delta = COUNTERS.delta(before)
                 assert got is not None, (label, unit)
                 assert got == expected, (label, unit)
-                assert vec_delta == ref_delta, (label, unit)
+                assert acc_delta == ref_delta, (label, unit)
 
+    @ACCEL_PARAMS
     @FAMILY_PARAMS
-    def test_rows_match(self, family):
-        self._assert_family(family)
+    def test_rows_match(self, family, accel):
+        self._assert_family(family, _accel_module(accel))
 
+    @requires_numpy
     @FAMILY_PARAMS
     def test_rows_match_without_scipy(self, family, monkeypatch):
         """The Bellman–Ford fallback settle is equally bit-identical."""
         monkeypatch.setattr(npk, "_sp_dijkstra", None)
         monkeypatch.setattr(npk, "_sp_csr_matrix", None)
-        self._assert_family(family)
+        self._assert_family(family, npk)
 
-    def test_single_row_entry_points_match(self):
-        """dijkstra_canonical/bfs dispatch above the size gate too."""
+    @ACCEL_PARAMS
+    def test_single_row_entry_points_match(self, accel):
+        """dijkstra_canonical/bfs dispatch above the numpy size gate too."""
+        mod = _accel_module(accel)
         graph = generate_isp_topology(n=500, seed=9)
         view = as_view(shared_csr(graph))
-        assert view.csr.n >= npk.SINGLE_MIN_N
-        dist, pred, exhausted = npk.dijkstra_canonical(view, 0)
+        if accel == "numpy":
+            assert view.csr.n >= npk.SINGLE_MIN_N
+        dist, pred, exhausted = mod.dijkstra_canonical(view, 0)
         rd, rp, _ = pyk.dijkstra_canonical(view, 0)
         assert exhausted and (dist, pred) == (rd, rp)
         unit_view = as_view(
             shared_csr(generate_isp_topology(n=500, seed=9, weighted=False))
         )
-        assert npk.bfs(unit_view, 3) == pyk.bfs(unit_view, 3)
+        assert mod.bfs(unit_view, 3) == pyk.bfs(unit_view, 3)
 
-    def test_targeted_queries_keep_the_reference_truncation(self):
+    @ACCEL_PARAMS
+    def test_targeted_queries_keep_the_reference_truncation(self, accel):
         """Early-exit probes must not be silently widened to full rows."""
+        mod = _accel_module(accel)
         graph = generate_isp_topology(n=500, seed=9)
         view = as_view(shared_csr(graph))
         before = COUNTERS.snapshot()
-        dist, pred, exhausted = npk.dijkstra_canonical(view, 0, targets=[1])
+        dist, pred, exhausted = mod.dijkstra_canonical(view, 0, targets=[1])
         delta = COUNTERS.delta(before)
+        before = COUNTERS.snapshot()
         rd, rp, re_ = pyk.dijkstra_canonical(view, 0, targets=[1])
+        ref_delta = COUNTERS.delta(before)
         assert (dist, pred, exhausted) == (rd, rp, re_)
+        assert delta == ref_delta
         assert delta.csr_settled < view.csr.n  # truncated, not exhaustive
 
 
-@requires_numpy
+def _repair_entry(accel):
+    """The no-gate repair entry point for *accel*.
+
+    numpy's vectorized body is called directly so its size gate cannot
+    hide a divergence on small affected sets; the native backend has no
+    gate, so its public entry point already runs native at every size.
+    """
+    mod = _accel_module(accel)
+    return mod._repair_resettle_vec if accel == "numpy" else mod.repair_resettle
+
+
+def _decompose_entry(accel):
+    """The no-gate decomposition DP entry point for *accel*."""
+    mod = _accel_module(accel)
+    return mod._decompose_flat_vec if accel == "numpy" else mod.decompose_flat
+
+
 class TestRepairBitIdentity:
-    """Vectorized SPT re-settle == the boundary-offer reference loop."""
+    """Accelerated SPT re-settle == the boundary-offer reference loop."""
 
     def _repair_cases(self, graph, unit):
         """Yield (view, source, dist, pred, affected) repair instances."""
@@ -208,7 +263,7 @@ class TestRepairBitIdentity:
                 if affected:
                     yield view, source, dist, pred, affected
 
-    def _assert_repairs(self, graph, unit):
+    def _assert_repairs(self, graph, unit, entry):
         for view, source, dist, pred, affected in self._repair_cases(graph, unit):
             before = COUNTERS.snapshot()
             ref = pyk.repair_resettle(
@@ -216,32 +271,32 @@ class TestRepairBitIdentity:
             )
             ref_delta = COUNTERS.delta(before)
             before = COUNTERS.snapshot()
-            # Call the vectorized body directly: the size gate must not
-            # be able to hide a divergence on small affected sets.
-            vec = npk._repair_resettle_vec(
+            acc = entry(
                 view, source, list(dist), list(pred), set(affected), unit
             )
-            vec_delta = COUNTERS.delta(before)
-            assert vec == ref
-            assert vec_delta == ref_delta
+            acc_delta = COUNTERS.delta(before)
+            assert acc == ref
+            assert acc_delta == ref_delta
 
+    @ACCEL_PARAMS
     @FAMILY_PARAMS
-    def test_repaired_rows_match(self, family):
+    def test_repaired_rows_match(self, family, accel):
         graph = family()
-        self._assert_repairs(graph, unit=False)
-        self._assert_repairs(graph, unit=True)
+        entry = _repair_entry(accel)
+        self._assert_repairs(graph, unit=False, entry=entry)
+        self._assert_repairs(graph, unit=True, entry=entry)
 
+    @requires_numpy
     @FAMILY_PARAMS
     def test_repaired_rows_match_without_scipy(self, family, monkeypatch):
         monkeypatch.setattr(npk, "_sp_dijkstra", None)
         monkeypatch.setattr(npk, "_sp_csr_matrix", None)
         graph = family()
-        self._assert_repairs(graph, unit=False)
+        self._assert_repairs(graph, unit=False, entry=npk._repair_resettle_vec)
 
 
-@requires_numpy
 class TestDecomposeBitIdentity:
-    """Matrix decomposition DP == the forward reference DP, exactly."""
+    """Accelerated decomposition DP == the forward reference DP, exactly."""
 
     def _chains(self, graph, rng):
         """Random simple walks through *graph*, as index chains + costs."""
@@ -268,9 +323,11 @@ class TestDecomposeBitIdentity:
             if len(chain) >= 3:
                 yield view, tuple(chain), cum
 
+    @ACCEL_PARAMS
     @FAMILY_PARAMS
-    def test_decomposition_columns_match(self, family):
+    def test_decomposition_columns_match(self, family, accel):
         graph = family()
+        entry = _decompose_entry(accel)
         rng = random.Random(23)
         for view, chain, cum in self._chains(graph, rng):
             # Pre-warmed rows: row_for must not touch the csr counters,
@@ -284,10 +341,45 @@ class TestDecomposeBitIdentity:
             ref = pyk.decompose_flat(chain, cum, row_for)
             ref_delta = COUNTERS.delta(before)
             before = COUNTERS.snapshot()
-            vec = npk._decompose_flat_vec(chain, cum, row_for)
-            vec_delta = COUNTERS.delta(before)
-            assert vec == ref
-            assert vec_delta == ref_delta
+            acc = entry(chain, cum, row_for)
+            acc_delta = COUNTERS.delta(before)
+            assert acc == ref
+            assert acc_delta == ref_delta
+
+    @requires_native
+    def test_native_fetches_rows_lazily_like_the_reference(self):
+        """Row callbacks fire for exactly the same ``j`` sequence."""
+        graph = generate_isp_topology(n=40, seed=3)
+        csr = shared_csr(graph)
+        view = as_view(csr)
+        chain = tuple(range(0, min(csr.n, 12)))
+        dist0, _, _ = pyk.dijkstra_canonical(view, chain[0])
+        cum = [0.0]
+        for k in range(1, len(chain)):
+            d = pyk.dijkstra_canonical(view, chain[k - 1], [chain[k]])[0]
+            cum.append(cum[-1] + d[chain[k]])
+        rows = {
+            j: pyk.dijkstra_canonical(view, chain[j])[0]
+            for j in range(len(chain))
+        }
+        ref_calls: list[int] = []
+        ref = pyk.decompose_flat(
+            chain, cum, lambda j: (ref_calls.append(j), rows[j])[1]
+        )
+        nat_calls: list[int] = []
+        nat = natk.decompose_flat(
+            chain, cum, lambda j: (nat_calls.append(j), rows[j])[1]
+        )
+        assert nat == ref
+        assert nat_calls == ref_calls
+
+    @requires_native
+    def test_native_propagates_row_callback_errors(self):
+        def boom(j):
+            raise ValueError("row fetch failed")
+
+        with pytest.raises(ValueError, match="row fetch failed"):
+            natk.decompose_flat((1, 2, 3, 4), [0.0, 1.0, 2.0, 3.0], boom)
 
 
 class TestSelection:
@@ -299,8 +391,8 @@ class TestSelection:
         yield
         set_backend(previous)
 
-    def test_choices_cover_both_backends(self):
-        assert set(KERNEL_CHOICES) == {"auto", "python", "numpy"}
+    def test_choices_cover_all_backends(self):
+        assert set(KERNEL_CHOICES) == {"auto", "python", "numpy", "native"}
         assert available_backends()[0] == "python"
 
     def test_set_backend_round_trips_and_exports(self, monkeypatch):
@@ -313,15 +405,28 @@ class TestSelection:
         # the same deterministic choice instead of re-running "auto".
         assert os.environ.get("REPRO_KERNEL") == "python"
 
-    @requires_numpy
-    def test_auto_prefers_numpy_when_importable(self):
+    @requires_native
+    def test_auto_prefers_native_when_buildable(self):
         set_backend("auto")
-        assert backend_name() == "numpy"
+        assert backend_name() == "native"
+
+    @requires_numpy
+    def test_auto_prefers_numpy_over_python(self):
+        # auto's full precedence chain (native → numpy → python) with a
+        # simulated missing toolchain lives in tests/test_native_backend.py;
+        # here we only pin that numpy outranks the reference.
+        set_backend("auto")
+        assert backend_name() in ("native", "numpy")
 
     @requires_numpy
     def test_explicit_numpy_resolves(self):
         set_backend("numpy")
         assert backend_name() == "numpy"
+
+    @requires_native
+    def test_explicit_native_resolves(self):
+        set_backend("native")
+        assert backend_name() == "native"
 
     def test_unknown_backend_is_rejected(self):
         with pytest.raises(ValueError, match="unknown kernel backend"):
